@@ -1,0 +1,164 @@
+// Benchmarks regenerating each table and figure of §4 of the PROCLUS
+// paper, one testing.B target per artifact (see DESIGN.md §4 for the
+// index). Workloads are generated outside the timed region; sizes are
+// reduced from the paper's (documented per bench) so the suite finishes
+// in minutes — run cmd/proclus-bench -full for paper-scale sweeps.
+package proclus_test
+
+import (
+	"fmt"
+	"testing"
+
+	"proclus"
+	"proclus/internal/experiments"
+)
+
+// benchCase holds pre-generated accuracy inputs shared across benches.
+func benchCaseParams() experiments.CaseParams {
+	return experiments.CaseParams{N: 10000, Seed: 3}
+}
+
+// BenchmarkTable1Case1Dimensions regenerates Table 1 (input vs output
+// cluster dimensions, Case 1: five 7-dim clusters in 20 dims). Paper
+// scale N = 100k; bench scale N = 10k.
+func BenchmarkTable1Case1Dimensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, _, err := experiments.Table1(benchCaseParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if data.ExactDimMatches < 3 {
+			b.Fatalf("degenerate run: %d exact matches", data.ExactDimMatches)
+		}
+	}
+}
+
+// BenchmarkTable2Case2Dimensions regenerates Table 2 (Case 2: cluster
+// dimensionalities 2, 2, 3, 6, 7).
+func BenchmarkTable2Case2Dimensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table2(benchCaseParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3ConfusionCase1 regenerates Table 3 (confusion matrix,
+// Case 1).
+func BenchmarkTable3ConfusionCase1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, _, err := experiments.Table3(benchCaseParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if data.Purity < 0.8 {
+			b.Fatalf("degenerate run: purity %.2f", data.Purity)
+		}
+	}
+}
+
+// BenchmarkTable4ConfusionCase2 regenerates Table 4 (confusion matrix,
+// Case 2).
+func BenchmarkTable4ConfusionCase2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table4(benchCaseParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5CliqueMatching regenerates Table 5 (CLIQUE input/output
+// matching and the τ sweep). Paper scale d = 20, 7-dim clusters,
+// N = 100k; bench scale d = 10, 5-dim clusters, N = 5k to keep the
+// lattice search inside a benchmark budget.
+func BenchmarkTable5CliqueMatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, _, err := experiments.Table5(experiments.Table5Params{
+			N: 5000, Dims: 10, ClusterDims: 5,
+			Taus: []float64{0.008}, FixedTau: 0.004, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data.Rows) != 2 {
+			b.Fatalf("rows: %d", len(data.Rows))
+		}
+	}
+}
+
+// BenchmarkFigure7ScaleN regenerates Figure 7 (runtime vs N) as
+// sub-benchmarks: PROCLUS and CLIQUE at each N. Paper sweeps 100k–500k;
+// the bench sweeps 5k–20k.
+func BenchmarkFigure7ScaleN(b *testing.B) {
+	for _, n := range []int{5000, 10000, 20000} {
+		ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+			N: n, Dims: 20, K: 5, FixedDims: 5, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("proclus/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proclus.Run(ds, proclus.Config{K: 5, L: 5, Seed: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("clique/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proclus.RunCLIQUE(ds, proclus.CliqueConfig{Xi: 10, Tau: 0.005, MaxDims: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8ScaleL regenerates Figure 8 (runtime vs average
+// cluster dimensionality l). The CLIQUE series demonstrates the
+// superlinear lattice growth; MaxDims caps it at l so a single bench
+// iteration stays bounded.
+func BenchmarkFigure8ScaleL(b *testing.B) {
+	for _, l := range []int{4, 5, 6} {
+		ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+			N: 5000, Dims: 12, K: 5, FixedDims: l, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("proclus/l=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proclus.Run(ds, proclus.Config{K: 5, L: l, Seed: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("clique/l=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proclus.RunCLIQUE(ds, proclus.CliqueConfig{Xi: 10, Tau: 0.005, MaxDims: l}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9ScaleD regenerates Figure 9 (PROCLUS runtime vs the
+// dimensionality of the space), expected to scale linearly in d.
+func BenchmarkFigure9ScaleD(b *testing.B) {
+	for _, d := range []int{20, 35, 50} {
+		ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+			N: 5000, Dims: d, K: 5, FixedDims: 5, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := proclus.Run(ds, proclus.Config{K: 5, L: 5, Seed: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

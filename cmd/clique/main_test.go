@@ -1,0 +1,86 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/dataset"
+	"proclus/internal/randx"
+)
+
+func writeBlobData(t *testing.T) string {
+	t.Helper()
+	r := randx.New(5)
+	ds := dataset.New(4)
+	for i := 0; i < 600; i++ {
+		ds.AppendLabeled([]float64{
+			30 + r.Normal(0, 2), 70 + r.Normal(0, 2), r.Uniform(0, 100), r.Uniform(0, 100),
+		}, 0)
+	}
+	for i := 0; i < 400; i++ {
+		p := []float64{r.Uniform(0, 100), r.Uniform(0, 100), r.Uniform(0, 100), r.Uniform(0, 100)}
+		ds.AppendLabeled(p, dataset.Outlier)
+	}
+	path := filepath.Join(t.TempDir(), "blob.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportsClusters(t *testing.T) {
+	path := writeBlobData(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-xi", "10", "-tau", "0.05"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"CLIQUE:", "dense units", "clusters reported:", "average overlap:", "coverage:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunVerboseDescribesRegions(t *testing.T) {
+	path := writeBlobData(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-xi", "10", "-tau", "0.05", "-v"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "region ") {
+		t.Fatalf("verbose output missing regions:\n%s", sb.String())
+	}
+}
+
+func TestRunReportingModes(t *testing.T) {
+	path := writeBlobData(t)
+	for _, flags := range [][]string{
+		{"-highest"},
+		{"-maximal"},
+		{"-fixeddims", "2"},
+		{"-mdl"},
+		{"-maxdims", "2"},
+	} {
+		var sb strings.Builder
+		args := append([]string{"-in", path, "-xi", "10", "-tau", "0.05"}, flags...)
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%v: %v", flags, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.bin")}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeBlobData(t)
+	if err := run([]string{"-in", path, "-xi", "1"}, &sb); err == nil {
+		t.Error("bad xi accepted")
+	}
+}

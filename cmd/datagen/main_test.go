@@ -1,0 +1,112 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/dataset"
+)
+
+func TestRunWritesBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.bin")
+	var sb strings.Builder
+	err := run([]string{"-n", "500", "-dims", "6", "-k", "2", "-fixeddims", "3", "-o", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 500 points × 6 dims") {
+		t.Fatalf("output: %s", sb.String())
+	}
+	ds, err := dataset.LoadFile(out, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 || ds.Dims() != 6 || !ds.Labeled() {
+		t.Fatalf("dataset %d×%d labeled=%v", ds.Len(), ds.Dims(), ds.Labeled())
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.csv")
+	var sb strings.Builder
+	err := run([]string{"-n", "200", "-dims", "4", "-k", "2", "-avgdims", "2", "-o", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 200 {
+		t.Fatalf("len %d", ds.Len())
+	}
+}
+
+func TestRunDimCounts(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.bin")
+	var sb strings.Builder
+	err := run([]string{"-n", "300", "-dims", "8", "-k", "3", "-dimcounts", "2,3,4", "-o", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cluster C") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestRunOriented(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "o.bin")
+	var sb strings.Builder
+	err := run([]string{"-oriented", "-n", "300", "-dims", "6", "-k", "2", "-fixeddims", "2", "-o", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tight directions") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "100"}, &sb); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := run([]string{"-n", "100", "-dimcounts", "2,x", "-o", "/tmp/never.bin"}, &sb); err == nil {
+		t.Error("bad dimcounts accepted")
+	}
+	if err := run([]string{"-n", "0", "-o", filepath.Join(t.TempDir(), "x.bin")}, &sb); err == nil {
+		t.Error("invalid generator config accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministicFiles(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.bin"), filepath.Join(dir, "b.bin")
+	var sb strings.Builder
+	if err := run([]string{"-n", "300", "-dims", "5", "-k", "2", "-fixeddims", "2", "-seed", "9", "-o", a}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "300", "-dims", "5", "-k", "2", "-fixeddims", "2", "-seed", "9", "-o", b}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	da, err := dataset.LoadFile(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dataset.LoadFile(b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < da.Len(); i++ {
+		pa, pb := da.Point(i), db.Point(i)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("same seed produced different files at point %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/dataset"
+)
+
+func writeSample(t *testing.T, ext string) string {
+	t.Helper()
+	ds, err := dataset.FromRows([][]float64{
+		{1, 10}, {2, 20}, {3, 30}, {4, 40},
+	}, []int{0, 0, 1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s"+ext)
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBinaryStreamed(t *testing.T) {
+	path := writeSample(t, ".bin")
+	var sb strings.Builder
+	if err := run([]string{"-in", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"4 points × 2 dims (streamed)", "min", "stddev", "ground-truth labels", "outliers"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q:\n%s", want, got)
+		}
+	}
+	// min of dim0 is 1, max 4.
+	if !strings.Contains(got, "1.0000") || !strings.Contains(got, "4.0000") {
+		t.Fatalf("stats wrong:\n%s", got)
+	}
+}
+
+func TestRunCSVWithLabels(t *testing.T) {
+	path := writeSample(t, ".csv")
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-labels"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"ground-truth labels", "outliers", "cluster 0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.bin")}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

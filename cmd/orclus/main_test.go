@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/synth"
+)
+
+func writeOrientedData(t *testing.T) string {
+	t.Helper()
+	ds, _, err := synth.GenerateOriented(synth.OrientedConfig{
+		N: 1200, Dims: 8, K: 2, L: 2, OutlierFraction: -1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "o.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunClusters(t *testing.T) {
+	path := writeOrientedData(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"ORCLUS:", "projected energy", "cluster 1:", "ARI", "NMI"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-k", "2", "-l", "2"}, &sb); err == nil {
+		t.Error("missing -in accepted")
+	}
+	path := writeOrientedData(t)
+	if err := run([]string{"-in", path, "-k", "2"}, &sb); err == nil {
+		t.Error("missing -l accepted")
+	}
+	if err := run([]string{"-in", path, "-k", "2", "-l", "99"}, &sb); err == nil {
+		t.Error("l > dims accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Command proclus-bench regenerates the tables and figures of §4 of the
+// PROCLUS paper. Each experiment prints the same rows or series the
+// paper reports; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	proclus-bench -experiment all          # reduced scale, minutes
+//	proclus-bench -experiment table3
+//	proclus-bench -experiment fig7 -full   # paper-scale sizes (slow)
+//	proclus-bench -experiment table1 -n 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"proclus/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "proclus-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("proclus-bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		exp      = fs.String("experiment", "all", "one of table1..table5, fig7..fig9, lsweep, oriented, or all")
+		full     = fs.Bool("full", false, "paper-scale workloads (N = 100k+; CLIQUE runs take minutes to hours)")
+		override = fs.Int("n", 0, "override the workload size (0 = scale defaults)")
+		csvDir   = fs.String("csvdir", "", "also write each experiment's data as <csvdir>/<id>.csv")
+		seed     = fs.Uint64("seed", 3, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exportCSV := func(id string, data csvWriter) error {
+		if *csvDir == "" || data == nil {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := data.WriteCSV(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+
+	type runner struct {
+		id  string
+		run func() (*experiments.Report, csvWriter, error)
+	}
+	caseN := 20000
+	figN := 10000
+	fig7Ns := []int{10000, 20000, 30000, 40000, 50000}
+	if *full {
+		caseN = 100000
+		figN = 100000
+		fig7Ns = []int{100000, 200000, 300000, 400000, 500000}
+	}
+	if *override > 0 {
+		caseN = *override
+		figN = *override
+		fig7Ns = []int{*override, 2 * *override}
+	}
+	caseParams := experiments.CaseParams{N: caseN, Seed: *seed}
+
+	runners := []runner{
+		{"table1", func() (*experiments.Report, csvWriter, error) {
+			d, r, err := experiments.Table1(caseParams)
+			return r, d, err
+		}},
+		{"table2", func() (*experiments.Report, csvWriter, error) {
+			d, r, err := experiments.Table2(caseParams)
+			return r, d, err
+		}},
+		{"table3", func() (*experiments.Report, csvWriter, error) {
+			d, r, err := experiments.Table3(caseParams)
+			return r, d, err
+		}},
+		{"table4", func() (*experiments.Report, csvWriter, error) {
+			d, r, err := experiments.Table4(caseParams)
+			return r, d, err
+		}},
+		{"table5", func() (*experiments.Report, csvWriter, error) {
+			p := experiments.Table5Params{Seed: *seed}
+			if *full {
+				p.N = 100000
+				p.Dims = 20
+				p.ClusterDims = 7
+				p.Taus = []float64{0.005, 0.008, 0.002}
+				p.FixedTau = 0.001
+			}
+			if *override > 0 {
+				p.N = *override
+				p.Dims = 10
+				p.ClusterDims = 4
+			}
+			d, r, err := experiments.Table5(p)
+			return r, d, err
+		}},
+		{"fig7", func() (*experiments.Report, csvWriter, error) {
+			d, r, err := experiments.Figure7(experiments.Figure7Params{
+				Ns: fig7Ns, WithClique: true, Seed: *seed,
+			})
+			return r, d, err
+		}},
+		{"fig8", func() (*experiments.Report, csvWriter, error) {
+			p := experiments.Figure8Params{N: figN, WithClique: true, Seed: *seed}
+			if *full {
+				p.Dims = 20
+			}
+			if *override > 0 {
+				p.Ls = []int{4, 5}
+			}
+			d, r, err := experiments.Figure8(p)
+			return r, d, err
+		}},
+		{"fig9", func() (*experiments.Report, csvWriter, error) {
+			p := experiments.Figure9Params{N: figN, Seed: *seed}
+			if *override > 0 {
+				p.Ds = []int{10, 20}
+				p.Repeats = 1
+			}
+			d, r, err := experiments.Figure9(p)
+			return r, d, err
+		}},
+		{"lsweep", func() (*experiments.Report, csvWriter, error) {
+			p := experiments.LSweepParams{N: figN, Seed: *seed}
+			if *override > 0 {
+				p.Dims = 10
+				p.TrueL = 4
+			}
+			d, r, err := experiments.LSweep(p)
+			return r, d, err
+		}},
+		{"oriented", func() (*experiments.Report, csvWriter, error) {
+			p := experiments.OrientedParams{Seed: *seed}
+			if *override > 0 {
+				p.N = *override
+			}
+			d, r, err := experiments.Oriented(p)
+			return r, d, err
+		}},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := false
+	for _, r := range runners {
+		if want != "all" && want != r.id {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		rep, data, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Fprintln(out, rep)
+		fmt.Fprintf(out, "(%s completed in %s)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		if err := exportCSV(r.id, data); err != nil {
+			return fmt.Errorf("%s: exporting CSV: %w", r.id, err)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+// csvWriter is implemented by every experiment's data type.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTableSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table1", "-n", "3000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"table1", "Dimensions", "exact dimension matches", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunConfusionSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table3", "-n", "3000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "purity:") {
+		t.Fatalf("missing purity:\n%s", sb.String())
+	}
+}
+
+func TestRunFigure9Small(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig9", "-n", "2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PROCLUS") {
+		t.Fatalf("missing series:\n%s", sb.String())
+	}
+}
+
+func TestRunLSweepSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "lsweep", "-n", "2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "suggested") {
+		t.Fatalf("missing suggestion:\n%s", sb.String())
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig9", "-n", "2000", "-csvdir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "proclus_seconds") {
+		t.Fatalf("CSV content: %s", data)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table99"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-zap"}, &sb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

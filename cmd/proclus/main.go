@@ -1,0 +1,215 @@
+// Command proclus runs the PROCLUS projected clustering algorithm on a
+// dataset file and reports the discovered clusters, their dimension
+// sets, and — when the input carries ground-truth labels — the confusion
+// matrix and external indices of §4.2 of the paper.
+//
+// Usage:
+//
+//	proclus -in data.csv -labels -k 5 -l 7
+//	proclus -in data.bin -k 5 -l 7 -assign out.csv
+//	proclus -in data.bin -k 5 -sweepl 2:9     # try a range of l values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"proclus/internal/core"
+	"proclus/internal/dataset"
+	"proclus/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "proclus: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("proclus", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		in        = fs.String("in", "", "input dataset (.csv or binary); required")
+		hasLabels = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
+		k         = fs.Int("k", 5, "number of clusters")
+		l         = fs.Int("l", 0, "average dimensions per cluster; required unless -sweepl is set")
+		sweepL    = fs.String("sweepl", "", "sweep l over a min:max range and report the objective curve")
+		sweepK    = fs.String("sweepk", "", "sweep k over a min:max range and report the objective curve")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "assignment goroutines (0 = GOMAXPROCS)")
+		normalize = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
+		assignOut = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	if *l == 0 && *sweepL == "" {
+		fs.Usage()
+		return fmt.Errorf("one of -l or -sweepl is required")
+	}
+	ds, err := dataset.LoadFile(*in, *hasLabels)
+	if err != nil {
+		return err
+	}
+	switch *normalize {
+	case "":
+	case "minmax":
+		if _, _, err := ds.MinMaxScale(0, 100); err != nil {
+			return err
+		}
+	case "zscore":
+		ds.Standardize()
+	default:
+		return fmt.Errorf("unknown -normalize mode %q (want minmax or zscore)", *normalize)
+	}
+	cfg := core.Config{K: *k, L: *l, Seed: *seed, Workers: *workers}
+
+	if *sweepL != "" {
+		return runSweepL(out, ds, cfg, *sweepL)
+	}
+	if *sweepK != "" {
+		return runSweepK(out, ds, cfg, *sweepK)
+	}
+
+	start := time.Now()
+	res, err := core.Run(ds, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "PROCLUS: %d points × %d dims, k=%d l=%d — %s (%d trials)\n",
+		ds.Len(), ds.Dims(), *k, *l, elapsed.Round(time.Millisecond), res.Iterations)
+	fmt.Fprintf(out, "objective (avg segmental distance to centroid): %.4f\n\n", res.Objective)
+	fmt.Fprintf(out, "%-8s %-40s %10s\n", "Cluster", "Dimensions (1-based)", "Points")
+	for i, cl := range res.Clusters {
+		fmt.Fprintf(out, "%-8d %-40s %10d\n", i+1, fmt.Sprint(oneBased(cl.Dimensions)), len(cl.Members))
+	}
+	fmt.Fprintf(out, "%-8s %-40s %10d\n", "Outliers", "-", res.NumOutliers())
+
+	if ds.Labeled() {
+		cm, err := eval.NewConfusion(eval.LabelsFromDataset(ds), res.Assignments,
+			len(res.Clusters), ds.NumLabels())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nconfusion matrix (output rows × input columns):\n%s", cm)
+		fmt.Fprintf(out, "purity: %.3f", cm.Purity())
+		if ari, err := eval.AdjustedRandIndex(ds.Labels(), res.Assignments); err == nil {
+			fmt.Fprintf(out, "   ARI: %.3f", ari)
+		}
+		if nmi, err := eval.NormalizedMutualInfo(ds.Labels(), res.Assignments); err == nil {
+			fmt.Fprintf(out, "   NMI: %.3f", nmi)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *assignOut != "" {
+		if err := writeAssignments(*assignOut, res.Assignments); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nassignments written to %s\n", *assignOut)
+	}
+	return nil
+}
+
+func runSweepL(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string) error {
+	lo, hi, err := parseRange(spec)
+	if err != nil {
+		return err
+	}
+	points, err := core.SweepL(ds, cfg, lo, hi)
+	if err != nil {
+		return err
+	}
+	suggested, err := core.SuggestL(points)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%6s %12s %10s\n", "l", "objective", "outliers")
+	for _, p := range points {
+		marker := ""
+		if p.L == suggested {
+			marker = "  ← suggested"
+		}
+		fmt.Fprintf(out, "%6d %12.4f %10d%s\n", p.L, p.Objective, p.Outliers, marker)
+	}
+	fmt.Fprintf(out, "\nsuggested l: %d (objective elbow; see §4.3 of the paper)\n", suggested)
+	return nil
+}
+
+func runSweepK(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string) error {
+	lo, hi, err := parseRange(spec)
+	if err != nil {
+		return err
+	}
+	points, err := core.SweepK(ds, cfg, lo, hi)
+	if err != nil {
+		return err
+	}
+	suggested, err := core.SuggestK(points)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%6s %12s %10s\n", "k", "objective", "outliers")
+	for _, p := range points {
+		marker := ""
+		if p.K == suggested {
+			marker = "  ← suggested"
+		}
+		fmt.Fprintf(out, "%6d %12.4f %10d%s\n", p.K, p.Objective, p.Result.NumOutliers(), marker)
+	}
+	fmt.Fprintf(out, "\nsuggested k: %d (objective knee)\n", suggested)
+	return nil
+}
+
+func parseRange(spec string) (lo, hi int, err error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("range %q must be min:max", spec)
+	}
+	lo, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("range %q: %w", spec, err)
+	}
+	hi, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("range %q: %w", spec, err)
+	}
+	return lo, hi, nil
+}
+
+func writeAssignments(path string, assignments []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString("point,cluster\n"); err != nil {
+		return err
+	}
+	for i, a := range assignments {
+		if _, err := f.WriteString(strconv.Itoa(i) + "," + strconv.Itoa(a) + "\n"); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func oneBased(dims []int) []int {
+	out := make([]int, len(dims))
+	for i, d := range dims {
+		out[i] = d + 1
+	}
+	return out
+}

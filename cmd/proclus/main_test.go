@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/synth"
+)
+
+// writeWorkload generates a small labeled binary dataset and returns its
+// path.
+func writeWorkload(t *testing.T) string {
+	t.Helper()
+	ds, _, err := synth.Generate(synth.Config{
+		N: 1500, Dims: 8, K: 2, FixedDims: 3, MinSizeFraction: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunClusters(t *testing.T) {
+	path := writeWorkload(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"PROCLUS:", "objective", "Cluster", "Outliers", "confusion matrix", "purity:", "ARI:", "NMI:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWritesAssignments(t *testing.T) {
+	path := writeWorkload(t)
+	assignPath := filepath.Join(t.TempDir(), "a.csv")
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3", "-assign", assignPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(assignPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "point,cluster" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 1501 {
+		t.Fatalf("%d assignment lines, want 1501", len(lines))
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	path := writeWorkload(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-sweepl", "2:5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "suggested l:") {
+		t.Fatalf("output missing suggestion:\n%s", got)
+	}
+}
+
+func TestRunNormalize(t *testing.T) {
+	path := writeWorkload(t)
+	for _, mode := range []string{"minmax", "zscore"} {
+		var sb strings.Builder
+		if err := run([]string{"-in", path, "-k", "2", "-l", "3", "-normalize", mode}, &sb); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !strings.Contains(sb.String(), "PROCLUS:") {
+			t.Fatalf("%s: output missing header", mode)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3", "-normalize", "nope"}, &sb); err == nil {
+		t.Fatal("unknown normalize mode accepted")
+	}
+}
+
+func TestRunSweepK(t *testing.T) {
+	path := writeWorkload(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-l", "3", "-sweepk", "1:4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "suggested k:") {
+		t.Fatalf("output missing k suggestion:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-k", "2", "-l", "3"}, &sb); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "x.bin"}, &sb); err == nil {
+		t.Error("missing -l accepted")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "absent.bin"), "-l", "3"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeWorkload(t)
+	if err := run([]string{"-in", path, "-k", "2", "-l", "99"}, &sb); err == nil {
+		t.Error("l > dims accepted")
+	}
+	if err := run([]string{"-in", path, "-k", "2", "-sweepl", "banana"}, &sb); err == nil {
+		t.Error("bad sweep range accepted")
+	}
+	if err := run([]string{"-in", path, "-k", "2", "-sweepl", "5:2"}, &sb); err == nil {
+		t.Error("inverted sweep range accepted")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	if lo, hi, err := parseRange("2:7"); err != nil || lo != 2 || hi != 7 {
+		t.Fatalf("parseRange: %d %d %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "3", "a:b", "2:"} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Errorf("parseRange(%q) accepted", bad)
+		}
+	}
+}

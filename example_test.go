@@ -1,0 +1,130 @@
+package proclus_test
+
+import (
+	"fmt"
+	"log"
+
+	"proclus"
+	"proclus/internal/randx"
+)
+
+// twoSubspaceClusters builds a small deterministic dataset with two
+// projected clusters: dims {0,1} around (10,10) and dims {2,3} around
+// (90,90), plus uniform noise on the remaining coordinates.
+func twoSubspaceClusters() *proclus.Dataset {
+	r := randx.New(7)
+	ds := proclus.NewDataset(4)
+	for i := 0; i < 200; i++ {
+		ds.AppendLabeled([]float64{
+			r.Normal(10, 1), r.Normal(10, 1), r.Uniform(0, 100), r.Uniform(0, 100),
+		}, 0)
+		ds.AppendLabeled([]float64{
+			r.Uniform(0, 100), r.Uniform(0, 100), r.Normal(90, 1), r.Normal(90, 1),
+		}, 1)
+	}
+	return ds
+}
+
+func ExampleRun() {
+	ds := twoSubspaceClusters()
+	res, err := proclus.Run(ds, proclus.Config{K: 2, L: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cl := range res.Clusters {
+		fmt.Printf("cluster %d: dims %v\n", i+1, cl.Dimensions)
+	}
+	// Output:
+	// cluster 1: dims [2 3]
+	// cluster 2: dims [0 1]
+}
+
+func ExampleGenerate() {
+	ds, gt, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 1000, Dims: 10, K: 2, FixedDims: 3, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("points:", ds.Len())
+	fmt.Println("clusters:", len(gt.Sizes))
+	fmt.Println("dims per cluster:", len(gt.Dimensions[0]), len(gt.Dimensions[1]))
+	// Output:
+	// points: 1000
+	// clusters: 2
+	// dims per cluster: 3 3
+}
+
+func ExampleSweepL() {
+	ds := twoSubspaceClusters()
+	points, err := proclus.SweepL(ds, proclus.Config{K: 2, Seed: 1}, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := proclus.SuggestL(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("suggested l:", l)
+	// Output:
+	// suggested l: 2
+}
+
+func ExampleRunORCLUS() {
+	ds, _, err := proclus.GenerateOriented(proclus.OrientedConfig{
+		N: 1500, Dims: 8, K: 2, L: 2, OutlierFraction: -1, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := proclus.RunORCLUS(ds, proclus.ORCLUSConfig{K: 2, L: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ari, err := proclus.AdjustedRandIndex(ds.Labels(), res.Assignments)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusters: %d, each with a %d-vector basis, ARI %.1f\n",
+		len(res.Clusters), len(res.Clusters[0].Basis), ari)
+	// Output:
+	// clusters: 2, each with a 2-vector basis, ARI 1.0
+}
+
+func ExampleDescribeCliqueCluster() {
+	ds := twoSubspaceClusters()
+	res, err := proclus.RunCLIQUE(ds, proclus.CliqueConfig{Xi: 10, Tau: 0.1, FixedDims: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cl := range res.Clusters {
+		for _, region := range proclus.DescribeCliqueCluster(cl) {
+			fmt.Println(region)
+		}
+	}
+	// The Gaussian tails spill into neighbouring grid cells, so the
+	// first cluster needs two overlapping rectangles.
+	// Output:
+	// 0≤d0<2 ∧ 0≤d1<1
+	// 0≤d0<1 ∧ 0≤d1<2
+	// 8≤d2<10 ∧ 9≤d3<10
+}
+
+func ExampleMatchDimensions() {
+	m := proclus.MatchDimensions([]int{0, 3, 5}, []int{0, 3, 7})
+	fmt.Printf("precision %.2f recall %.2f exact %v\n", m.Precision, m.Recall, m.Exact)
+	// Output:
+	// precision 0.67 recall 0.67 exact false
+}
+
+func ExampleNewConfusion() {
+	labels := []int{0, 0, 1, 1, -1}
+	assignments := []int{1, 1, 0, 0, -1}
+	cm, err := proclus.NewConfusion(labels, assignments, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("purity %.2f\n", cm.Purity())
+	// Output:
+	// purity 1.00
+}

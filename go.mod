@@ -1,0 +1,3 @@
+module proclus
+
+go 1.22

@@ -1,0 +1,207 @@
+package proclus_test
+
+// Integration tests exercising full pipelines across modules: generator
+// → file round trip → streaming stats → clustering → evaluation →
+// baselines, the way a downstream user chains the public API.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"proclus"
+	"proclus/internal/dataset"
+)
+
+func TestPipelineGenerateSaveLoadClusterEvaluate(t *testing.T) {
+	// 1. Generate a Case-1-style workload.
+	ds, gt, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 6000, Dims: 16, K: 4, FixedDims: 5, MinSizeFraction: 0.12, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Round-trip through the binary format.
+	path := filepath.Join(t.TempDir(), "pipeline.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := proclus.LoadFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() || loaded.Dims() != ds.Dims() {
+		t.Fatal("round trip changed shape")
+	}
+
+	// 3. Streaming statistics must agree with in-memory bounds.
+	n, stats, err := dataset.ScanStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != ds.Len() {
+		t.Fatalf("stream saw %d points", n)
+	}
+	min, max := ds.Bounds()
+	for j := range stats {
+		if stats[j].Min != min[j] || stats[j].Max != max[j] {
+			t.Fatalf("dim %d: streamed bounds differ", j)
+		}
+	}
+
+	// 4. Cluster the loaded copy.
+	res, err := proclus.Run(loaded, proclus.Config{K: 4, L: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. Evaluate against the generator's truth.
+	cm, err := proclus.NewConfusion(loaded.Labels(), res.Assignments, len(res.Clusters), len(gt.Sizes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Purity() < 0.9 {
+		t.Fatalf("purity %.3f", cm.Purity())
+	}
+	ari, err := proclus.AdjustedRandIndex(loaded.Labels(), res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.7 {
+		t.Fatalf("ARI %.3f", ari)
+	}
+	exact := 0
+	match := cm.Match()
+	for i, cl := range res.Clusters {
+		if match[i] >= 0 && proclus.MatchDimensions(cl.Dimensions, gt.Dimensions[match[i]]).Exact {
+			exact++
+		}
+	}
+	if exact < 3 {
+		t.Fatalf("%d/4 exact dimension recoveries", exact)
+	}
+}
+
+func TestPipelineThreeAlgorithmsOneWorkload(t *testing.T) {
+	// The compare-example scenario as a test: PROCLUS must beat the
+	// full-dimensional baseline on projected structure, and CLIQUE must
+	// report overlapping (non-partition) output on the same data.
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 4000, Dims: 14, K: 3, FixedDims: 3, OutlierFraction: -1,
+		MinSizeFraction: 0.2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := proclus.Run(ds, proclus.Config{K: 3, L: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ariProclus, err := proclus.AdjustedRandIndex(ds.Labels(), pr.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	km, err := proclus.RunKMedoids(ds, proclus.KMedoidsConfig{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ariKM, err := proclus.AdjustedRandIndex(ds.Labels(), km.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ariProclus <= ariKM {
+		t.Fatalf("PROCLUS (%.3f) did not beat full-dimensional k-medoids (%.3f) on 3-of-14-dim clusters",
+			ariProclus, ariKM)
+	}
+	if ariProclus < 0.8 {
+		t.Fatalf("PROCLUS ARI %.3f too low", ariProclus)
+	}
+
+	cq, err := proclus.RunCLIQUE(ds, proclus.CliqueConfig{Xi: 10, Tau: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := proclus.CliqueMembership(ds, cq)
+	ov, err := proclus.AverageOverlap(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= 1 {
+		t.Fatalf("CLIQUE raw output overlap %.2f, expected > 1 (projections reported)", ov)
+	}
+	// Regions must describe every reported cluster exactly once per unit.
+	for _, cl := range cq.Clusters {
+		regions := proclus.DescribeCliqueCluster(cl)
+		if len(cl.Units) > 0 && len(regions) == 0 {
+			t.Fatal("cluster with units but no description")
+		}
+	}
+}
+
+func TestPipelineOrientedOrclusBeatsProclus(t *testing.T) {
+	ds, _, err := proclus.GenerateOriented(proclus.OrientedConfig{
+		N: 3000, Dims: 10, K: 3, L: 2, OutlierFraction: -1, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := proclus.RunORCLUS(ds, proclus.ORCLUSConfig{K: 3, L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ariO, err := proclus.AdjustedRandIndex(ds.Labels(), oc.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proclus.Run(ds, proclus.Config{K: 3, L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ariP, err := proclus.AdjustedRandIndex(ds.Labels(), pr.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ariO < 0.85 {
+		t.Fatalf("ORCLUS ARI %.3f on oriented clusters", ariO)
+	}
+	if ariO <= ariP {
+		t.Fatalf("ORCLUS (%.3f) did not beat axis-parallel PROCLUS (%.3f) on oriented clusters",
+			ariO, ariP)
+	}
+}
+
+func TestPipelineCSVInterop(t *testing.T) {
+	// Generate → CSV → reload with labels → cluster → same results as
+	// clustering the original (CSV round trip preserves float64 via
+	// strconv 'g' with full precision).
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 1200, Dims: 6, K: 2, FixedDims: 2, MinSizeFraction: 0.2, Seed: 51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "interop.csv")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := proclus.LoadFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := proclus.Run(ds, proclus.Config{K: 2, L: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := proclus.Run(loaded, proclus.Config{K: 2, L: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA.Assignments {
+		if resA.Assignments[i] != resB.Assignments[i] {
+			t.Fatalf("CSV round trip changed clustering at point %d", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package alloc solves the dimension-budget problem of the PROCLUS
+// FindDimensions step, which the paper identifies as a separable convex
+// resource allocation problem (Ibaraki & Katoh, 1988) solvable exactly
+// by a greedy algorithm: given a score for every (cluster, dimension)
+// pair, choose a fixed total number of pairs minimizing the score sum,
+// subject to a minimum number of chosen pairs per cluster.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// candidate is one selectable (row, column) cell.
+type candidate struct {
+	row, col int
+	score    float64
+}
+
+// PickSmallest selects exactly total cells from the scores matrix with
+// the minimum possible score sum, subject to choosing at least minPerRow
+// cells in every row. It returns, for each row, the chosen column
+// indices in ascending column order.
+//
+// This is the paper's greedy: sort ascending, preallocate the minPerRow
+// smallest cells of each row, then take the globally smallest remaining
+// cells until the budget is spent. Ties are broken deterministically by
+// (score, row, column) so that identical inputs always produce identical
+// selections.
+func PickSmallest(scores [][]float64, total, minPerRow int) ([][]int, error) {
+	rows := len(scores)
+	if rows == 0 {
+		return nil, fmt.Errorf("alloc: empty score matrix")
+	}
+	cols := len(scores[0])
+	for i, r := range scores {
+		if len(r) != cols {
+			return nil, fmt.Errorf("alloc: row %d has %d columns, want %d", i, len(r), cols)
+		}
+	}
+	if minPerRow < 0 {
+		return nil, fmt.Errorf("alloc: negative minPerRow %d", minPerRow)
+	}
+	if minPerRow > cols {
+		return nil, fmt.Errorf("alloc: minPerRow %d exceeds %d columns", minPerRow, cols)
+	}
+	if total < rows*minPerRow {
+		return nil, fmt.Errorf("alloc: budget %d below row minimum %d×%d", total, rows, minPerRow)
+	}
+	if total > rows*cols {
+		return nil, fmt.Errorf("alloc: budget %d exceeds matrix size %d×%d", total, rows, cols)
+	}
+
+	chosen := make([][]bool, rows)
+	for i := range chosen {
+		chosen[i] = make([]bool, cols)
+	}
+
+	// Phase 1: per-row preallocation of the minPerRow smallest cells.
+	var rest []candidate
+	for i := range scores {
+		rowCands := make([]candidate, cols)
+		for j, v := range scores[i] {
+			rowCands[j] = candidate{row: i, col: j, score: v}
+		}
+		sort.Slice(rowCands, func(a, b int) bool { return less(rowCands[a], rowCands[b]) })
+		for _, c := range rowCands[:minPerRow] {
+			chosen[c.row][c.col] = true
+		}
+		rest = append(rest, rowCands[minPerRow:]...)
+	}
+
+	// Phase 2: global greedy over the remaining cells.
+	remaining := total - rows*minPerRow
+	sort.Slice(rest, func(a, b int) bool { return less(rest[a], rest[b]) })
+	for _, c := range rest[:remaining] {
+		chosen[c.row][c.col] = true
+	}
+
+	out := make([][]int, rows)
+	for i := range chosen {
+		for j, ok := range chosen[i] {
+			if ok {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out, nil
+}
+
+func less(a, b candidate) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	if a.row != b.row {
+		return a.row < b.row
+	}
+	return a.col < b.col
+}

@@ -1,0 +1,252 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"proclus/internal/randx"
+)
+
+func countSelected(sel [][]int) int {
+	n := 0
+	for _, row := range sel {
+		n += len(row)
+	}
+	return n
+}
+
+func sumSelected(scores [][]float64, sel [][]int) float64 {
+	var s float64
+	for i, row := range sel {
+		for _, j := range row {
+			s += scores[i][j]
+		}
+	}
+	return s
+}
+
+func TestPickSmallestBasic(t *testing.T) {
+	scores := [][]float64{
+		{5, 1, 9, 2}, // row minima: 1(col1), 2(col3)
+		{8, 7, 0, 3}, // row minima: 0(col2), 3(col3)
+	}
+	sel, err := PickSmallest(scores, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countSelected(sel) != 5 {
+		t.Fatalf("selected %d cells, want 5", countSelected(sel))
+	}
+	// Preallocated: (0,1),(0,3),(1,2),(1,3). Fifth smallest remaining: 5 at (0,0).
+	want := [][]int{{0, 1, 3}, {2, 3}}
+	for i := range want {
+		if len(sel[i]) != len(want[i]) {
+			t.Fatalf("row %d selection %v, want %v", i, sel[i], want[i])
+		}
+		for j := range want[i] {
+			if sel[i][j] != want[i][j] {
+				t.Fatalf("row %d selection %v, want %v", i, sel[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPickSmallestExactMinimum(t *testing.T) {
+	scores := [][]float64{{3, 1, 2}, {9, 9, 0}}
+	sel, err := PickSmallest(scores, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range sel {
+		if len(row) != 2 {
+			t.Fatalf("row %d got %d cells, want exactly 2", i, len(row))
+		}
+	}
+}
+
+func TestPickSmallestWholeMatrix(t *testing.T) {
+	scores := [][]float64{{1, 2}, {3, 4}}
+	sel, err := PickSmallest(scores, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countSelected(sel) != 4 {
+		t.Fatalf("want all 4 cells, got %v", sel)
+	}
+}
+
+func TestPickSmallestErrors(t *testing.T) {
+	ok := [][]float64{{1, 2}, {3, 4}}
+	cases := []struct {
+		name   string
+		scores [][]float64
+		total  int
+		min    int
+	}{
+		{"empty matrix", nil, 1, 0},
+		{"ragged", [][]float64{{1}, {2, 3}}, 2, 1},
+		{"negative min", ok, 2, -1},
+		{"min exceeds cols", ok, 6, 3},
+		{"budget below min", ok, 3, 2},
+		{"budget above size", ok, 5, 1},
+	}
+	for _, c := range cases {
+		if _, err := PickSmallest(c.scores, c.total, c.min); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestPickSmallestNegativeScores(t *testing.T) {
+	// PROCLUS feeds Z-scores, which are frequently negative; the most
+	// negative cells must win.
+	scores := [][]float64{
+		{-3, 0.5, -1, 2},
+		{1, -2, 0, 4},
+	}
+	sel, err := PickSmallest(scores, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sumSelected(scores, sel)
+	if want := -3.0 + -1 + -2 + 0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v (selection %v)", got, want, sel)
+	}
+}
+
+// bruteForce enumerates every feasible selection and returns the minimal
+// achievable score sum. Exponential; only for tiny matrices.
+func bruteForce(scores [][]float64, total, minPerRow int) float64 {
+	rows, cols := len(scores), len(scores[0])
+	cells := rows * cols
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<cells; mask++ {
+		if popcount(mask) != total {
+			continue
+		}
+		perRow := make([]int, rows)
+		var sum float64
+		for c := 0; c < cells; c++ {
+			if mask&(1<<c) != 0 {
+				r := c / cols
+				perRow[r]++
+				sum += scores[r][c%cols]
+			}
+		}
+		feasible := true
+		for _, n := range perRow {
+			if n < minPerRow {
+				feasible = false
+				break
+			}
+		}
+		if feasible && sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestPickSmallestMatchesBruteForce(t *testing.T) {
+	r := randx.New(11)
+	for trial := 0; trial < 200; trial++ {
+		rows := 2 + r.Intn(2) // 2..3
+		cols := 2 + r.Intn(3) // 2..4
+		scores := make([][]float64, rows)
+		for i := range scores {
+			scores[i] = make([]float64, cols)
+			for j := range scores[i] {
+				scores[i][j] = r.Uniform(-5, 5)
+			}
+		}
+		minPerRow := 1 + r.Intn(2)
+		if minPerRow > cols {
+			minPerRow = cols
+		}
+		lo, hi := rows*minPerRow, rows*cols
+		total := lo + r.Intn(hi-lo+1)
+		sel, err := PickSmallest(scores, total, minPerRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countSelected(sel) != total {
+			t.Fatalf("trial %d: selected %d, want %d", trial, countSelected(sel), total)
+		}
+		got := sumSelected(scores, sel)
+		want := bruteForce(scores, total, minPerRow)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: greedy sum %v, optimal %v (scores %v, total %d, min %d)",
+				trial, got, want, scores, total, minPerRow)
+		}
+	}
+}
+
+func TestPickSmallestPropertiesQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		rows := 1 + r.Intn(5)
+		cols := 2 + r.Intn(6)
+		scores := make([][]float64, rows)
+		for i := range scores {
+			scores[i] = make([]float64, cols)
+			for j := range scores[i] {
+				scores[i][j] = r.Uniform(-10, 10)
+			}
+		}
+		minPerRow := r.Intn(cols + 1)
+		lo, hi := rows*minPerRow, rows*cols
+		total := lo + r.Intn(hi-lo+1)
+		sel, err := PickSmallest(scores, total, minPerRow)
+		if err != nil {
+			return false
+		}
+		if countSelected(sel) != total {
+			return false
+		}
+		for _, row := range sel {
+			if len(row) < minPerRow {
+				return false
+			}
+			for idx := 1; idx < len(row); idx++ {
+				if row[idx] <= row[idx-1] {
+					return false // must be ascending and distinct
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickSmallestDeterministicOnTies(t *testing.T) {
+	scores := [][]float64{{1, 1, 1}, {1, 1, 1}}
+	a, err := PickSmallest(scores, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PickSmallest(scores, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("tie-breaking not deterministic: %v vs %v", a, b)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("tie-breaking not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,793 @@
+// Package clique is a clean-room reimplementation of the CLIQUE subspace
+// clustering algorithm (Agrawal, Gehrke, Gunopulos, Raghavan, SIGMOD
+// 1998), which the PROCLUS paper uses as its comparison baseline.
+//
+// Each dimension is partitioned into Xi equal-width intervals. A unit in
+// a q-dimensional subspace is the cross product of one interval per
+// subspace dimension; a unit is dense when it holds more than Tau·N
+// points. Dense units are discovered bottom-up: dense 1-dimensional
+// units come from a histogram pass, and dense q-dimensional candidate
+// units are generated apriori-style from the dense (q−1)-dimensional
+// units, pruned by the monotonicity property (every projection of a
+// dense unit is dense), then verified with a counting pass over the
+// data. Within each subspace, clusters are the connected components of
+// dense units sharing a common face.
+//
+// Unlike PROCLUS, CLIQUE reports overlapping regions rather than a
+// partition: every dense projection of a higher-dimensional cluster is
+// itself reported, which is exactly the behaviour §4.2 of the PROCLUS
+// paper quantifies with its "average overlap" metric.
+package clique
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"proclus/internal/dataset"
+)
+
+// Config holds the CLIQUE parameters.
+type Config struct {
+	// Xi is the number of intervals per dimension (the paper's ξ).
+	// Default 10.
+	Xi int
+	// Tau is the density threshold as a fraction of N (the paper's τ):
+	// a unit is dense when it holds more than Tau·N points. Default
+	// 0.005 (0.5%), the value the PROCLUS experiments use most often.
+	Tau float64
+	// MaxDims, when positive, stops the bottom-up search after subspaces
+	// of this dimensionality. Zero means "until no dense units remain".
+	MaxDims int
+	// FixedDims, when positive, restricts reported clusters to subspaces
+	// of exactly this dimensionality — the option the PROCLUS authors
+	// used for Table 5 ("set it to find clusters only in 7 dimensions").
+	// The search still runs bottom-up through lower dimensionalities.
+	FixedDims int
+	// MaxUnitsPerLevel aborts the run when one level's candidate set
+	// exceeds this size, as a memory guard for the exponential lattice.
+	// Default 5,000,000; negative disables the guard.
+	MaxUnitsPerLevel int
+	// ReportMaximal restricts reported clusters to maximal dense
+	// subspaces: subspaces with no dense strict superset. Lower-level
+	// projections of a higher-dimensional cluster are then suppressed.
+	// Ignored when FixedDims is set.
+	ReportMaximal bool
+	// ReportHighest restricts reported clusters to subspaces of the
+	// highest dimensionality the search reached. This is how the
+	// PROCLUS authors read CLIQUE's output when computing coverage and
+	// overlap ("CLIQUE reported output clusters in 8 dimensions"
+	// describes runs by their top level); overlap ≈ 1 at τ = 0.5% and
+	// coverage well below 100% require it. Ignored when FixedDims is
+	// set; takes precedence over ReportMaximal.
+	ReportHighest bool
+	// MDLPruning enables CLIQUE's §3.2 subspace pruning: after each
+	// level, subspaces are sorted by coverage (points in their dense
+	// units) and the low-coverage tail is pruned at the cut minimizing
+	// the two-part MDL code length. Pruned subspaces neither report
+	// clusters nor extend to higher levels. The PROCLUS experiments ran
+	// the original CLIQUE program, which has this pruning; overlap ≈ 1
+	// and coverage well below 100% (paper §4.2) require it.
+	MDLPruning bool
+	// Workers bounds the goroutines used by the counting passes, which
+	// shard by subspace (each subspace's counters belong to exactly one
+	// worker, so results are identical for every worker count). Values
+	// below 1 select GOMAXPROCS.
+	Workers int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Xi == 0 {
+		cfg.Xi = 10
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.005
+	}
+	if cfg.MaxUnitsPerLevel == 0 {
+		cfg.MaxUnitsPerLevel = 5_000_000
+	}
+	return cfg
+}
+
+func (cfg Config) validate(ds *dataset.Dataset) error {
+	switch {
+	case cfg.Xi < 2:
+		return fmt.Errorf("clique: Xi = %d must be at least 2", cfg.Xi)
+	case cfg.Tau <= 0 || cfg.Tau >= 1:
+		return fmt.Errorf("clique: Tau = %v outside (0, 1)", cfg.Tau)
+	case cfg.MaxDims < 0:
+		return fmt.Errorf("clique: negative MaxDims %d", cfg.MaxDims)
+	case cfg.FixedDims < 0:
+		return fmt.Errorf("clique: negative FixedDims %d", cfg.FixedDims)
+	case cfg.FixedDims > ds.Dims():
+		return fmt.Errorf("clique: FixedDims %d exceeds space dimensionality %d", cfg.FixedDims, ds.Dims())
+	case cfg.MaxDims > 0 && cfg.FixedDims > cfg.MaxDims:
+		return fmt.Errorf("clique: FixedDims %d exceeds MaxDims %d", cfg.FixedDims, cfg.MaxDims)
+	}
+	return nil
+}
+
+// Unit is one dense grid cell: interval Intervals[i] on dimension
+// Dims[i] for each i, with Dims ascending.
+type Unit struct {
+	Dims      []int
+	Intervals []int
+	Count     int
+}
+
+// Cluster is a maximal set of connected dense units within one subspace.
+type Cluster struct {
+	// Dims is the subspace, ascending.
+	Dims []int
+	// Units holds the connected dense units forming the cluster.
+	Units []Unit
+	// Size is the number of data points covered by the cluster's units
+	// (each point counted once per cluster).
+	Size int
+}
+
+// Result is the output of a CLIQUE run.
+type Result struct {
+	// Clusters holds every reported cluster, ordered by subspace
+	// dimensionality then lexicographic subspace.
+	Clusters []Cluster
+	// DenseBySubspaceDim[q] is the number of dense units found in
+	// q-dimensional subspaces (index 0 unused).
+	DenseBySubspaceDim []int
+	// Levels is the highest subspace dimensionality reached.
+	Levels int
+	// Xi records the grid resolution the run used, so membership can be
+	// recomputed later against the same grid.
+	Xi int
+}
+
+// grid maps points to interval indices.
+type grid struct {
+	min, width []float64
+	xi         int
+}
+
+func newGrid(ds *dataset.Dataset, xi int) *grid {
+	min, max := ds.Bounds()
+	width := make([]float64, len(min))
+	for j := range width {
+		w := (max[j] - min[j]) / float64(xi)
+		if w <= 0 {
+			w = 1 // constant dimension: everything in interval 0
+		}
+		width[j] = w
+	}
+	return &grid{min: min, width: width, xi: xi}
+}
+
+// interval returns the interval index of value v on dimension j,
+// clamped so the domain maximum falls in the last interval.
+func (g *grid) interval(j int, v float64) int {
+	iv := int((v - g.min[j]) / g.width[j])
+	if iv < 0 {
+		iv = 0
+	}
+	if iv >= g.xi {
+		iv = g.xi - 1
+	}
+	return iv
+}
+
+// Run executes CLIQUE on ds.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(ds); err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("clique: empty dataset")
+	}
+	g := newGrid(ds, cfg.Xi)
+	minCount := int(cfg.Tau * float64(ds.Len()))
+	// "More than Tau·N": strictly greater.
+	r := &searcher{ds: ds, cfg: cfg, grid: g, minCount: minCount}
+	return r.run()
+}
+
+type searcher struct {
+	ds       *dataset.Dataset
+	cfg      Config
+	grid     *grid
+	minCount int
+}
+
+// unitKey encodes a unit's intervals within a known subspace as a
+// compact string usable as a map key. Interval indices fit in a byte
+// because Xi is far below 256 in every realistic configuration; the
+// validate step would need extending before supporting Xi > 255.
+func unitKey(intervals []int) string {
+	b := make([]byte, len(intervals))
+	for i, iv := range intervals {
+		b[i] = byte(iv)
+	}
+	return string(b)
+}
+
+// subspaceKey encodes a dimension set as a map key.
+func subspaceKey(dims []int) string {
+	b := make([]byte, 2*len(dims))
+	for i, d := range dims {
+		b[2*i] = byte(d >> 8)
+		b[2*i+1] = byte(d)
+	}
+	return string(b)
+}
+
+// level holds all dense units of one lattice level, grouped by subspace.
+type level struct {
+	q         int
+	subspaces map[string]*subspaceUnits
+}
+
+type subspaceUnits struct {
+	dims  []int
+	units map[string]int // unitKey -> count
+}
+
+func (s *searcher) run() (*Result, error) {
+	if s.cfg.Xi > 255 {
+		return nil, fmt.Errorf("clique: Xi = %d exceeds the supported maximum 255", s.cfg.Xi)
+	}
+	res := &Result{DenseBySubspaceDim: []int{0}, Xi: s.cfg.Xi}
+	cur := s.denseOneDim()
+	res.DenseBySubspaceDim = append(res.DenseBySubspaceDim, countUnits(cur))
+	var levels []*level
+	levels = append(levels, cur)
+	for q := 2; ; q++ {
+		if s.cfg.MaxDims > 0 && q > s.cfg.MaxDims {
+			break
+		}
+		cands, err := s.candidates(cur, q)
+		if err != nil {
+			return nil, err
+		}
+		if countUnits(cands) == 0 {
+			break
+		}
+		s.countPass(cands)
+		next := pruneSparse(cands, s.minCount)
+		if s.cfg.MDLPruning {
+			next = mdlPrune(next)
+		}
+		n := countUnits(next)
+		res.DenseBySubspaceDim = append(res.DenseBySubspaceDim, n)
+		if n == 0 {
+			break
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	res.Levels = len(levels)
+
+	// Report clusters. With FixedDims set, only that level is reported.
+	// With ReportMaximal, only maximal dense subspaces are. Otherwise
+	// every level is, mirroring CLIQUE's raw output (this is what makes
+	// its overlap large).
+	dense := map[string]bool{}
+	if s.cfg.ReportMaximal && s.cfg.FixedDims == 0 {
+		for _, lv := range levels {
+			for skey := range lv.subspaces {
+				dense[skey] = true
+			}
+		}
+	}
+	for _, lv := range levels {
+		if s.cfg.FixedDims > 0 {
+			if lv.q != s.cfg.FixedDims {
+				continue
+			}
+		} else if s.cfg.ReportHighest {
+			if lv.q != res.Levels {
+				continue
+			}
+		} else if s.cfg.ReportMaximal {
+			// Keep only subspaces with no dense one-dimension superset;
+			// by monotonicity of density, that means no dense superset
+			// at all.
+			filtered := &level{q: lv.q, subspaces: map[string]*subspaceUnits{}}
+			for skey, su := range lv.subspaces {
+				if isMaximal(su.dims, s.ds.Dims(), dense) {
+					filtered.subspaces[skey] = su
+				}
+			}
+			lv = filtered
+		}
+		res.Clusters = append(res.Clusters, s.connect(lv)...)
+	}
+	s.countClusterSizes(res.Clusters)
+	sortClusters(res.Clusters)
+	return res, nil
+}
+
+// denseOneDim performs the histogram pass for 1-dimensional units.
+func (s *searcher) denseOneDim() *level {
+	d := s.ds.Dims()
+	counts := make([][]int, d)
+	for j := range counts {
+		counts[j] = make([]int, s.cfg.Xi)
+	}
+	s.ds.Each(func(_ int, p []float64) {
+		for j, v := range p {
+			counts[j][s.grid.interval(j, v)]++
+		}
+	})
+	lv := &level{q: 1, subspaces: map[string]*subspaceUnits{}}
+	for j := 0; j < d; j++ {
+		su := &subspaceUnits{dims: []int{j}, units: map[string]int{}}
+		for iv, c := range counts[j] {
+			if c > s.minCount {
+				su.units[unitKey([]int{iv})] = c
+			}
+		}
+		if len(su.units) > 0 {
+			lv.subspaces[subspaceKey(su.dims)] = su
+		}
+	}
+	return lv
+}
+
+// candidates generates the level-q candidate units from the dense
+// (q−1)-units by the apriori join: two units whose first q−2
+// (dimension, interval) pairs coincide and whose last dimensions differ
+// join into a q-unit, which is kept only if all its (q−1)-projections
+// are dense.
+func (s *searcher) candidates(prev *level, q int) (*level, error) {
+	next := &level{q: q, subspaces: map[string]*subspaceUnits{}}
+	total := 0
+
+	// Index previous-level units by their "prefix": all but the last
+	// (dim, interval) pair.
+	type suffix struct {
+		dim, interval int
+	}
+	prefixIndex := map[string][]suffix{}
+	for _, su := range prev.subspaces {
+		for key := range su.units {
+			intervals := decodeKey(key)
+			pref := prefixKey(su.dims[:q-2], intervals[:q-2])
+			prefixIndex[pref] = append(prefixIndex[pref], suffix{
+				dim:      su.dims[q-2],
+				interval: intervals[q-2],
+			})
+		}
+	}
+	for pref, sufs := range prefixIndex {
+		sort.Slice(sufs, func(a, b int) bool {
+			if sufs[a].dim != sufs[b].dim {
+				return sufs[a].dim < sufs[b].dim
+			}
+			return sufs[a].interval < sufs[b].interval
+		})
+		prefDims, prefIntervals := decodePrefix(pref, q-2)
+		for a := 0; a < len(sufs); a++ {
+			for b := a + 1; b < len(sufs); b++ {
+				if sufs[a].dim == sufs[b].dim {
+					continue // same dimension, different interval: no join
+				}
+				dims := append(append([]int(nil), prefDims...), sufs[a].dim, sufs[b].dim)
+				intervals := append(append([]int(nil), prefIntervals...), sufs[a].interval, sufs[b].interval)
+				if !s.allProjectionsDense(prev, dims, intervals) {
+					continue
+				}
+				skey := subspaceKey(dims)
+				su := next.subspaces[skey]
+				if su == nil {
+					su = &subspaceUnits{dims: dims, units: map[string]int{}}
+					next.subspaces[skey] = su
+				}
+				ukey := unitKey(intervals)
+				if _, dup := su.units[ukey]; !dup {
+					su.units[ukey] = 0
+					total++
+					if s.cfg.MaxUnitsPerLevel > 0 && total > s.cfg.MaxUnitsPerLevel {
+						return nil, fmt.Errorf("clique: level %d candidate set exceeds %d units; raise Tau or set MaxDims", q, s.cfg.MaxUnitsPerLevel)
+					}
+				}
+			}
+		}
+	}
+	return next, nil
+}
+
+// allProjectionsDense applies the apriori pruning rule: every
+// (q−1)-dimensional projection of the candidate must be a dense unit of
+// the previous level. Projections dropping one of the last two
+// dimensions correspond to the joined parents and are re-checked for
+// uniformity; the remaining q−2 checks do the real pruning.
+func (s *searcher) allProjectionsDense(prev *level, dims, intervals []int) bool {
+	q := len(dims)
+	projDims := make([]int, 0, q-1)
+	projIntervals := make([]int, 0, q-1)
+	for skip := 0; skip < q; skip++ {
+		projDims = projDims[:0]
+		projIntervals = projIntervals[:0]
+		for i := 0; i < q; i++ {
+			if i == skip {
+				continue
+			}
+			projDims = append(projDims, dims[i])
+			projIntervals = append(projIntervals, intervals[i])
+		}
+		// dims is sorted except possibly the last two entries relative
+		// to the prefix; sort the projection pairwise.
+		sortPairs(projDims, projIntervals)
+		su := prev.subspaces[subspaceKey(projDims)]
+		if su == nil {
+			return false
+		}
+		if _, ok := su.units[unitKey(projIntervals)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// countPass fills in candidate unit counts. Work shards by subspace:
+// each worker scans the dataset once and updates only its own
+// subspaces' counters, so no locking is needed and results are
+// identical for every worker count.
+func (s *searcher) countPass(cands *level) {
+	// Stable iteration order is unnecessary for counting; determinism of
+	// the final result comes from sorting when reporting.
+	subspaces := make([]*subspaceUnits, 0, len(cands.subspaces))
+	for _, su := range cands.subspaces {
+		subspaces = append(subspaces, su)
+	}
+	forEachSubspaceShard(subspaces, s.cfg.Workers, func(shard []*subspaceUnits) {
+		buf := make([]int, 16)
+		s.ds.Each(func(_ int, p []float64) {
+			for _, su := range shard {
+				if cap(buf) < len(su.dims) {
+					buf = make([]int, len(su.dims))
+				}
+				ivs := buf[:len(su.dims)]
+				for i, d := range su.dims {
+					ivs[i] = s.grid.interval(d, p[d])
+				}
+				key := unitKey(ivs)
+				if c, ok := su.units[key]; ok {
+					su.units[key] = c + 1
+				}
+			}
+		})
+	})
+}
+
+// forEachSubspaceShard splits subspaces into contiguous shards and runs
+// fn on each from its own goroutine. workers < 1 selects GOMAXPROCS.
+func forEachSubspaceShard(subspaces []*subspaceUnits, workers int, fn func(shard []*subspaceUnits)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(subspaces) {
+		workers = len(subspaces)
+	}
+	if workers <= 1 {
+		fn(subspaces)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(subspaces) + workers - 1) / workers
+	for lo := 0; lo < len(subspaces); lo += chunk {
+		hi := lo + chunk
+		if hi > len(subspaces) {
+			hi = len(subspaces)
+		}
+		wg.Add(1)
+		go func(shard []*subspaceUnits) {
+			defer wg.Done()
+			fn(shard)
+		}(subspaces[lo:hi])
+	}
+	wg.Wait()
+}
+
+func pruneSparse(cands *level, minCount int) *level {
+	out := &level{q: cands.q, subspaces: map[string]*subspaceUnits{}}
+	for skey, su := range cands.subspaces {
+		kept := &subspaceUnits{dims: su.dims, units: map[string]int{}}
+		for key, c := range su.units {
+			if c > minCount {
+				kept.units[key] = c
+			}
+		}
+		if len(kept.units) > 0 {
+			out.subspaces[skey] = kept
+		}
+	}
+	return out
+}
+
+// connect groups each subspace's dense units into connected components:
+// two units are adjacent when they share a common face (interval indices
+// equal on all dimensions but one, where they differ by exactly 1).
+func (s *searcher) connect(lv *level) []Cluster {
+	var clusters []Cluster
+	for _, su := range lv.subspaces {
+		visited := map[string]bool{}
+		keys := make([]string, 0, len(su.units))
+		for k := range su.units {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, start := range keys {
+			if visited[start] {
+				continue
+			}
+			// BFS over face-adjacent units.
+			component := []string{}
+			queue := []string{start}
+			visited[start] = true
+			for len(queue) > 0 {
+				k := queue[0]
+				queue = queue[1:]
+				component = append(component, k)
+				ivs := decodeKey(k)
+				for pos := range ivs {
+					for _, delta := range []int{-1, 1} {
+						niv := ivs[pos] + delta
+						if niv < 0 || niv >= s.cfg.Xi {
+							continue
+						}
+						ivs[pos] = niv
+						nk := unitKey(ivs)
+						ivs[pos] -= delta
+						if _, dense := su.units[nk]; dense && !visited[nk] {
+							visited[nk] = true
+							queue = append(queue, nk)
+						}
+					}
+				}
+			}
+			sort.Strings(component)
+			cl := Cluster{Dims: append([]int(nil), su.dims...)}
+			for _, k := range component {
+				cl.Units = append(cl.Units, Unit{
+					Dims:      cl.Dims,
+					Intervals: decodeKey(k),
+					Count:     su.units[k],
+				})
+			}
+			clusters = append(clusters, cl)
+		}
+	}
+	return clusters
+}
+
+// countClusterSizes computes, in one pass, the number of points covered
+// by each cluster (a point counts once per cluster even if several of
+// the cluster's units are projections of it, which cannot happen within
+// a single subspace anyway: a point lies in exactly one unit per
+// subspace).
+func (s *searcher) countClusterSizes(clusters []Cluster) {
+	type clusterRef struct {
+		dims  []int
+		units map[string]int // unitKey -> cluster index
+	}
+	// Group clusters by subspace for a single interval computation per
+	// (point, subspace).
+	bySub := map[string]*clusterRef{}
+	for ci := range clusters {
+		skey := subspaceKey(clusters[ci].Dims)
+		ref := bySub[skey]
+		if ref == nil {
+			ref = &clusterRef{dims: clusters[ci].Dims, units: map[string]int{}}
+			bySub[skey] = ref
+		}
+		for _, u := range clusters[ci].Units {
+			ref.units[unitKey(u.Intervals)] = ci
+		}
+	}
+	refs := make([]*clusterRef, 0, len(bySub))
+	for _, ref := range bySub {
+		refs = append(refs, ref)
+	}
+	buf := make([]int, 16)
+	s.ds.Each(func(_ int, p []float64) {
+		for _, ref := range refs {
+			if cap(buf) < len(ref.dims) {
+				buf = make([]int, len(ref.dims))
+			}
+			ivs := buf[:len(ref.dims)]
+			for i, d := range ref.dims {
+				ivs[i] = s.grid.interval(d, p[d])
+			}
+			if ci, ok := ref.units[unitKey(ivs)]; ok {
+				clusters[ci].Size++
+			}
+		}
+	})
+}
+
+// Membership returns, for each cluster in res, the indices of the points
+// it covers. It is a separate pass because full membership lists are
+// only needed by the evaluation harness.
+func Membership(ds *dataset.Dataset, res *Result) [][]int {
+	xi := res.Xi
+	if xi == 0 {
+		xi = 10
+	}
+	g := newGrid(ds, xi)
+	type ref struct {
+		dims  []int
+		units map[string]int
+	}
+	bySub := map[string]*ref{}
+	for ci := range res.Clusters {
+		skey := subspaceKey(res.Clusters[ci].Dims)
+		rf := bySub[skey]
+		if rf == nil {
+			rf = &ref{dims: res.Clusters[ci].Dims, units: map[string]int{}}
+			bySub[skey] = rf
+		}
+		for _, u := range res.Clusters[ci].Units {
+			rf.units[unitKey(u.Intervals)] = ci
+		}
+	}
+	refs := make([]*ref, 0, len(bySub))
+	for _, rf := range bySub {
+		refs = append(refs, rf)
+	}
+	members := make([][]int, len(res.Clusters))
+	buf := make([]int, 16)
+	ds.Each(func(pi int, p []float64) {
+		for _, rf := range refs {
+			if cap(buf) < len(rf.dims) {
+				buf = make([]int, len(rf.dims))
+			}
+			ivs := buf[:len(rf.dims)]
+			for i, d := range rf.dims {
+				ivs[i] = g.interval(d, p[d])
+			}
+			if ci, ok := rf.units[unitKey(ivs)]; ok {
+				members[ci] = append(members[ci], pi)
+			}
+		}
+	})
+	return members
+}
+
+// PartitionView flattens a CLIQUE result into a disjoint assignment,
+// the reading the PROCLUS paper applies when comparing the two
+// algorithms' outputs: every covered point goes to exactly one of the
+// clusters containing it — preferring higher subspace dimensionality,
+// then the cluster holding more points, then the lower cluster index —
+// and uncovered points get -1. The choice is deterministic.
+func PartitionView(ds *dataset.Dataset, res *Result) []int {
+	members := Membership(ds, res)
+	assign := make([]int, ds.Len())
+	for i := range assign {
+		assign[i] = -1
+	}
+	better := func(a, b int) bool { // is cluster a preferable to b?
+		ca, cb := res.Clusters[a], res.Clusters[b]
+		if len(ca.Dims) != len(cb.Dims) {
+			return len(ca.Dims) > len(cb.Dims)
+		}
+		if ca.Size != cb.Size {
+			return ca.Size > cb.Size
+		}
+		return a < b
+	}
+	for ci, m := range members {
+		for _, p := range m {
+			if assign[p] == -1 || better(ci, assign[p]) {
+				assign[p] = ci
+			}
+		}
+	}
+	return assign
+}
+
+// isMaximal reports whether dims (a dense subspace) has no dense
+// superset with exactly one more dimension. Density is downward closed
+// over subspaces, so this is equivalent to having no dense strict
+// superset at all.
+func isMaximal(dims []int, totalDims int, dense map[string]bool) bool {
+	in := make(map[int]bool, len(dims))
+	for _, d := range dims {
+		in[d] = true
+	}
+	super := make([]int, 0, len(dims)+1)
+	for x := 0; x < totalDims; x++ {
+		if in[x] {
+			continue
+		}
+		super = super[:0]
+		inserted := false
+		for _, d := range dims {
+			if !inserted && x < d {
+				super = append(super, x)
+				inserted = true
+			}
+			super = append(super, d)
+		}
+		if !inserted {
+			super = append(super, x)
+		}
+		if dense[subspaceKey(super)] {
+			return false
+		}
+	}
+	return true
+}
+
+func countUnits(lv *level) int {
+	n := 0
+	for _, su := range lv.subspaces {
+		n += len(su.units)
+	}
+	return n
+}
+
+func decodeKey(key string) []int {
+	out := make([]int, len(key))
+	for i := 0; i < len(key); i++ {
+		out[i] = int(key[i])
+	}
+	return out
+}
+
+// prefixKey encodes a (dims, intervals) prefix pair as a map key.
+func prefixKey(dims, intervals []int) string {
+	b := make([]byte, 3*len(dims))
+	for i := range dims {
+		b[3*i] = byte(dims[i] >> 8)
+		b[3*i+1] = byte(dims[i])
+		b[3*i+2] = byte(intervals[i])
+	}
+	return string(b)
+}
+
+func decodePrefix(key string, n int) (dims, intervals []int) {
+	dims = make([]int, n)
+	intervals = make([]int, n)
+	for i := 0; i < n; i++ {
+		dims[i] = int(key[3*i])<<8 | int(key[3*i+1])
+		intervals[i] = int(key[3*i+2])
+	}
+	return dims, intervals
+}
+
+// sortPairs sorts dims ascending, permuting intervals alongside.
+func sortPairs(dims, intervals []int) {
+	for i := 1; i < len(dims); i++ {
+		for j := i; j > 0 && dims[j] < dims[j-1]; j-- {
+			dims[j], dims[j-1] = dims[j-1], dims[j]
+			intervals[j], intervals[j-1] = intervals[j-1], intervals[j]
+		}
+	}
+}
+
+func sortClusters(clusters []Cluster) {
+	sort.Slice(clusters, func(a, b int) bool {
+		ca, cb := clusters[a], clusters[b]
+		if len(ca.Dims) != len(cb.Dims) {
+			return len(ca.Dims) < len(cb.Dims)
+		}
+		for i := range ca.Dims {
+			if ca.Dims[i] != cb.Dims[i] {
+				return ca.Dims[i] < cb.Dims[i]
+			}
+		}
+		// Same subspace: order by first unit's intervals.
+		if len(ca.Units) > 0 && len(cb.Units) > 0 {
+			ia, ib := ca.Units[0].Intervals, cb.Units[0].Intervals
+			for i := range ia {
+				if ia[i] != ib[i] {
+					return ia[i] < ib[i]
+				}
+			}
+		}
+		return len(ca.Units) < len(cb.Units)
+	})
+}

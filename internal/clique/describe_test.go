@@ -1,0 +1,179 @@
+package clique
+
+import (
+	"strings"
+	"testing"
+
+	"proclus/internal/randx"
+)
+
+// clusterFromUnits builds a Cluster from interval tuples in a subspace.
+func clusterFromUnits(dims []int, units ...[]int) Cluster {
+	cl := Cluster{Dims: dims}
+	for _, ivs := range units {
+		cl.Units = append(cl.Units, Unit{Dims: dims, Intervals: ivs})
+	}
+	return cl
+}
+
+// coverSet expands regions back into unit keys.
+func coverSet(regions []Region) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range regions {
+		forEachUnit(r, func(k string) { out[k] = true })
+	}
+	return out
+}
+
+func clusterKeys(cl Cluster) map[string]bool {
+	out := map[string]bool{}
+	for _, u := range cl.Units {
+		out[unitKey(u.Intervals)] = true
+	}
+	return out
+}
+
+func assertExactCover(t *testing.T, cl Cluster, regions []Region) {
+	t.Helper()
+	got := coverSet(regions)
+	want := clusterKeys(cl)
+	if len(got) != len(want) {
+		t.Fatalf("cover has %d units, cluster has %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("unit %v uncovered", decodeKey(k))
+		}
+	}
+}
+
+func TestDescribeSingleRectangle(t *testing.T) {
+	// A full 2×3 block must be described by exactly one region.
+	cl := clusterFromUnits([]int{0, 1},
+		[]int{1, 1}, []int{1, 2}, []int{1, 3},
+		[]int{2, 1}, []int{2, 2}, []int{2, 3},
+	)
+	regions := Describe(cl)
+	if len(regions) != 1 {
+		t.Fatalf("got %d regions, want 1: %v", len(regions), regions)
+	}
+	r := regions[0]
+	if r.Lo[0] != 1 || r.Hi[0] != 2 || r.Lo[1] != 1 || r.Hi[1] != 3 {
+		t.Fatalf("region %v", r)
+	}
+	if r.Units() != 6 {
+		t.Fatalf("Units() = %d", r.Units())
+	}
+	assertExactCover(t, cl, regions)
+}
+
+func TestDescribeLShape(t *testing.T) {
+	// An L of 5 units needs two overlapping rectangles.
+	cl := clusterFromUnits([]int{0, 1},
+		[]int{0, 0}, []int{1, 0}, []int{2, 0}, // horizontal arm
+		[]int{0, 1}, []int{0, 2}, // vertical arm
+	)
+	regions := Describe(cl)
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2: %v", len(regions), regions)
+	}
+	assertExactCover(t, cl, regions)
+}
+
+func TestDescribeSingleUnit(t *testing.T) {
+	cl := clusterFromUnits([]int{3}, []int{7})
+	regions := Describe(cl)
+	if len(regions) != 1 || regions[0].Lo[0] != 7 || regions[0].Hi[0] != 7 {
+		t.Fatalf("regions %v", regions)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	if regions := Describe(Cluster{Dims: []int{0}}); regions != nil {
+		t.Fatalf("empty cluster described as %v", regions)
+	}
+}
+
+func TestDescribeExactCoverRandomShapes(t *testing.T) {
+	// Property: for random unit sets, the description covers exactly the
+	// cluster's units — nothing missing, nothing extra.
+	r := randx.New(5)
+	for trial := 0; trial < 100; trial++ {
+		q := 1 + r.Intn(3)
+		dims := make([]int, q)
+		for i := range dims {
+			dims[i] = i
+		}
+		seen := map[string]bool{}
+		cl := Cluster{Dims: dims}
+		n := 1 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			ivs := make([]int, q)
+			for j := range ivs {
+				ivs[j] = r.Intn(5)
+			}
+			k := unitKey(ivs)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			cl.Units = append(cl.Units, Unit{Dims: dims, Intervals: ivs})
+		}
+		assertExactCover(t, cl, Describe(cl))
+	}
+}
+
+func TestDescribeMinimality(t *testing.T) {
+	// No region in the cover may be fully covered by the others.
+	r := randx.New(9)
+	for trial := 0; trial < 50; trial++ {
+		cl := Cluster{Dims: []int{0, 1}}
+		seen := map[string]bool{}
+		for i := 0; i < 12; i++ {
+			ivs := []int{r.Intn(4), r.Intn(4)}
+			k := unitKey(ivs)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			cl.Units = append(cl.Units, Unit{Dims: cl.Dims, Intervals: ivs})
+		}
+		regions := Describe(cl)
+		for i := range regions {
+			others := coverSet(append(append([]Region(nil), regions[:i]...), regions[i+1:]...))
+			redundant := true
+			forEachUnit(regions[i], func(k string) {
+				if !others[k] {
+					redundant = false
+				}
+			})
+			if redundant {
+				t.Fatalf("trial %d: region %v is redundant in %v", trial, regions[i], regions)
+			}
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Dims: []int{2, 9}, Lo: []int{3, 7}, Hi: []int{4, 7}}
+	s := r.String()
+	if !strings.Contains(s, "3≤d2<5") || !strings.Contains(s, "7≤d9<8") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestDescribeEndToEnd(t *testing.T) {
+	// Describe the clusters of a real CLIQUE run: every description must
+	// exactly cover its cluster's units.
+	ds := threeDimClusterData(21)
+	res, err := Run(ds, Config{Xi: 10, Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	for _, cl := range res.Clusters {
+		assertExactCover(t, cl, Describe(cl))
+	}
+}

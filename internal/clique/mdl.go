@@ -1,0 +1,90 @@
+package clique
+
+import (
+	"math"
+	"sort"
+)
+
+// mdlPrune implements the subspace pruning of §3.2 of the CLIQUE paper:
+// subspaces of one lattice level are sorted by coverage (the number of
+// points lying in their dense units), and the sorted list is cut into a
+// selected prefix and a pruned suffix at the position minimizing the
+// two-part minimum-description-length code:
+//
+//	CL(i) = log2(μ_S) + Σ_{j∈S} log2(|x_j − μ_S|)
+//	      + log2(μ_P) + Σ_{j∈P} log2(|x_j − μ_P|)
+//
+// with the convention log2(v) = 0 for v < 2. Keeping every subspace is
+// also a candidate (single-group code); exact ties favour keeping, so
+// uninformative levels (all coverages equal) pass through unpruned.
+func mdlPrune(lv *level) *level {
+	type entry struct {
+		key      string
+		su       *subspaceUnits
+		coverage int
+	}
+	entries := make([]entry, 0, len(lv.subspaces))
+	for key, su := range lv.subspaces {
+		cov := 0
+		for _, c := range su.units {
+			cov += c
+		}
+		entries = append(entries, entry{key: key, su: su, coverage: cov})
+	}
+	if len(entries) <= 2 {
+		return lv
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].coverage != entries[b].coverage {
+			return entries[a].coverage > entries[b].coverage
+		}
+		return entries[a].key < entries[b].key // deterministic ties
+	})
+	xs := make([]float64, len(entries))
+	for i, e := range entries {
+		xs[i] = float64(e.coverage)
+	}
+
+	// Prefix sums for O(1) group means.
+	prefix := make([]float64, len(xs)+1)
+	for i, x := range xs {
+		prefix[i+1] = prefix[i] + x
+	}
+	groupCost := func(lo, hi int) float64 { // [lo, hi)
+		n := hi - lo
+		if n == 0 {
+			return 0
+		}
+		mean := (prefix[hi] - prefix[lo]) / float64(n)
+		cost := log2Pos(mean)
+		for i := lo; i < hi; i++ {
+			cost += log2Pos(math.Abs(xs[i] - mean))
+		}
+		return cost
+	}
+
+	keepAll := groupCost(0, len(xs))
+	bestCut, bestCost := len(xs), keepAll
+	for cut := 1; cut < len(xs); cut++ {
+		if cost := groupCost(0, cut) + groupCost(cut, len(xs)); cost < bestCost {
+			bestCut, bestCost = cut, cost
+		}
+	}
+	if bestCut == len(xs) {
+		return lv
+	}
+	out := &level{q: lv.q, subspaces: make(map[string]*subspaceUnits, bestCut)}
+	for _, e := range entries[:bestCut] {
+		out.subspaces[e.key] = e.su
+	}
+	return out
+}
+
+// log2Pos returns log2(v) for v >= 2 and 0 otherwise, approximating the
+// integer code lengths of the CLIQUE paper.
+func log2Pos(v float64) float64 {
+	if v < 2 {
+		return 0
+	}
+	return math.Log2(v)
+}

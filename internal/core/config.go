@@ -1,0 +1,227 @@
+// Package core implements PROCLUS, the projected clustering algorithm of
+// Aggarwal, Procopiuc, Wolf, Yu and Park ("Fast Algorithms for Projected
+// Clustering", SIGMOD 1999).
+//
+// PROCLUS partitions N points in d dimensions into k clusters plus an
+// outlier set, and associates with every cluster its own subset of
+// dimensions in which the cluster's points correlate. It proceeds in
+// three phases (paper §2):
+//
+//  1. Initialization — draw a random sample of size A·k, then thin it to
+//     B·k candidate medoids by greedy farthest-first traversal, so the
+//     candidates likely pierce every natural cluster.
+//  2. Iterative phase — hill-climb over k-subsets of the candidates. For
+//     each trial set of medoids, determine each medoid's locality (the
+//     points within its distance to the nearest other medoid), derive
+//     per-medoid dimension sets from the locality statistics, assign all
+//     points by Manhattan segmental distance, score the clustering, and
+//     replace the "bad" medoids of the best set seen so far.
+//  3. Refinement — recompute dimension sets once from the best
+//     clustering's actual clusters, reassign, and mark outliers that
+//     fall outside every medoid's sphere of influence.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"proclus/internal/dataset"
+)
+
+// Config holds the PROCLUS parameters. K and L are the two inputs the
+// paper exposes to users; the rest default to sensible values matching
+// the paper's description when left zero.
+type Config struct {
+	// K is the number of clusters to find. Required.
+	K int
+	// L is the average number of dimensions per cluster. The total
+	// dimension budget is K·L, with at least 2 dimensions per cluster,
+	// so L must be at least 2. Required.
+	L int
+
+	// SampleFactor is the paper's constant A: the initialization phase
+	// draws a uniform sample of A·K points. Default 30.
+	SampleFactor int
+	// MedoidFactor is the paper's constant B: greedy farthest-first
+	// reduces the sample to B·K candidate medoids. Default 10. (The
+	// paper leaves B unspecified; small pools frequently miss a natural
+	// cluster entirely, since full-dimensional distances barely
+	// distinguish projected clusters from noise, making candidate
+	// selection near-proportional to cluster size.)
+	MedoidFactor int
+	// Restarts is the number of independent hill climbs; the best local
+	// minimum wins. The PROCLUS hill climb is modeled on CLARANS, whose
+	// numlocal parameter plays exactly this role; restarts rescue runs
+	// whose single climb lands on a split of one large cluster, a local
+	// minimum the bad-medoid replacement cannot leave. Default 5.
+	Restarts int
+	// MinDeviation is the fraction of the average cluster size N/K
+	// below which a cluster's medoid is declared bad. Default 0.1.
+	MinDeviation float64
+	// MaxNoImprove terminates the hill climb after this many successive
+	// trials without improving the objective. Default 20.
+	MaxNoImprove int
+	// MaxIterations caps the total number of hill-climbing trials as a
+	// safety net. Default 500.
+	MaxIterations int
+	// Seed drives all randomness; runs with equal seeds and inputs
+	// produce identical results.
+	Seed uint64
+	// Workers bounds the number of goroutines used for the assignment
+	// passes. Values below 1 select GOMAXPROCS. The result is identical
+	// for any worker count.
+	Workers int
+
+	// InitMethod selects how candidate medoids are chosen; see the
+	// InitMethod constants. The default, greedy farthest-first over a
+	// random sample, is the paper's method (Figure 3). Random selection
+	// exists as an ablation baseline.
+	InitMethod InitMethod
+	// AssignMetric selects the distance used to assign points to
+	// medoids; see the AssignMetric constants. The default, Manhattan
+	// segmental distance, is the paper's choice (§1.2): it normalizes by
+	// the number of dimensions so clusters with differently sized
+	// dimension sets compete fairly. Unnormalized Manhattan exists as an
+	// ablation baseline.
+	AssignMetric AssignMetric
+	// SkipRefinement, when set, returns the iterative-phase clustering
+	// directly: dimension sets computed from localities rather than
+	// clusters, and no outlier detection. It exists as an ablation
+	// baseline for the paper's §2.3 refinement phase.
+	SkipRefinement bool
+}
+
+// InitMethod selects the initialization strategy.
+type InitMethod int
+
+const (
+	// InitGreedy draws an A·K random sample and thins it to B·K
+	// candidates by farthest-first traversal (the paper's method).
+	InitGreedy InitMethod = iota
+	// InitRandom draws B·K candidates uniformly at random. Ablation
+	// baseline: candidate sets frequently miss small clusters.
+	InitRandom
+)
+
+// AssignMetric selects the point-to-medoid distance.
+type AssignMetric int
+
+const (
+	// MetricSegmental is the Manhattan segmental distance relative to
+	// each medoid's dimension set (the paper's choice).
+	MetricSegmental AssignMetric = iota
+	// MetricManhattan is the unnormalized Manhattan distance over each
+	// medoid's dimension set. Ablation baseline: biased toward medoids
+	// with fewer dimensions.
+	MetricManhattan
+)
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SampleFactor == 0 {
+		cfg.SampleFactor = 30
+	}
+	if cfg.MedoidFactor == 0 {
+		cfg.MedoidFactor = 10
+	}
+	if cfg.Restarts == 0 {
+		cfg.Restarts = 5
+	}
+	if cfg.MinDeviation == 0 {
+		cfg.MinDeviation = 0.1
+	}
+	if cfg.MaxNoImprove == 0 {
+		cfg.MaxNoImprove = 20
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 500
+	}
+	return cfg
+}
+
+func (cfg Config) validate(ds *dataset.Dataset) error {
+	switch {
+	case cfg.K <= 0:
+		return fmt.Errorf("proclus: K = %d must be positive", cfg.K)
+	case cfg.L < 2:
+		return fmt.Errorf("proclus: L = %d must be at least 2 (every cluster needs ≥2 dimensions)", cfg.L)
+	case cfg.L > ds.Dims():
+		return fmt.Errorf("proclus: L = %d exceeds the %d-dimensional space", cfg.L, ds.Dims())
+	case cfg.SampleFactor < 1:
+		return fmt.Errorf("proclus: SampleFactor = %d must be positive", cfg.SampleFactor)
+	case cfg.MedoidFactor < 1:
+		return fmt.Errorf("proclus: MedoidFactor = %d must be positive", cfg.MedoidFactor)
+	case cfg.MedoidFactor > cfg.SampleFactor:
+		return fmt.Errorf("proclus: MedoidFactor %d exceeds SampleFactor %d", cfg.MedoidFactor, cfg.SampleFactor)
+	case cfg.Restarts < 0:
+		return fmt.Errorf("proclus: negative Restarts %d", cfg.Restarts)
+	case cfg.MinDeviation < 0 || cfg.MinDeviation >= 1:
+		return fmt.Errorf("proclus: MinDeviation = %v outside [0, 1)", cfg.MinDeviation)
+	case ds.Len() < cfg.K:
+		return fmt.Errorf("proclus: %d points cannot form %d clusters", ds.Len(), cfg.K)
+	case cfg.K*cfg.L > cfg.K*ds.Dims():
+		return fmt.Errorf("proclus: dimension budget %d exceeds available %d", cfg.K*cfg.L, cfg.K*ds.Dims())
+	}
+	return nil
+}
+
+// Cluster describes one projected cluster in a Result.
+type Cluster struct {
+	// Medoid is the dataset index of the cluster's medoid.
+	Medoid int
+	// Dimensions is the ascending set of dimensions associated with the
+	// cluster.
+	Dimensions []int
+	// Members holds the dataset indices assigned to the cluster,
+	// ascending. Outliers appear in no cluster.
+	Members []int
+	// Centroid is the coordinate-wise mean of the members (equal to the
+	// medoid's coordinates when the cluster is empty).
+	Centroid []float64
+}
+
+// Result is the output of a PROCLUS run: a (k+1)-way partition of the
+// points (k clusters plus outliers) and each cluster's dimension set.
+type Result struct {
+	// Clusters holds the k projected clusters.
+	Clusters []Cluster
+	// Assignments maps every dataset index to its cluster index, or
+	// OutlierID for outliers.
+	Assignments []int
+	// Objective is the final value of the paper's quality measure: the
+	// average Manhattan segmental distance of points to their cluster
+	// centroids, weighted by cluster size.
+	Objective float64
+	// Iterations is the number of hill-climbing trials evaluated.
+	Iterations int
+	// Stats records phase timings and the hill-climbing trace.
+	Stats Stats
+}
+
+// Stats is the observability record of one PROCLUS run.
+type Stats struct {
+	// InitDuration covers sampling and greedy candidate selection.
+	InitDuration time.Duration
+	// IterateDuration covers all hill-climbing trials and restarts.
+	IterateDuration time.Duration
+	// RefineDuration covers the final dimension recomputation,
+	// reassignment and outlier pass.
+	RefineDuration time.Duration
+	// ObjectiveTrace holds the objective of every evaluated trial in
+	// order, across restarts. The running minimum is the hill climb's
+	// progress curve.
+	ObjectiveTrace []float64
+}
+
+// OutlierID is the assignment value of points classified as outliers.
+const OutlierID = -1
+
+// NumOutliers returns the number of points assigned to no cluster.
+func (r *Result) NumOutliers() int {
+	n := 0
+	for _, a := range r.Assignments {
+		if a == OutlierID {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package core
+
+// Metamorphic tests: transformations of the input with known effects on
+// the output. These catch subtle symmetry-breaking bugs (hidden
+// coordinate-system dependence, tie-breaking on absolute positions)
+// that example-based tests cannot.
+
+import (
+	"testing"
+
+	"proclus/internal/dataset"
+	"proclus/internal/synth"
+)
+
+func metamorphicData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, _, err := synth.Generate(synth.Config{
+		N: 2500, Dims: 10, K: 3, FixedDims: 3, MinSizeFraction: 0.15, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func runOn(t *testing.T, ds *dataset.Dataset) *Result {
+	t.Helper()
+	res, err := Run(ds, Config{K: 3, L: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertSameClustering(t *testing.T, a, b *Result, context string) {
+	t.Helper()
+	if len(a.Assignments) != len(b.Assignments) {
+		t.Fatalf("%s: assignment lengths differ", context)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("%s: assignment differs at point %d: %d vs %d",
+				context, i, a.Assignments[i], b.Assignments[i])
+		}
+	}
+	for ci := range a.Clusters {
+		da, db := a.Clusters[ci].Dimensions, b.Clusters[ci].Dimensions
+		if len(da) != len(db) {
+			t.Fatalf("%s: cluster %d dimension counts differ", context, ci)
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("%s: cluster %d dims differ: %v vs %v", context, ci, da, db)
+			}
+		}
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	// Adding a constant vector to every point changes no pairwise
+	// distance, no locality, no Z score: the clustering must be
+	// identical.
+	ds := metamorphicData(t)
+	shifted := ds.Clone()
+	shifted.Each(func(_ int, p []float64) {
+		for j := range p {
+			p[j] += 1000 + float64(j)*17
+		}
+	})
+	assertSameClustering(t, runOn(t, ds), runOn(t, shifted), "translation")
+}
+
+func TestUniformScaleInvariance(t *testing.T) {
+	// Multiplying every coordinate by a positive constant scales all
+	// distances uniformly: every comparison the algorithm makes
+	// (nearest medoid, Z ordering, objective ordering) is preserved.
+	ds := metamorphicData(t)
+	scaled := ds.Clone()
+	scaled.Each(func(_ int, p []float64) {
+		for j := range p {
+			p[j] *= 3.5
+		}
+	})
+	a, b := runOn(t, ds), runOn(t, scaled)
+	assertSameClustering(t, a, b, "uniform scale")
+	// The objective itself must scale by the same factor.
+	if b.Objective < a.Objective*3.4 || b.Objective > a.Objective*3.6 {
+		t.Fatalf("objective did not scale: %v vs %v", a.Objective, b.Objective)
+	}
+}
+
+func TestDimensionPermutationEquivariance(t *testing.T) {
+	// Permuting the coordinate axes must permute each cluster's
+	// dimension set by the same permutation and leave the partition
+	// unchanged.
+	ds := metamorphicData(t)
+	d := ds.Dims()
+	perm := make([]int, d) // perm[old] = new
+	for j := 0; j < d; j++ {
+		perm[j] = (j + 3) % d // cyclic shift: no fixed points, deterministic
+	}
+	permuted := dataset.NewWithCapacity(d, ds.Len())
+	buf := make([]float64, d)
+	ds.Each(func(i int, p []float64) {
+		for j, v := range p {
+			buf[perm[j]] = v
+		}
+		permuted.AppendLabeled(buf, ds.Label(i))
+	})
+
+	a, b := runOn(t, ds), runOn(t, permuted)
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("partition changed under axis permutation at point %d", i)
+		}
+	}
+	for ci := range a.Clusters {
+		want := map[int]bool{}
+		for _, dim := range a.Clusters[ci].Dimensions {
+			want[perm[dim]] = true
+		}
+		got := b.Clusters[ci].Dimensions
+		if len(got) != len(want) {
+			t.Fatalf("cluster %d dim counts differ under permutation", ci)
+		}
+		for _, dim := range got {
+			if !want[dim] {
+				t.Fatalf("cluster %d: dim %d not the image of the original set %v",
+					ci, dim, a.Clusters[ci].Dimensions)
+			}
+		}
+	}
+}
+
+func TestPointOrderDoesNotChangeQuality(t *testing.T) {
+	// Reversing the point order changes index-based tie-breaks and the
+	// sampled candidates, so assignments may differ — but the recovered
+	// structure (cluster count, dimension sets as a multiset, rough
+	// sizes) must be stable.
+	ds := metamorphicData(t)
+	reversed := dataset.NewWithCapacity(ds.Dims(), ds.Len())
+	for i := ds.Len() - 1; i >= 0; i-- {
+		reversed.AppendLabeled(ds.Point(i), ds.Label(i))
+	}
+	a, b := runOn(t, ds), runOn(t, reversed)
+	dimsKey := func(r *Result) map[string]int {
+		m := map[string]int{}
+		for _, cl := range r.Clusters {
+			key := ""
+			for _, d := range cl.Dimensions {
+				key += string(rune('a' + d))
+			}
+			m[key]++
+		}
+		return m
+	}
+	ka, kb := dimsKey(a), dimsKey(b)
+	same := 0
+	for k := range ka {
+		if kb[k] > 0 {
+			same++
+		}
+	}
+	if same < 2 {
+		t.Fatalf("dimension sets unstable under point reordering: %v vs %v", ka, kb)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor splits [0, n) into contiguous chunks and runs fn on each
+// from its own goroutine. workers < 1 selects GOMAXPROCS. fn instances
+// must write only to disjoint state (here: per-point output slots), so
+// results are identical for every worker count.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

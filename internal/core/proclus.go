@@ -1,0 +1,531 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"proclus/internal/dataset"
+	"proclus/internal/dist"
+	"proclus/internal/greedy"
+	"proclus/internal/randx"
+	"proclus/internal/sample"
+)
+
+// Run executes PROCLUS on ds with the given configuration.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), ds, cfg)
+}
+
+// RunContext executes PROCLUS on ds, aborting between hill-climbing
+// trials when ctx is cancelled. The context is checked at trial
+// granularity — one trial over a large dataset completes before the
+// cancellation takes effect.
+func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(ds); err != nil {
+		return nil, err
+	}
+	r := &runner{ctx: ctx, ds: ds, cfg: cfg, rng: randx.New(cfg.Seed)}
+	return r.run()
+}
+
+// runner carries the state of one PROCLUS execution.
+type runner struct {
+	ctx   context.Context
+	ds    *dataset.Dataset
+	cfg   Config
+	rng   *randx.Rand
+	stats Stats
+}
+
+// cancelled reports a pending context cancellation. A nil context
+// (white-box tests construct runners directly) never cancels.
+func (r *runner) cancelled() error {
+	if r.ctx == nil {
+		return nil
+	}
+	select {
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (r *runner) run() (*Result, error) {
+	start := time.Now()
+	candidates, err := r.initialize()
+	if err != nil {
+		return nil, err
+	}
+	r.stats.InitDuration = time.Since(start)
+
+	start = time.Now()
+	restarts := r.cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *trialState
+	totalIterations := 0
+	for i := 0; i < restarts; i++ {
+		trial, iterations, err := r.iterate(candidates)
+		if err != nil {
+			return nil, err
+		}
+		totalIterations += iterations
+		if best == nil || trial.objective < best.objective {
+			best = trial
+		}
+		if err := r.cancelled(); err != nil {
+			return nil, err
+		}
+	}
+	r.stats.IterateDuration = time.Since(start)
+
+	start = time.Now()
+	var res *Result
+	if r.cfg.SkipRefinement {
+		res = r.packageResult(best.medoids, best.dims, append([]int(nil), best.assign...))
+		res.Objective = best.objective
+	} else {
+		res = r.refine(best)
+	}
+	r.stats.RefineDuration = time.Since(start)
+	res.Iterations = totalIterations
+	res.Stats = r.stats
+	return res, nil
+}
+
+// initialize selects the B·k candidate medoids. The paper's method
+// (InitGreedy) draws an A·k random sample and thins it by farthest-first
+// traversal (§2.1, Figure 3); InitRandom draws candidates uniformly.
+// The returned indices refer to the full dataset.
+func (r *runner) initialize() ([]int, error) {
+	n := r.ds.Len()
+	medoidCount := r.cfg.MedoidFactor * r.cfg.K
+	if medoidCount > n {
+		medoidCount = n
+	}
+	if r.cfg.InitMethod == InitRandom {
+		cands, err := sample.WithoutReplacement(r.rng, n, medoidCount)
+		if err != nil {
+			return nil, fmt.Errorf("proclus: random candidate selection: %w", err)
+		}
+		return cands, nil
+	}
+	sampleSize := r.cfg.SampleFactor * r.cfg.K
+	if sampleSize > n {
+		sampleSize = n
+	}
+	s, err := sample.WithoutReplacement(r.rng, n, sampleSize)
+	if err != nil {
+		return nil, fmt.Errorf("proclus: initialization sample: %w", err)
+	}
+	if medoidCount > len(s) {
+		medoidCount = len(s)
+	}
+	picks, err := greedy.FarthestFirst(r.rng, len(s), medoidCount, func(i, j int) float64 {
+		return dist.SegmentalAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proclus: greedy medoid selection: %w", err)
+	}
+	candidates := make([]int, len(picks))
+	for i, p := range picks {
+		candidates[i] = s[p]
+	}
+	return candidates, nil
+}
+
+// trialState is one evaluated clustering during the hill climb.
+type trialState struct {
+	medoids    []int   // dataset indices, len k
+	dims       [][]int // per-medoid dimension sets
+	assign     []int   // per-point cluster index (no outliers yet)
+	sizes      []int   // per-cluster point counts
+	objective  float64
+	badMedoids []int // positions (0..k-1) of bad medoids within medoids
+}
+
+// iterate performs the hill climb of §2.2 and returns the best trial.
+func (r *runner) iterate(candidates []int) (*trialState, int, error) {
+	k := r.cfg.K
+	if len(candidates) < k {
+		return nil, 0, fmt.Errorf("proclus: only %d candidate medoids for k = %d", len(candidates), k)
+	}
+	perm := r.rng.Perm(len(candidates))
+	current := make([]int, k)
+	for i := 0; i < k; i++ {
+		current[i] = candidates[perm[i]]
+	}
+
+	var best *trialState
+	bestObjective := math.Inf(1)
+	noImprove := 0
+	iterations := 0
+	for {
+		iterations++
+		trial := r.evaluateMedoids(current)
+		r.stats.ObjectiveTrace = append(r.stats.ObjectiveTrace, trial.objective)
+		if trial.objective < bestObjective {
+			bestObjective = trial.objective
+			best = trial
+			best.badMedoids = r.findBadMedoids(trial)
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		if noImprove >= r.cfg.MaxNoImprove || iterations >= r.cfg.MaxIterations {
+			break
+		}
+		if err := r.cancelled(); err != nil {
+			return nil, 0, err
+		}
+		next, ok := r.replaceBad(best, candidates)
+		if !ok {
+			// Every candidate already serves as a medoid; no neighbouring
+			// vertex exists in the search graph.
+			break
+		}
+		current = next
+	}
+	return best, iterations, nil
+}
+
+// evaluateMedoids runs one hill-climbing trial: localities, dimensions,
+// assignment and objective for the given medoid set.
+func (r *runner) evaluateMedoids(medoids []int) *trialState {
+	localities := r.computeLocalities(medoids)
+	dims := r.findDimensions(medoids, localities)
+	assign, sizes := r.assignPoints(medoids, dims)
+	objective := r.evaluateClusters(assign, sizes, dims)
+	return &trialState{
+		medoids:   append([]int(nil), medoids...),
+		dims:      dims,
+		assign:    assign,
+		sizes:     sizes,
+		objective: objective,
+	}
+}
+
+// computeLocalities returns, for each medoid, the indices of all points
+// within δ_i of it, where δ_i is the full-space segmental distance to
+// the nearest other medoid (paper §2.2, "Finding Dimensions"). The
+// localities may overlap and need not cover the dataset; each contains
+// at least its own medoid.
+func (r *runner) computeLocalities(medoids []int) [][]int {
+	k := len(medoids)
+	delta := make([]float64, k)
+	for i := range medoids {
+		delta[i] = math.Inf(1)
+		for j := range medoids {
+			if i == j {
+				continue
+			}
+			d := dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]))
+			if d < delta[i] {
+				delta[i] = d
+			}
+		}
+	}
+	// Sharded scan: each worker fills per-chunk lists, concatenated in
+	// chunk order afterwards so the result is identical to a serial
+	// scan. Strict inequality keeps the nearest other medoid (at
+	// distance exactly δ_i) out of the locality; the medoid itself, at
+	// distance 0, is always in unless δ_i = 0 (duplicate medoids), which
+	// zRow tolerates as an empty group.
+	medoidPoints := make([][]float64, k)
+	for i, m := range medoids {
+		medoidPoints[i] = r.ds.Point(m)
+	}
+	n := r.ds.Len()
+	type chunk struct {
+		lo    int
+		lists [][]int
+	}
+	var mu sync.Mutex
+	var chunks []chunk
+	parallelFor(n, r.cfg.Workers, func(lo, hi int) {
+		lists := make([][]int, k)
+		for p := lo; p < hi; p++ {
+			pt := r.ds.Point(p)
+			for i := range medoidPoints {
+				if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
+					lists[i] = append(lists[i], p)
+				}
+			}
+		}
+		mu.Lock()
+		chunks = append(chunks, chunk{lo: lo, lists: lists})
+		mu.Unlock()
+	})
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].lo < chunks[b].lo })
+	localities := make([][]int, k)
+	for _, c := range chunks {
+		for i := range localities {
+			localities[i] = append(localities[i], c.lists[i]...)
+		}
+	}
+	return localities
+}
+
+// assignPoints assigns every point to the medoid of minimum Manhattan
+// segmental distance relative to that medoid's dimension set (paper
+// Figure 5). Ties break toward the lower medoid index so the result is
+// deterministic. It returns the per-point cluster index and the cluster
+// sizes.
+func (r *runner) assignPoints(medoids []int, dims [][]int) (assign []int, sizes []int) {
+	n := r.ds.Len()
+	assign = make([]int, n)
+	medoidPoints := make([][]float64, len(medoids))
+	for i, m := range medoids {
+		medoidPoints[i] = r.ds.Point(m)
+	}
+	metric := r.pointMetric()
+	parallelFor(n, r.cfg.Workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			pt := r.ds.Point(p)
+			bestIdx, bestDist := 0, math.Inf(1)
+			for i := range medoidPoints {
+				d := metric(pt, medoidPoints[i], dims[i])
+				if d < bestDist {
+					bestIdx, bestDist = i, d
+				}
+			}
+			assign[p] = bestIdx
+		}
+	})
+	sizes = make([]int, len(medoids))
+	for _, a := range assign {
+		sizes[a]++
+	}
+	return assign, sizes
+}
+
+// pointMetric returns the configured point-to-medoid distance over a
+// dimension set.
+func (r *runner) pointMetric() func(pt, medoid []float64, dims []int) float64 {
+	if r.cfg.AssignMetric == MetricManhattan {
+		return func(pt, medoid []float64, dims []int) float64 {
+			return dist.Segmental(pt, medoid, dims) * float64(len(dims))
+		}
+	}
+	return func(pt, medoid []float64, dims []int) float64 {
+		return dist.Segmental(pt, medoid, dims)
+	}
+}
+
+// evaluateClusters computes the paper's objective (Figure 6): the mean,
+// over all points, of the average distance along each cluster dimension
+// between the point and its cluster centroid.
+func (r *runner) evaluateClusters(assign []int, sizes []int, dims [][]int) float64 {
+	// This pass stays serial: floating-point accumulation order must not
+	// depend on the worker count, or the hill climb's accept/reject
+	// decisions (and hence the whole result) could differ between runs
+	// configured with different Workers values. The locality and
+	// assignment passes, whose outputs are integers, carry the
+	// parallelism instead.
+	k := len(sizes)
+	d := r.ds.Dims()
+	centroids := make([][]float64, k)
+	for i := range centroids {
+		centroids[i] = make([]float64, d)
+	}
+	r.ds.Each(func(p int, pt []float64) {
+		c := centroids[assign[p]]
+		for j, v := range pt {
+			c[j] += v
+		}
+	})
+	for i, c := range centroids {
+		if sizes[i] == 0 {
+			continue
+		}
+		inv := 1 / float64(sizes[i])
+		for j := range c {
+			c[j] *= inv
+		}
+	}
+	// Sum of per-dimension absolute deviations to the centroid,
+	// restricted to each cluster's dimensions.
+	devs := make([]float64, k)
+	r.ds.Each(func(p int, pt []float64) {
+		i := assign[p]
+		c := centroids[i]
+		var s float64
+		for _, j := range dims[i] {
+			s += math.Abs(pt[j] - c[j])
+		}
+		devs[i] += s / float64(len(dims[i]))
+	})
+	var total float64
+	for i := range devs {
+		total += devs[i] // devs already sums w_i contributions per point
+	}
+	return total / float64(len(assign))
+}
+
+// findBadMedoids returns the positions of bad medoids in a trial: the
+// medoid of the smallest cluster, plus any medoid whose cluster holds
+// fewer than (N/k)·minDeviation points (paper §2.2).
+func (r *runner) findBadMedoids(t *trialState) []int {
+	k := len(t.sizes)
+	smallest := 0
+	for i := 1; i < k; i++ {
+		if t.sizes[i] < t.sizes[smallest] {
+			smallest = i
+		}
+	}
+	threshold := float64(r.ds.Len()) / float64(k) * r.cfg.MinDeviation
+	bad := []int{smallest}
+	for i := 0; i < k; i++ {
+		if i != smallest && float64(t.sizes[i]) < threshold {
+			bad = append(bad, i)
+		}
+	}
+	sort.Ints(bad)
+	return bad
+}
+
+// replaceBad builds the next trial's medoid set by substituting random
+// unused candidates for the bad medoids of the best set. It reports
+// false when no unused candidates remain.
+func (r *runner) replaceBad(best *trialState, candidates []int) ([]int, bool) {
+	inUse := make(map[int]bool, len(best.medoids))
+	for _, m := range best.medoids {
+		inUse[m] = true
+	}
+	var free []int
+	for _, c := range candidates {
+		if !inUse[c] {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
+		return nil, false
+	}
+	next := append([]int(nil), best.medoids...)
+	r.rng.Shuffle(len(free), func(a, b int) { free[a], free[b] = free[b], free[a] })
+	for i, pos := range best.badMedoids {
+		if i >= len(free) {
+			break
+		}
+		next[pos] = free[i]
+	}
+	return next, true
+}
+
+// refine performs the refinement phase (§2.3): recompute the dimension
+// sets from the best trial's clusters, reassign all points, and flag
+// outliers outside every medoid's sphere of influence.
+func (r *runner) refine(best *trialState) *Result {
+	k := len(best.medoids)
+
+	// Group member indices by cluster from the best iterative assignment.
+	clusters := make([][]int, k)
+	for p, a := range best.assign {
+		clusters[a] = append(clusters[a], p)
+	}
+	dims := r.findDimensions(best.medoids, clusters)
+
+	assign, _ := r.assignPoints(best.medoids, dims)
+
+	// Sphere of influence: Δ_i = min over other medoids of the segmental
+	// distance w.r.t. D_i. A point is an outlier iff it exceeds Δ_i for
+	// every medoid i.
+	delta := make([]float64, k)
+	for i := range best.medoids {
+		delta[i] = math.Inf(1)
+		for j := range best.medoids {
+			if i == j {
+				continue
+			}
+			d := dist.Segmental(r.ds.Point(best.medoids[i]), r.ds.Point(best.medoids[j]), dims[i])
+			if d < delta[i] {
+				delta[i] = d
+			}
+		}
+	}
+	parallelFor(r.ds.Len(), r.cfg.Workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			pt := r.ds.Point(p)
+			outlier := true
+			for i, m := range best.medoids {
+				if dist.Segmental(pt, r.ds.Point(m), dims[i]) <= delta[i] {
+					outlier = false
+					break
+				}
+			}
+			if outlier {
+				assign[p] = OutlierID
+			}
+		}
+	})
+
+	res := r.packageResult(best.medoids, dims, assign)
+	res.Objective = r.finalObjective(res)
+	return res
+}
+
+// packageResult assembles a Result from a medoid set, per-medoid
+// dimension sets and an assignment vector (which may contain OutlierID
+// entries).
+func (r *runner) packageResult(medoids []int, dims [][]int, assign []int) *Result {
+	k := len(medoids)
+	res := &Result{
+		Clusters:    make([]Cluster, k),
+		Assignments: assign,
+	}
+	members := make([][]int, k)
+	for p, a := range assign {
+		if a != OutlierID {
+			members[a] = append(members[a], p)
+		}
+	}
+	for i := 0; i < k; i++ {
+		cl := Cluster{
+			Medoid:     medoids[i],
+			Dimensions: dims[i],
+			Members:    members[i],
+		}
+		if len(members[i]) > 0 {
+			cl.Centroid = r.ds.Centroid(members[i])
+		} else {
+			cl.Centroid = append([]float64(nil), r.ds.Point(medoids[i])...)
+		}
+		res.Clusters[i] = cl
+	}
+	return res
+}
+
+// finalObjective recomputes the quality measure over the refined
+// partition, ignoring outliers.
+func (r *runner) finalObjective(res *Result) float64 {
+	var total float64
+	points := 0
+	for _, cl := range res.Clusters {
+		if len(cl.Members) == 0 {
+			continue
+		}
+		for _, p := range cl.Members {
+			pt := r.ds.Point(p)
+			var s float64
+			for _, j := range cl.Dimensions {
+				s += math.Abs(pt[j] - cl.Centroid[j])
+			}
+			total += s / float64(len(cl.Dimensions))
+		}
+		points += len(cl.Members)
+	}
+	if points == 0 {
+		return 0
+	}
+	return total / float64(points)
+}

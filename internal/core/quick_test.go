@@ -1,0 +1,80 @@
+package core
+
+// Property-based robustness: PROCLUS must terminate and satisfy its
+// structural invariants on arbitrary small random datasets and
+// configurations — not just on well-formed cluster data.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proclus/internal/dataset"
+	"proclus/internal/randx"
+)
+
+func TestRunStructuralInvariantsQuick(t *testing.T) {
+	prop := func(seed uint64, nRaw, dRaw, kRaw, lRaw uint8) bool {
+		r := randx.New(seed)
+		d := int(dRaw%6) + 2 // 2..7 dims
+		k := int(kRaw%3) + 1 // 1..3 clusters
+		l := int(lRaw%uint8(d-1)) + 2
+		if l > d {
+			l = d
+		}
+		n := int(nRaw%100) + k + 10 // enough points for k clusters
+
+		ds := dataset.New(d)
+		for i := 0; i < n; i++ {
+			p := make([]float64, d)
+			for j := range p {
+				// Mixed scales and occasional duplicates stress the
+				// degenerate paths (σ = 0, empty localities, ties).
+				switch r.Intn(4) {
+				case 0:
+					p[j] = 0
+				case 1:
+					p[j] = r.Uniform(-1e6, 1e6)
+				default:
+					p[j] = r.Uniform(0, 10)
+				}
+			}
+			ds.Append(p)
+		}
+
+		res, err := Run(ds, Config{K: k, L: l, Seed: seed + 1, MaxNoImprove: 3, Restarts: 1})
+		if err != nil {
+			return false
+		}
+		if len(res.Clusters) != k || len(res.Assignments) != n {
+			return false
+		}
+		// Every point is either an outlier or in exactly the cluster its
+		// assignment names; dimension sets respect the budget.
+		counted := 0
+		budget := 0
+		for ci, cl := range res.Clusters {
+			budget += len(cl.Dimensions)
+			if len(cl.Dimensions) < 2 && d >= 2 {
+				return false
+			}
+			for _, p := range cl.Members {
+				if res.Assignments[p] != ci {
+					return false
+				}
+				counted++
+			}
+		}
+		if budget != k*l {
+			return false
+		}
+		for _, a := range res.Assignments {
+			if a == OutlierID {
+				counted++
+			}
+		}
+		return counted == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

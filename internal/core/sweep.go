@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"proclus/internal/dataset"
+)
+
+// LSweepPoint is one point of an l-parameter sweep.
+type LSweepPoint struct {
+	// L is the average-dimensions parameter tried.
+	L int
+	// Objective is the run's final objective (average segmental
+	// distance of points to their cluster centroid over the selected
+	// dimensions).
+	Objective float64
+	// Outliers is the number of points flagged as outliers.
+	Outliers int
+	// Result is the full run output for this l.
+	Result *Result
+}
+
+// SweepL runs PROCLUS for every l in [minL, maxL] with otherwise fixed
+// configuration and returns the per-l outcomes in order. The paper's
+// §4.3 recommends exactly this loop when l is unknown ("the running
+// time is so small... simply run the algorithm a few times and try
+// different values for l"). Use SuggestL to pick an elbow from the
+// returned curve.
+func SweepL(ds *dataset.Dataset, cfg Config, minL, maxL int) ([]LSweepPoint, error) {
+	if minL < 2 {
+		return nil, fmt.Errorf("proclus: sweep lower bound %d below the 2-dimension minimum", minL)
+	}
+	if maxL < minL {
+		return nil, fmt.Errorf("proclus: empty sweep range [%d, %d]", minL, maxL)
+	}
+	if maxL > ds.Dims() {
+		return nil, fmt.Errorf("proclus: sweep upper bound %d exceeds %d dimensions", maxL, ds.Dims())
+	}
+	var points []LSweepPoint
+	for l := minL; l <= maxL; l++ {
+		c := cfg
+		c.L = l
+		res, err := Run(ds, c)
+		if err != nil {
+			return nil, fmt.Errorf("proclus: sweep at l = %d: %w", l, err)
+		}
+		points = append(points, LSweepPoint{
+			L:         l,
+			Objective: res.Objective,
+			Outliers:  res.NumOutliers(),
+			Result:    res,
+		})
+	}
+	return points, nil
+}
+
+// KSweepPoint is one point of a k-parameter sweep.
+type KSweepPoint struct {
+	// K is the cluster count tried.
+	K int
+	// Objective is the run's final objective.
+	Objective float64
+	// Result is the full run output for this k.
+	Result *Result
+}
+
+// SweepK runs PROCLUS for every k in [minK, maxK] with otherwise fixed
+// configuration and returns the per-k outcomes. The paper assumes k is
+// known; in practice the same try-a-few-values loop §4.3 recommends for
+// l applies to k. Use SuggestK to pick an elbow.
+func SweepK(ds *dataset.Dataset, cfg Config, minK, maxK int) ([]KSweepPoint, error) {
+	if minK < 1 {
+		return nil, fmt.Errorf("proclus: sweep lower bound %d below 1", minK)
+	}
+	if maxK < minK {
+		return nil, fmt.Errorf("proclus: empty sweep range [%d, %d]", minK, maxK)
+	}
+	var points []KSweepPoint
+	for k := minK; k <= maxK; k++ {
+		c := cfg
+		c.K = k
+		res, err := Run(ds, c)
+		if err != nil {
+			return nil, fmt.Errorf("proclus: sweep at k = %d: %w", k, err)
+		}
+		points = append(points, KSweepPoint{K: k, Objective: res.Objective, Result: res})
+	}
+	return points, nil
+}
+
+// SuggestK picks a k from a sweep by knee detection on the objective
+// curve. The objective falls as k grows (more medoids, tighter
+// clusters) and keeps falling slowly even past the natural cluster
+// count, so a simple threshold misleads; instead the knee is the k
+// whose improvement over k−1 most dwarfs the following improvement
+// (maximum drop ratio). For sweeps of fewer than 3 points it returns
+// the last k.
+func SuggestK(points []KSweepPoint) (int, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("proclus: SuggestK on empty sweep")
+	}
+	if len(points) < 3 {
+		return points[len(points)-1].K, nil
+	}
+	const eps = 1e-12
+	bestK := points[len(points)-1].K
+	bestRatio := 0.0
+	for i := 1; i < len(points)-1; i++ {
+		drop := points[i-1].Objective - points[i].Objective
+		next := points[i].Objective - points[i+1].Objective
+		if drop <= 0 {
+			continue
+		}
+		if next < eps {
+			next = eps
+		}
+		if ratio := drop / next; ratio > bestRatio {
+			bestRatio = ratio
+			bestK = points[i].K
+		}
+	}
+	return bestK, nil
+}
+
+// suggestJumpThreshold is the relative marginal-objective increase that
+// SuggestL treats as the onset of noise dimensions: raising l by one
+// should cost little while the extra dimensions are genuinely
+// correlated, and jumps beyond ~20% of the current objective signal
+// that the budget has started admitting uncorrelated dimensions.
+const suggestJumpThreshold = 0.2
+
+// SuggestL picks an l from a sweep by elbow detection on the objective
+// curve. The objective grows with l — each additional dimension is, by
+// construction of FindDimensions, a worse (higher-Z) dimension than the
+// ones already selected — and the growth rate jumps once the budget
+// forces genuinely uncorrelated dimensions into the sets. SuggestL
+// returns the l immediately before the first relative jump above
+// suggestJumpThreshold; for curves without such a jump it returns the
+// sweep's largest l (no evidence of noise dimensions within the range).
+func SuggestL(points []LSweepPoint) (int, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("proclus: SuggestL on empty sweep")
+	}
+	for i := 0; i+1 < len(points); i++ {
+		cur := points[i].Objective
+		if cur <= 0 {
+			// A perfect (zero-cost) fit followed by any positive cost is
+			// itself the elbow.
+			if points[i+1].Objective > 0 {
+				return points[i].L, nil
+			}
+			continue
+		}
+		if (points[i+1].Objective-cur)/cur > suggestJumpThreshold {
+			return points[i].L, nil
+		}
+	}
+	return points[len(points)-1].L, nil
+}

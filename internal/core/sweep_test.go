@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"proclus/internal/synth"
+)
+
+func TestSweepLErrors(t *testing.T) {
+	ds := wellSeparated(t, 30)
+	cfg := Config{K: 2, Seed: 1}
+	if _, err := SweepL(ds, cfg, 1, 3); err == nil {
+		t.Error("minL below 2 accepted")
+	}
+	if _, err := SweepL(ds, cfg, 3, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := SweepL(ds, cfg, 2, 99); err == nil {
+		t.Error("maxL above dims accepted")
+	}
+}
+
+func TestSweepLProducesAllPoints(t *testing.T) {
+	ds := wellSeparated(t, 60)
+	points, err := SweepL(ds, Config{K: 2, Seed: 1}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points: %d", len(points))
+	}
+	for i, p := range points {
+		if p.L != 2+i {
+			t.Fatalf("point %d has L = %d", i, p.L)
+		}
+		if p.Result == nil || p.Objective < 0 {
+			t.Fatalf("point %d incomplete: %+v", i, p)
+		}
+	}
+}
+
+func TestSweepObjectiveGrowsWithL(t *testing.T) {
+	// On data whose clusters live in exactly 4 of 12 dimensions, the
+	// objective must rise substantially once l pushes past the true
+	// dimensionality (the budget then admits noise dimensions).
+	ds, _, err := synth.Generate(synth.Config{
+		N: 4000, Dims: 12, K: 3, FixedDims: 4, MinSizeFraction: 0.15, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := SweepL(ds, Config{K: 3, Seed: 1}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atTrue := points[2].Objective // l = 4
+	beyond := points[6].Objective // l = 8
+	if beyond <= atTrue {
+		t.Fatalf("objective did not grow past the true dimensionality: %v vs %v", atTrue, beyond)
+	}
+}
+
+func TestSuggestLFindsTrueDimensionality(t *testing.T) {
+	ds, _, err := synth.Generate(synth.Config{
+		N: 4000, Dims: 12, K: 3, FixedDims: 4, MinSizeFraction: 0.15, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := SweepL(ds, Config{K: 3, Seed: 1}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := SuggestL(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The elbow should land at or next to the generating dimensionality.
+	if l < 3 || l > 5 {
+		for _, p := range points {
+			t.Logf("l=%d objective=%.4f", p.L, p.Objective)
+		}
+		t.Fatalf("SuggestL = %d, want ~4", l)
+	}
+}
+
+func TestSweepKErrors(t *testing.T) {
+	ds := wellSeparated(t, 30)
+	cfg := Config{L: 2, Seed: 1}
+	if _, err := SweepK(ds, cfg, 0, 2); err == nil {
+		t.Error("minK below 1 accepted")
+	}
+	if _, err := SweepK(ds, cfg, 3, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestSuggestKFindsTrueClusterCount(t *testing.T) {
+	// Data with exactly 3 well-separated projected clusters: the
+	// objective drops sharply up to k = 3 and flattens after.
+	ds, _, err := synth.Generate(synth.Config{
+		N: 3000, Dims: 10, K: 3, FixedDims: 3, OutlierFraction: -1,
+		MinSizeFraction: 0.2, Seed: 47,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := SweepK(ds, Config{L: 3, Seed: 1}, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := SuggestK(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 || k > 4 {
+		for _, p := range points {
+			t.Logf("k=%d objective=%.4f", p.K, p.Objective)
+		}
+		t.Fatalf("SuggestK = %d, want ~3", k)
+	}
+}
+
+func TestSuggestKDegenerate(t *testing.T) {
+	if _, err := SuggestK(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	k, err := SuggestK([]KSweepPoint{{K: 2, Objective: 5}})
+	if err != nil || k != 2 {
+		t.Errorf("single-point sweep suggested %d, %v", k, err)
+	}
+	// Two points: no interior knee, return the last k.
+	k, err = SuggestK([]KSweepPoint{{K: 2, Objective: 5}, {K: 3, Objective: 1}})
+	if err != nil || k != 3 {
+		t.Errorf("two-point sweep suggested %d, %v", k, err)
+	}
+	// Synthetic knee at k=3: big drop into 3, tiny drops after.
+	k, err = SuggestK([]KSweepPoint{
+		{K: 1, Objective: 20}, {K: 2, Objective: 12}, {K: 3, Objective: 3},
+		{K: 4, Objective: 2.8}, {K: 5, Objective: 2.7},
+	})
+	if err != nil || k != 3 {
+		t.Errorf("synthetic knee suggested %d, %v", k, err)
+	}
+}
+
+func TestSuggestLDegenerate(t *testing.T) {
+	if _, err := SuggestL(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	// No jump anywhere: suggest the largest l in range.
+	l, err := SuggestL([]LSweepPoint{{L: 3, Objective: 1}, {L: 4, Objective: 1.05}})
+	if err != nil || l != 4 {
+		t.Errorf("flat sweep suggested %d, %v", l, err)
+	}
+	// Zero-cost fit followed by positive cost: elbow at the zero.
+	l, err = SuggestL([]LSweepPoint{{L: 2, Objective: 0}, {L: 3, Objective: 2}})
+	if err != nil || l != 2 {
+		t.Errorf("zero-cost sweep suggested %d, %v", l, err)
+	}
+}

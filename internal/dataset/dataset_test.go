@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"proclus/internal/randx"
+)
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAppendAndPoint(t *testing.T) {
+	ds := New(3)
+	ds.Append([]float64{1, 2, 3})
+	ds.Append([]float64{4, 5, 6})
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ds.Len())
+	}
+	if got := ds.Point(1); got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("Point(1) = %v", got)
+	}
+	if ds.Labeled() {
+		t.Fatal("unlabeled dataset reports Labeled")
+	}
+}
+
+func TestAppendDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Append did not panic")
+		}
+	}()
+	New(2).Append([]float64{1})
+}
+
+func TestLabelBackfill(t *testing.T) {
+	ds := New(2)
+	ds.Append([]float64{0, 0})
+	ds.AppendLabeled([]float64{1, 1}, 3)
+	if !ds.Labeled() {
+		t.Fatal("dataset should be labeled after AppendLabeled")
+	}
+	if ds.Label(0) != Outlier {
+		t.Fatalf("back-filled label = %d, want Outlier", ds.Label(0))
+	}
+	if ds.Label(1) != 3 {
+		t.Fatalf("Label(1) = %d, want 3", ds.Label(1))
+	}
+	if ds.NumLabels() != 4 {
+		t.Fatalf("NumLabels = %d, want 4", ds.NumLabels())
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	ds, err := FromRows([][]float64{{1, 2}, {3, 4}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dims() != 2 || ds.Label(1) != 1 {
+		t.Fatalf("unexpected dataset: len=%d dims=%d", ds.Len(), ds.Dims())
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil, nil); err == nil {
+		t.Error("FromRows(nil) should error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if _, err := FromRows([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("label count mismatch should error")
+	}
+}
+
+func TestValidateCatchesNaN(t *testing.T) {
+	ds := New(2)
+	ds.Append([]float64{1, math.NaN()})
+	if err := ds.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN")
+	}
+	ds2 := New(2)
+	ds2.Append([]float64{1, math.Inf(1)})
+	if err := ds2.Validate(); err == nil {
+		t.Fatal("Validate accepted +Inf")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	ds, _ := FromRows([][]float64{{0, 0}, {2, 4}, {4, 8}}, nil)
+	c := ds.Centroid([]int{0, 1, 2})
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Centroid = %v, want [2 4]", c)
+	}
+	c = ds.Centroid([]int{2})
+	if c[0] != 4 || c[1] != 8 {
+		t.Fatalf("singleton Centroid = %v", c)
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	ds, _ := FromRows([][]float64{{1}}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Centroid(empty) did not panic")
+		}
+	}()
+	ds.Centroid(nil)
+}
+
+func TestBounds(t *testing.T) {
+	ds, _ := FromRows([][]float64{{1, 9}, {5, 2}, {-3, 4}}, nil)
+	min, max := ds.Bounds()
+	if min[0] != -3 || min[1] != 2 || max[0] != 5 || max[1] != 9 {
+		t.Fatalf("Bounds = %v %v", min, max)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ds, _ := FromRows([][]float64{{1, 2}}, []int{5})
+	cl := ds.Clone()
+	cl.Point(0)[0] = 99
+	if ds.Point(0)[0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if cl.Label(0) != 5 {
+		t.Fatal("Clone dropped labels")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, _ := FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}}, []int{7, 8, 9})
+	sub := ds.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.Point(0)[0] != 2 || sub.Label(1) != 7 {
+		t.Fatalf("Subset wrong: %v label %d", sub.Point(0), sub.Label(1))
+	}
+}
+
+func TestEachVisitsAllInOrder(t *testing.T) {
+	ds, _ := FromRows([][]float64{{0}, {1}, {2}}, nil)
+	var visited []float64
+	ds.Each(func(i int, p []float64) {
+		if float64(i) != p[0] {
+			t.Fatalf("index %d saw point %v", i, p)
+		}
+		visited = append(visited, p[0])
+	})
+	if len(visited) != 3 {
+		t.Fatalf("Each visited %d points", len(visited))
+	}
+}
+
+func TestCentroidMatchesManualAverageQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		n := 1 + r.Intn(20)
+		d := 1 + r.Intn(8)
+		ds := New(d)
+		sums := make([]float64, d)
+		for i := 0; i < n; i++ {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = r.Uniform(-10, 10)
+				sums[j] += p[j]
+			}
+			ds.Append(p)
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		c := ds.Centroid(all)
+		for j := range c {
+			if math.Abs(c[j]-sums[j]/float64(n)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package dataset
+
+// Fuzz targets for the file parsers. Without -fuzz these run their seed
+// corpus as ordinary tests; with `go test -fuzz=FuzzReadCSV ./internal/dataset`
+// they explore adversarial inputs. The invariant under test: parsers
+// must return an error or a valid dataset — never panic, never produce
+// a dataset that fails Validate.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("dim0,dim1\n1,2\n3,4\n", true)
+	f.Add("1,2,0\n3,4,-1\n", true)
+	f.Add("1.5e308,2\n", false)
+	f.Add("", false)
+	f.Add("dim0\nnan\n", false)
+	f.Add("a,b,c\n1,2\n", true)
+	f.Add("1,2\n3\n", false)
+	f.Fuzz(func(t *testing.T, input string, hasLabels bool) {
+		ds, err := ReadCSV(strings.NewReader(input), hasLabels)
+		if err != nil {
+			return
+		}
+		if ds == nil {
+			t.Fatal("nil dataset without error")
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("parser produced invalid dataset: %v", err)
+		}
+		if ds.Len() == 0 {
+			t.Fatal("parser produced empty dataset without error")
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a genuine file plus corruptions of it.
+	ds := New(3)
+	ds.AppendLabeled([]float64{1, 2, 3}, 0)
+	ds.AppendLabeled([]float64{4, 5, 6}, -1)
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte("PCDS"))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), valid...)
+	corrupted[9] = 0xff // mangle dims
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil dataset without error")
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("parser produced invalid dataset: %v", err)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/randx"
+)
+
+func randomDataset(seed uint64, n, d int, labeled bool) *Dataset {
+	r := randx.New(seed)
+	ds := NewWithCapacity(d, n)
+	for i := 0; i < n; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Uniform(-1000, 1000)
+		}
+		if labeled {
+			ds.AppendLabeled(p, r.Intn(5)-1)
+		} else {
+			ds.Append(p)
+		}
+	}
+	return ds
+}
+
+func datasetsEqual(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Dims() != b.Dims() || a.Labeled() != b.Labeled() {
+		t.Fatalf("shape mismatch: (%d,%d,%v) vs (%d,%d,%v)",
+			a.Len(), a.Dims(), a.Labeled(), b.Len(), b.Dims(), b.Labeled())
+	}
+	for i := 0; i < a.Len(); i++ {
+		pa, pb := a.Point(i), b.Point(i)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("point %d dim %d: %v vs %v", i, j, pa[j], pb[j])
+			}
+		}
+		if a.Label(i) != b.Label(i) {
+			t.Fatalf("label %d: %d vs %d", i, a.Label(i), b.Label(i))
+		}
+	}
+}
+
+func TestCSVRoundTripLabeled(t *testing.T) {
+	ds := randomDataset(1, 57, 4, true)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+func TestCSVRoundTripUnlabeled(t *testing.T) {
+	ds := randomDataset(2, 23, 7, false)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+func TestCSVHeaderlessInput(t *testing.T) {
+	in := "1.5,2.5\n3.5,4.5\n"
+	ds, err := ReadCSV(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Point(0)[1] != 2.5 {
+		t.Fatalf("headerless parse wrong: len=%d", ds.Len())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        string
+		hasLabels bool
+	}{
+		{"empty", "", false},
+		{"header only", "dim0,dim1\n", false},
+		{"bad number", "dim0\n1\nxyz\n", false},
+		{"bad label", "dim0,label\n1,notanint\n", true},
+		{"ragged", "1,2\n3\n", false},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), c.hasLabels); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestBinaryRoundTripLabeled(t *testing.T) {
+	ds := randomDataset(3, 101, 6, true)
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+func TestBinaryRoundTripUnlabeled(t *testing.T) {
+	ds := randomDataset(4, 64, 3, false)
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+func TestBinaryPreservesExactFloats(t *testing.T) {
+	ds := New(1)
+	for _, v := range []float64{0, -0.0, 1e-308, math.MaxFloat64, math.Pi} {
+		ds.Append([]float64{v})
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if math.Float64bits(got.Point(i)[0]) != math.Float64bits(ds.Point(i)[0]) {
+			t.Fatalf("float %d not bit-exact", i)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte{'P', 'C', 'D', 'S', 9, 0, 0, 0})); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated data section.
+	ds := randomDataset(5, 10, 2, false)
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-9]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestSaveLoadFileCSV(t *testing.T) {
+	ds := randomDataset(6, 30, 3, true)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+func TestSaveLoadFileBinary(t *testing.T) {
+	ds := randomDataset(7, 30, 3, true)
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, false) // label flag ignored for binary
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, ds, got)
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.bin"), false); err == nil {
+		t.Fatal("loading a missing file should error")
+	}
+}

@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalization utilities. PROCLUS's Manhattan segmental distance (and
+// every other metric here) adds raw per-dimension differences, so
+// dimensions measured on wildly different scales would drown each other
+// out. The paper's synthetic data lives on a common [0, 100] scale;
+// real datasets usually need one of these transforms first.
+
+// MinMaxScale rescales every dimension in place to [lo, hi]. Constant
+// dimensions map to lo. It returns the original per-dimension bounds so
+// results (centroids, medoid coordinates) can be mapped back. It panics
+// on an empty dataset and returns an error if hi <= lo.
+func (ds *Dataset) MinMaxScale(lo, hi float64) (origMin, origMax []float64, err error) {
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("dataset: empty target range [%v, %v]", lo, hi)
+	}
+	origMin, origMax = ds.Bounds()
+	span := hi - lo
+	scale := make([]float64, ds.dims)
+	for j := range scale {
+		if d := origMax[j] - origMin[j]; d > 0 {
+			scale[j] = span / d
+		}
+	}
+	ds.Each(func(_ int, p []float64) {
+		for j, v := range p {
+			p[j] = lo + (v-origMin[j])*scale[j]
+		}
+	})
+	return origMin, origMax, nil
+}
+
+// Standardize transforms every dimension in place to zero mean and unit
+// sample standard deviation (z-scores). Constant dimensions become all
+// zeros. It returns the original means and standard deviations. It
+// panics on an empty dataset.
+func (ds *Dataset) Standardize() (means, stddevs []float64) {
+	n := ds.Len()
+	if n == 0 {
+		panic("dataset: Standardize of empty dataset")
+	}
+	means = make([]float64, ds.dims)
+	ds.Each(func(_ int, p []float64) {
+		for j, v := range p {
+			means[j] += v
+		}
+	})
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	stddevs = make([]float64, ds.dims)
+	ds.Each(func(_ int, p []float64) {
+		for j, v := range p {
+			d := v - means[j]
+			stddevs[j] += d * d
+		}
+	})
+	for j := range stddevs {
+		if n > 1 {
+			stddevs[j] = math.Sqrt(stddevs[j] / float64(n-1))
+		} else {
+			stddevs[j] = 0
+		}
+	}
+	ds.Each(func(_ int, p []float64) {
+		for j, v := range p {
+			if stddevs[j] > 0 {
+				p[j] = (v - means[j]) / stddevs[j]
+			} else {
+				p[j] = 0
+			}
+		}
+	})
+	return means, stddevs
+}

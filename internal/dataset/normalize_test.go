@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinMaxScale(t *testing.T) {
+	ds, _ := FromRows([][]float64{
+		{0, 100, 5},
+		{10, 200, 5}, // dim 2 constant
+		{5, 150, 5},
+	}, nil)
+	origMin, origMax, err := ds.MinMaxScale(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origMin[0] != 0 || origMax[0] != 10 || origMin[1] != 100 || origMax[1] != 200 {
+		t.Fatalf("returned bounds %v %v", origMin, origMax)
+	}
+	if p := ds.Point(0); p[0] != 0 || p[1] != 0 {
+		t.Fatalf("min point not at 0: %v", p)
+	}
+	if p := ds.Point(1); p[0] != 1 || p[1] != 1 {
+		t.Fatalf("max point not at 1: %v", p)
+	}
+	if p := ds.Point(2); math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Fatalf("middle point: %v", p)
+	}
+	// Constant dimension maps to lo everywhere.
+	for i := 0; i < 3; i++ {
+		if ds.Point(i)[2] != 0 {
+			t.Fatalf("constant dim not mapped to lo: %v", ds.Point(i))
+		}
+	}
+}
+
+func TestMinMaxScaleCustomRange(t *testing.T) {
+	ds, _ := FromRows([][]float64{{-5}, {5}}, nil)
+	if _, _, err := ds.MinMaxScale(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Point(0)[0] != 0 || ds.Point(1)[0] != 100 {
+		t.Fatalf("points: %v %v", ds.Point(0), ds.Point(1))
+	}
+}
+
+func TestMinMaxScaleBadRange(t *testing.T) {
+	ds, _ := FromRows([][]float64{{1}}, nil)
+	if _, _, err := ds.MinMaxScale(1, 1); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	ds, _ := FromRows([][]float64{
+		{2, 7}, {4, 7}, {6, 7}, {8, 7}, // dim 1 constant
+	}, nil)
+	means, stddevs := ds.Standardize()
+	if means[0] != 5 || means[1] != 7 {
+		t.Fatalf("means %v", means)
+	}
+	if stddevs[1] != 0 {
+		t.Fatalf("constant dim stddev %v", stddevs[1])
+	}
+	// Post-transform: mean 0, sample stddev 1 on dim 0; zeros on dim 1.
+	var sum, sumSq float64
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Point(i)
+		sum += p[0]
+		sumSq += p[0] * p[0]
+		if p[1] != 0 {
+			t.Fatalf("constant dim not zeroed: %v", p)
+		}
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("post mean %v", sum/4)
+	}
+	if sd := math.Sqrt(sumSq / 3); math.Abs(sd-1) > 1e-12 {
+		t.Fatalf("post stddev %v", sd)
+	}
+}
+
+func TestNormalizationPreservesClusterStructure(t *testing.T) {
+	// Scaling must be monotone per dimension: relative order of
+	// coordinates within each dimension is unchanged.
+	ds := randomDataset(77, 50, 3, false)
+	orig := ds.Clone()
+	if _, _, err := ds.MinMaxScale(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		for a := 0; a < ds.Len(); a++ {
+			for b := a + 1; b < ds.Len(); b++ {
+				was := orig.Point(a)[j] < orig.Point(b)[j]
+				now := ds.Point(a)[j] < ds.Point(b)[j]
+				if was != now && orig.Point(a)[j] != orig.Point(b)[j] {
+					t.Fatalf("order inverted at dim %d (%d,%d)", j, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempBinary(t *testing.T, ds *Dataset) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scan.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScannerStreamsAllPoints(t *testing.T) {
+	ds := randomDataset(21, 137, 5, true)
+	path := writeTempBinary(t, ds)
+	sc, err := OpenScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if sc.Dims() != 5 || sc.Len() != 137 || !sc.Labeled() {
+		t.Fatalf("header: dims=%d len=%d labeled=%v", sc.Dims(), sc.Len(), sc.Labeled())
+	}
+	count := 0
+	for sc.Next() {
+		p := sc.Point()
+		want := ds.Point(sc.Index())
+		for j := range p {
+			if p[j] != want[j] {
+				t.Fatalf("point %d dim %d: %v vs %v", sc.Index(), j, p[j], want[j])
+			}
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 137 {
+		t.Fatalf("streamed %d points, want 137", count)
+	}
+	// Next after exhaustion stays false without error.
+	if sc.Next() {
+		t.Fatal("Next returned true after exhaustion")
+	}
+}
+
+func TestScannerPointIsReused(t *testing.T) {
+	ds := randomDataset(22, 3, 2, false)
+	path := writeTempBinary(t, ds)
+	sc, err := OpenScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if !sc.Next() {
+		t.Fatal("no first point")
+	}
+	first := sc.Point()
+	v := first[0]
+	if !sc.Next() {
+		t.Fatal("no second point")
+	}
+	if first[0] == v && ds.Point(0)[0] != ds.Point(1)[0] {
+		t.Fatal("Point buffer not reused as documented")
+	}
+}
+
+func TestScannerRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenScanner(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := OpenScanner(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScannerTruncatedData(t *testing.T) {
+	ds := randomDataset(23, 20, 4, false)
+	path := writeTempBinary(t, ds)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.bin")
+	if err := os.WriteFile(trunc, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := OpenScanner(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	for sc.Next() {
+	}
+	if sc.Err() == nil {
+		t.Fatal("truncated file scanned without error")
+	}
+}
+
+func TestScanStatsMatchesInMemory(t *testing.T) {
+	ds := randomDataset(24, 500, 3, false)
+	path := writeTempBinary(t, ds)
+	n, stats, err := ScanStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("n = %d", n)
+	}
+	min, max := ds.Bounds()
+	for j := 0; j < 3; j++ {
+		if stats[j].Min != min[j] || stats[j].Max != max[j] {
+			t.Fatalf("dim %d bounds: scan [%v %v], memory [%v %v]",
+				j, stats[j].Min, stats[j].Max, min[j], max[j])
+		}
+		// Mean/std against direct computation.
+		var sum float64
+		for i := 0; i < ds.Len(); i++ {
+			sum += ds.Point(i)[j]
+		}
+		mean := sum / 500
+		if math.Abs(stats[j].Mean-mean) > 1e-9 {
+			t.Fatalf("dim %d mean %v vs %v", j, stats[j].Mean, mean)
+		}
+		var ss float64
+		for i := 0; i < ds.Len(); i++ {
+			d := ds.Point(i)[j] - mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / 499)
+		if math.Abs(stats[j].StdDev-sd) > 1e-9 {
+			t.Fatalf("dim %d stddev %v vs %v", j, stats[j].StdDev, sd)
+		}
+	}
+}
+
+func TestScanLabelHistogram(t *testing.T) {
+	ds := New(3)
+	wantCounts := map[int]int{0: 5, 1: 7, -1: 3}
+	for label, count := range wantCounts {
+		for i := 0; i < count; i++ {
+			ds.AppendLabeled([]float64{1, 2, 3}, label)
+		}
+	}
+	path := writeTempBinary(t, ds)
+	counts, err := ScanLabelHistogram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, want := range wantCounts {
+		if counts[label] != want {
+			t.Fatalf("label %d: got %d, want %d", label, counts[label], want)
+		}
+	}
+}
+
+func TestScanLabelHistogramUnlabeled(t *testing.T) {
+	ds := randomDataset(31, 10, 2, false)
+	path := writeTempBinary(t, ds)
+	if _, err := ScanLabelHistogram(path); err == nil {
+		t.Fatal("unlabeled file accepted")
+	}
+}
+
+func TestScanStatsEmptyFile(t *testing.T) {
+	// A header-only file with zero points must error cleanly.
+	ds := New(2)
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := ScanStats(path); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package eval implements the evaluation methodology of §4.2 of the
+// PROCLUS paper: the confusion matrix between output and input clusters
+// (Tables 3–5), matching of output clusters to the input clusters they
+// recover (Tables 1–2), dimension-set precision/recall, and the CLIQUE
+// coverage and average-overlap metrics.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"proclus/internal/dataset"
+)
+
+// ConfusionMatrix counts, for every (output cluster, input cluster)
+// pair, the points assigned to the output cluster that were generated as
+// part of the input cluster. The last row holds output outliers and the
+// last column input outliers, exactly as in Tables 3 and 4.
+type ConfusionMatrix struct {
+	// counts[i][j]: points of input cluster j assigned to output cluster
+	// i; i = NumOutput is the output-outlier row, j = NumInput the
+	// input-outlier column.
+	counts    [][]int
+	numOutput int
+	numInput  int
+}
+
+// NewConfusion builds the confusion matrix from ground-truth labels and
+// an assignment vector (output cluster per point, with negative values
+// meaning output outlier). numOutput and numInput give the cluster
+// counts; labels and assignments outside [0, num) count as outliers.
+func NewConfusion(labels, assignments []int, numOutput, numInput int) (*ConfusionMatrix, error) {
+	if len(labels) != len(assignments) {
+		return nil, fmt.Errorf("eval: %d labels vs %d assignments", len(labels), len(assignments))
+	}
+	if numOutput < 0 || numInput < 0 {
+		return nil, fmt.Errorf("eval: negative cluster counts %d, %d", numOutput, numInput)
+	}
+	cm := &ConfusionMatrix{numOutput: numOutput, numInput: numInput}
+	cm.counts = make([][]int, numOutput+1)
+	for i := range cm.counts {
+		cm.counts[i] = make([]int, numInput+1)
+	}
+	for p := range labels {
+		i := assignments[p]
+		if i < 0 || i >= numOutput {
+			i = numOutput
+		}
+		j := labels[p]
+		if j < 0 || j >= numInput {
+			j = numInput
+		}
+		cm.counts[i][j]++
+	}
+	return cm, nil
+}
+
+// Entry returns the count for output cluster i (or the outlier row when
+// i == NumOutput()) and input cluster j (outlier column when j ==
+// NumInput()).
+func (cm *ConfusionMatrix) Entry(i, j int) int { return cm.counts[i][j] }
+
+// NumOutput returns the number of output clusters (the outlier row is
+// extra).
+func (cm *ConfusionMatrix) NumOutput() int { return cm.numOutput }
+
+// NumInput returns the number of input clusters (the outlier column is
+// extra).
+func (cm *ConfusionMatrix) NumInput() int { return cm.numInput }
+
+// RowTotal returns the number of points in output cluster i.
+func (cm *ConfusionMatrix) RowTotal(i int) int {
+	t := 0
+	for _, c := range cm.counts[i] {
+		t += c
+	}
+	return t
+}
+
+// ColTotal returns the number of points generated in input cluster j.
+func (cm *ConfusionMatrix) ColTotal(j int) int {
+	t := 0
+	for i := range cm.counts {
+		t += cm.counts[i][j]
+	}
+	return t
+}
+
+// DominantInput returns, for output cluster i, the input cluster
+// providing most of its points, and that count. Input outliers never
+// dominate; if the row is empty the result is (-1, 0).
+func (cm *ConfusionMatrix) DominantInput(i int) (input, count int) {
+	input = -1
+	for j := 0; j < cm.numInput; j++ {
+		if cm.counts[i][j] > count {
+			input, count = j, cm.counts[i][j]
+		}
+	}
+	return input, count
+}
+
+// Purity returns the fraction of non-outlier-assigned points that fall
+// in their output cluster's dominant input cluster. It is 1.0 for a
+// perfect recovery (up to relabeling).
+func (cm *ConfusionMatrix) Purity() float64 {
+	var dominant, total int
+	for i := 0; i < cm.numOutput; i++ {
+		_, c := cm.DominantInput(i)
+		dominant += c
+		total += cm.RowTotal(i)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dominant) / float64(total)
+}
+
+// Match pairs each output cluster with a distinct input cluster by
+// greedy maximum overlap, as used to read Tables 1–4: the largest matrix
+// entry pairs its row and column, then the next largest among unpaired
+// ones, and so on. Unmatched rows map to -1.
+func (cm *ConfusionMatrix) Match() []int {
+	type cell struct{ i, j, c int }
+	var cells []cell
+	for i := 0; i < cm.numOutput; i++ {
+		for j := 0; j < cm.numInput; j++ {
+			if cm.counts[i][j] > 0 {
+				cells = append(cells, cell{i, j, cm.counts[i][j]})
+			}
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].c != cells[b].c {
+			return cells[a].c > cells[b].c
+		}
+		if cells[a].i != cells[b].i {
+			return cells[a].i < cells[b].i
+		}
+		return cells[a].j < cells[b].j
+	})
+	match := make([]int, cm.numOutput)
+	for i := range match {
+		match[i] = -1
+	}
+	usedInput := make([]bool, cm.numInput)
+	for _, c := range cells {
+		if match[c.i] == -1 && !usedInput[c.j] {
+			match[c.i] = c.j
+			usedInput[c.j] = true
+		}
+	}
+	return match
+}
+
+// String renders the matrix in the layout of Tables 3 and 4: input
+// clusters as lettered columns (plus "Out."), output clusters as
+// numbered rows (plus "Outliers").
+func (cm *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "Input")
+	for j := 0; j < cm.numInput; j++ {
+		fmt.Fprintf(&b, "%9s", inputName(j))
+	}
+	fmt.Fprintf(&b, "%9s\n", "Out.")
+	for i := 0; i <= cm.numOutput; i++ {
+		name := fmt.Sprintf("%d", i+1)
+		if i == cm.numOutput {
+			name = "Outliers"
+		}
+		fmt.Fprintf(&b, "%-10s", name)
+		for j := 0; j <= cm.numInput; j++ {
+			fmt.Fprintf(&b, "%9d", cm.counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// inputName letters input clusters A, B, …, Z, AA, AB, … like the paper.
+func inputName(j int) string {
+	name := ""
+	for {
+		name = string(rune('A'+j%26)) + name
+		j = j/26 - 1
+		if j < 0 {
+			break
+		}
+	}
+	return name
+}
+
+// LabelsFromDataset extracts the ground-truth label vector of ds,
+// mapping unlabeled datasets to all-outliers.
+func LabelsFromDataset(ds *dataset.Dataset) []int {
+	if ds.Labeled() {
+		return ds.Labels()
+	}
+	labels := make([]int, ds.Len())
+	for i := range labels {
+		labels[i] = dataset.Outlier
+	}
+	return labels
+}

@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"proclus/internal/dataset"
+	"proclus/internal/randx"
+)
+
+func TestConfusionBasic(t *testing.T) {
+	labels := []int{0, 0, 1, 1, -1}
+	assign := []int{1, 1, 0, 0, -1}
+	cm, err := NewConfusion(labels, assign, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Entry(1, 0) != 2 || cm.Entry(0, 1) != 2 {
+		t.Fatalf("wrong entries:\n%s", cm)
+	}
+	if cm.Entry(2, 2) != 1 {
+		t.Fatalf("outlier cell = %d, want 1", cm.Entry(2, 2))
+	}
+	if cm.RowTotal(1) != 2 || cm.ColTotal(0) != 2 {
+		t.Fatal("marginals wrong")
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion([]int{0}, []int{0, 1}, 1, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewConfusion(nil, nil, -1, 0); err == nil {
+		t.Error("negative counts accepted")
+	}
+}
+
+func TestConfusionMarginalsQuick(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		n := 1 + r.Intn(200)
+		nOut, nIn := 1+r.Intn(5), 1+r.Intn(5)
+		labels := make([]int, n)
+		assign := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(nIn+1) - 1
+			assign[i] = r.Intn(nOut+1) - 1
+		}
+		cm, err := NewConfusion(labels, assign, nOut, nIn)
+		if err != nil {
+			return false
+		}
+		// Sum of all cells must equal n.
+		total := 0
+		for i := 0; i <= nOut; i++ {
+			total += cm.RowTotal(i)
+		}
+		if total != n {
+			return false
+		}
+		colSum := 0
+		for j := 0; j <= nIn; j++ {
+			colSum += cm.ColTotal(j)
+		}
+		return colSum == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominantAndPurity(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1, 1}
+	assign := []int{0, 0, 1, 1, 1, 1}
+	cm, _ := NewConfusion(labels, assign, 2, 2)
+	if d, c := cm.DominantInput(0); d != 0 || c != 2 {
+		t.Fatalf("DominantInput(0) = %d,%d", d, c)
+	}
+	if d, c := cm.DominantInput(1); d != 1 || c != 3 {
+		t.Fatalf("DominantInput(1) = %d,%d", d, c)
+	}
+	// dominant: 2 + 3 = 5 of 6 assigned points.
+	if p := cm.Purity(); math.Abs(p-5.0/6) > 1e-12 {
+		t.Fatalf("Purity = %v", p)
+	}
+}
+
+func TestPurityPerfect(t *testing.T) {
+	labels := []int{0, 1, 2, 0, 1, 2}
+	assign := []int{2, 0, 1, 2, 0, 1} // permuted but pure
+	cm, _ := NewConfusion(labels, assign, 3, 3)
+	if p := cm.Purity(); p != 1 {
+		t.Fatalf("Purity = %v, want 1", p)
+	}
+}
+
+func TestMatchGreedy(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1, 2}
+	assign := []int{1, 1, 1, 0, 0, 2}
+	cm, _ := NewConfusion(labels, assign, 3, 3)
+	m := cm.Match()
+	if m[0] != 1 || m[1] != 0 || m[2] != 2 {
+		t.Fatalf("Match = %v", m)
+	}
+}
+
+func TestMatchLeavesUnmatched(t *testing.T) {
+	// Two output clusters both dominated by input 0: only one can claim
+	// it; the other matches the runner-up input (or -1 if none).
+	labels := []int{0, 0, 0, 0}
+	assign := []int{0, 0, 1, 1}
+	cm, _ := NewConfusion(labels, assign, 2, 1)
+	m := cm.Match()
+	claimed := 0
+	for _, mi := range m {
+		if mi == 0 {
+			claimed++
+		}
+	}
+	if claimed != 1 {
+		t.Fatalf("input 0 claimed by %d outputs: %v", claimed, m)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	labels := []int{0, 1, -1}
+	assign := []int{0, 1, -1}
+	cm, _ := NewConfusion(labels, assign, 2, 2)
+	s := cm.String()
+	for _, want := range []string{"A", "B", "Out.", "Outliers", "Input"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered matrix missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInputNames(t *testing.T) {
+	cases := map[int]string{0: "A", 1: "B", 25: "Z", 26: "AA", 27: "AB"}
+	for j, want := range cases {
+		if got := inputName(j); got != want {
+			t.Errorf("inputName(%d) = %q, want %q", j, got, want)
+		}
+	}
+}
+
+func TestMatchDimensions(t *testing.T) {
+	m := MatchDimensions([]int{1, 3, 5}, []int{1, 3, 5})
+	if !m.Exact || m.Precision != 1 || m.Recall != 1 {
+		t.Fatalf("exact match scored %+v", m)
+	}
+	m = MatchDimensions([]int{1, 3}, []int{1, 3, 5})
+	if m.Exact || m.Precision != 1 || math.Abs(m.Recall-2.0/3) > 1e-12 {
+		t.Fatalf("subset scored %+v", m)
+	}
+	m = MatchDimensions([]int{2, 4}, []int{1, 3})
+	if m.Precision != 0 || m.Recall != 0 || m.Exact {
+		t.Fatalf("disjoint scored %+v", m)
+	}
+	m = MatchDimensions(nil, nil)
+	if !m.Exact {
+		t.Fatalf("two empty sets should match exactly: %+v", m)
+	}
+}
+
+func TestAverageOverlap(t *testing.T) {
+	// Partition: overlap 1.
+	ov, err := AverageOverlap([][]int{{0, 1}, {2, 3}})
+	if err != nil || ov != 1 {
+		t.Fatalf("partition overlap = %v, %v", ov, err)
+	}
+	// Full duplication: overlap 2.
+	ov, err = AverageOverlap([][]int{{0, 1}, {0, 1}})
+	if err != nil || ov != 2 {
+		t.Fatalf("duplicated overlap = %v, %v", ov, err)
+	}
+	if _, err := AverageOverlap(nil); err == nil {
+		t.Fatal("empty clustering accepted")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	labels := []int{0, 0, 1, -1}
+	// Cluster points 0 and 2 covered; 1 uncovered; outlier 3 covered but
+	// must not count.
+	cov := Coverage(labels, [][]int{{0, 3}, {2}})
+	if math.Abs(cov-2.0/3) > 1e-12 {
+		t.Fatalf("coverage = %v, want 2/3", cov)
+	}
+	if c := Coverage([]int{-1, -1}, [][]int{{0}}); c != 0 {
+		t.Fatalf("coverage with no cluster points = %v", c)
+	}
+}
+
+func TestOutlierStats(t *testing.T) {
+	labels := []int{-1, -1, 0, 0, 1}
+	assign := []int{-1, 0, -1, 0, 1}
+	s := Outliers(labels, assign)
+	if s.TrueTotal != 2 || s.TrueFlagged != 1 || s.FalseFlagged != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLabelsFromDataset(t *testing.T) {
+	ds, _ := dataset.FromRows([][]float64{{1}, {2}}, []int{0, 1})
+	l := LabelsFromDataset(ds)
+	if l[0] != 0 || l[1] != 1 {
+		t.Fatalf("labels = %v", l)
+	}
+	un, _ := dataset.FromRows([][]float64{{1}}, nil)
+	l = LabelsFromDataset(un)
+	if l[0] != dataset.Outlier {
+		t.Fatalf("unlabeled dataset labels = %v", l)
+	}
+}

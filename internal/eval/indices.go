@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// External clustering indices complementing the paper's confusion-matrix
+// methodology: the Adjusted Rand Index and Normalized Mutual
+// Information, the two scores most of the follow-on projected-clustering
+// literature reports. Both treat negative labels/assignments as one
+// extra "outlier" group so that partitions with outlier sets remain
+// comparable.
+
+// AdjustedRandIndex returns the ARI between the ground-truth labels and
+// an assignment vector. 1 means identical partitions (up to renaming),
+// ~0 means chance agreement; negative values mean worse than chance.
+func AdjustedRandIndex(labels, assignments []int) (float64, error) {
+	ct, err := contingency(labels, assignments)
+	if err != nil {
+		return 0, err
+	}
+	var sumCells, sumRows, sumCols float64
+	for _, row := range ct.cells {
+		for _, n := range row {
+			sumCells += choose2(n)
+		}
+	}
+	for _, n := range ct.rowSums {
+		sumRows += choose2(n)
+	}
+	for _, n := range ct.colSums {
+		sumCols += choose2(n)
+	}
+	total := choose2(ct.n)
+	if total == 0 {
+		return 0, fmt.Errorf("eval: ARI needs at least 2 points")
+	}
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate: both partitions put everything in one group.
+		return 1, nil
+	}
+	return (sumCells - expected) / (maxIndex - expected), nil
+}
+
+// NormalizedMutualInfo returns the NMI (arithmetic normalization)
+// between the ground-truth labels and an assignment vector, in [0, 1].
+func NormalizedMutualInfo(labels, assignments []int) (float64, error) {
+	ct, err := contingency(labels, assignments)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(ct.n)
+	if n == 0 {
+		return 0, fmt.Errorf("eval: NMI of empty partition")
+	}
+	var mi, hRow, hCol float64
+	for i, row := range ct.cells {
+		for j, c := range row {
+			if c == 0 {
+				continue
+			}
+			pij := float64(c) / n
+			pi := float64(ct.rowSums[i]) / n
+			pj := float64(ct.colSums[j]) / n
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	for _, c := range ct.rowSums {
+		if c > 0 {
+			p := float64(c) / n
+			hRow -= p * math.Log(p)
+		}
+	}
+	for _, c := range ct.colSums {
+		if c > 0 {
+			p := float64(c) / n
+			hCol -= p * math.Log(p)
+		}
+	}
+	if hRow == 0 && hCol == 0 {
+		return 1, nil // both partitions trivial and identical
+	}
+	denom := (hRow + hCol) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	if mi < 0 { // numeric noise
+		mi = 0
+	}
+	return mi / denom, nil
+}
+
+// contingencyTable counts co-occurrences between two labelings, mapping
+// all negative values of each side to one extra group.
+type contingencyTable struct {
+	cells   [][]int
+	rowSums []int
+	colSums []int
+	n       int
+}
+
+func contingency(a, b []int) (*contingencyTable, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("eval: %d vs %d labels", len(a), len(b))
+	}
+	norm := func(xs []int) ([]int, int) {
+		max := -1
+		for _, x := range xs {
+			if x > max {
+				max = x
+			}
+		}
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			if x < 0 {
+				out[i] = max + 1 // outlier group
+			} else {
+				out[i] = x
+			}
+		}
+		return out, max + 2
+	}
+	ra, na := norm(a)
+	rb, nb := norm(b)
+	ct := &contingencyTable{
+		cells:   make([][]int, na),
+		rowSums: make([]int, na),
+		colSums: make([]int, nb),
+		n:       len(a),
+	}
+	for i := range ct.cells {
+		ct.cells[i] = make([]int, nb)
+	}
+	for i := range ra {
+		ct.cells[ra[i]][rb[i]]++
+		ct.rowSums[ra[i]]++
+		ct.colSums[rb[i]]++
+	}
+	return ct, nil
+}
+
+func choose2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}

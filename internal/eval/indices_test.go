@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"proclus/internal/randx"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestARIPerfect(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	// Same partition, renamed.
+	assign := []int{2, 2, 0, 0, 1, 1}
+	ari, err := AdjustedRandIndex(labels, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Fatalf("ARI = %v, want 1", ari)
+	}
+}
+
+func TestARIKnownValue(t *testing.T) {
+	// Classic example: labels {0,0,1,1,1,2}, assignment splits
+	// differently. Compute against an independently derived value.
+	labels := []int{0, 0, 0, 1, 1, 1}
+	assign := []int{0, 0, 1, 1, 1, 1}
+	// Contingency: [[2,1],[0,3]]. sumCells = 1+0+0+3 = 4; rows: C(3,2)*2
+	// = 6; cols: C(2,2)+C(4,2) = 1+6 = 7; total C(6,2)=15.
+	// expected = 6*7/15 = 2.8; max = 6.5; ARI = (4-2.8)/(6.5-2.8).
+	want := (4.0 - 2.8) / (6.5 - 2.8)
+	ari, err := AdjustedRandIndex(labels, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(ari, want, 1e-12) {
+		t.Fatalf("ARI = %v, want %v", ari, want)
+	}
+}
+
+func TestARIChanceNearZero(t *testing.T) {
+	// Random assignments against random labels: ARI ≈ 0 on average.
+	r := randx.New(3)
+	var sum float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		n := 200
+		labels := make([]int, n)
+		assign := make([]int, n)
+		for j := range labels {
+			labels[j] = r.Intn(4)
+			assign[j] = r.Intn(4)
+		}
+		ari, err := AdjustedRandIndex(labels, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += ari
+	}
+	if mean := sum / trials; math.Abs(mean) > 0.02 {
+		t.Fatalf("mean ARI over random pairs = %v, want ~0", mean)
+	}
+}
+
+func TestARIHandlesOutliers(t *testing.T) {
+	labels := []int{0, 0, 1, 1, -1, -1}
+	assign := []int{1, 1, 0, 0, -1, -1}
+	ari, err := AdjustedRandIndex(labels, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Fatalf("ARI with matching outlier groups = %v, want 1", ari)
+	}
+}
+
+func TestARIErrors(t *testing.T) {
+	if _, err := AdjustedRandIndex([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AdjustedRandIndex([]int{0}, []int{0}); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestNMIPerfect(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	assign := []int{2, 2, 0, 0, 1, 1}
+	nmi, err := NormalizedMutualInfo(labels, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(nmi, 1, 1e-12) {
+		t.Fatalf("NMI = %v, want 1", nmi)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// A perfectly independent pair: labels split by half, assignment
+	// alternates within each half equally → MI = 0.
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	assign := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	nmi, err := NormalizedMutualInfo(labels, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(nmi, 0, 1e-12) {
+		t.Fatalf("NMI = %v, want 0", nmi)
+	}
+}
+
+func TestNMIRangeQuickish(t *testing.T) {
+	r := randx.New(5)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(100)
+		labels := make([]int, n)
+		assign := make([]int, n)
+		for j := range labels {
+			labels[j] = r.Intn(5) - 1
+			assign[j] = r.Intn(5) - 1
+		}
+		nmi, err := NormalizedMutualInfo(labels, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nmi < 0 || nmi > 1+1e-12 {
+			t.Fatalf("NMI = %v out of [0,1]", nmi)
+		}
+		ari, err := AdjustedRandIndex(labels, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari > 1+1e-12 {
+			t.Fatalf("ARI = %v above 1", ari)
+		}
+	}
+}
+
+func TestNMITrivialPartitions(t *testing.T) {
+	// Everything in one group on both sides: identical trivial
+	// partitions score 1.
+	nmi, err := NormalizedMutualInfo([]int{0, 0, 0}, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi != 1 {
+		t.Fatalf("NMI = %v, want 1", nmi)
+	}
+}
+
+func TestIndicesAgreeOnGoodClustering(t *testing.T) {
+	// A clustering with slight noise: both indices should be high and
+	// broadly consistent.
+	r := randx.New(7)
+	n := 600
+	labels := make([]int, n)
+	assign := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 3
+		assign[i] = labels[i]
+		if r.Float64() < 0.05 {
+			assign[i] = r.Intn(3)
+		}
+	}
+	ari, _ := AdjustedRandIndex(labels, assign)
+	nmi, _ := NormalizedMutualInfo(labels, assign)
+	if ari < 0.85 || nmi < 0.75 {
+		t.Fatalf("ARI %v NMI %v unexpectedly low for 5%% noise", ari, nmi)
+	}
+}

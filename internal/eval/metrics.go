@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+)
+
+// DimensionMatch compares a recovered dimension set against a
+// ground-truth one.
+type DimensionMatch struct {
+	// Precision is |found ∩ truth| / |found|.
+	Precision float64
+	// Recall is |found ∩ truth| / |truth|.
+	Recall float64
+	// Exact reports whether the two sets are identical.
+	Exact bool
+}
+
+// MatchDimensions scores the recovered set found against truth. Both are
+// treated as sets; order and duplicates are ignored.
+func MatchDimensions(found, truth []int) DimensionMatch {
+	fs := toSet(found)
+	ts := toSet(truth)
+	inter := 0
+	for d := range fs {
+		if ts[d] {
+			inter++
+		}
+	}
+	m := DimensionMatch{}
+	if len(fs) > 0 {
+		m.Precision = float64(inter) / float64(len(fs))
+	}
+	if len(ts) > 0 {
+		m.Recall = float64(inter) / float64(len(ts))
+	}
+	m.Exact = len(fs) == len(ts) && inter == len(fs)
+	return m
+}
+
+func toSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+// AverageOverlap computes the paper's overlap metric for a set of
+// possibly overlapping output clusters: Σ|C_i| divided by |∪C_i|. An
+// overlap of 1 means the clusters form a partition of their union; large
+// values mean points are reported in many clusters (§4.2). memberships
+// lists each cluster's point indices. It returns an error when the union
+// is empty.
+func AverageOverlap(memberships [][]int) (float64, error) {
+	union := map[int]struct{}{}
+	total := 0
+	for _, m := range memberships {
+		total += len(m)
+		for _, p := range m {
+			union[p] = struct{}{}
+		}
+	}
+	if len(union) == 0 {
+		return 0, fmt.Errorf("eval: overlap of empty clustering")
+	}
+	return float64(total) / float64(len(union)), nil
+}
+
+// Coverage returns the fraction of true cluster points (label >= 0) that
+// appear in at least one output cluster. The PROCLUS experiments report
+// this as the "percentage of cluster points discovered by CLIQUE".
+func Coverage(labels []int, memberships [][]int) float64 {
+	covered := map[int]struct{}{}
+	for _, m := range memberships {
+		for _, p := range m {
+			covered[p] = struct{}{}
+		}
+	}
+	var clusterPoints, hit int
+	for p, l := range labels {
+		if l < 0 {
+			continue
+		}
+		clusterPoints++
+		if _, ok := covered[p]; ok {
+			hit++
+		}
+	}
+	if clusterPoints == 0 {
+		return 0
+	}
+	return float64(hit) / float64(clusterPoints)
+}
+
+// OutlierStats summarizes outlier handling quality.
+type OutlierStats struct {
+	// TrueFlagged is the number of generated outliers flagged as output
+	// outliers.
+	TrueFlagged int
+	// TrueTotal is the number of generated outliers.
+	TrueTotal int
+	// FalseFlagged is the number of genuine cluster points flagged as
+	// output outliers.
+	FalseFlagged int
+}
+
+// Outliers computes OutlierStats from ground-truth labels and an
+// assignment vector (negative = output outlier).
+func Outliers(labels, assignments []int) OutlierStats {
+	var s OutlierStats
+	for p, l := range labels {
+		isTrue := l < 0
+		if isTrue {
+			s.TrueTotal++
+		}
+		if assignments[p] < 0 {
+			if isTrue {
+				s.TrueFlagged++
+			} else {
+				s.FalseFlagged++
+			}
+		}
+	}
+	return s
+}

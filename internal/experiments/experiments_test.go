@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Reduced scales keep the full experiment suite inside ordinary test
+// budgets while preserving every qualitative claim being verified.
+
+func TestCaseOneShape(t *testing.T) {
+	ds, gt, err := CaseOne(CaseParams{N: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3000 || ds.Dims() != 20 {
+		t.Fatalf("shape %d×%d", ds.Len(), ds.Dims())
+	}
+	for i, dims := range gt.Dimensions {
+		if len(dims) != 7 {
+			t.Fatalf("cluster %d has %d dims, want 7", i, len(dims))
+		}
+	}
+}
+
+func TestCaseTwoShape(t *testing.T) {
+	_, gt, err := CaseTwo(CaseParams{N: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 3, 6, 7}
+	for i, dims := range gt.Dimensions {
+		if len(dims) != want[i] {
+			t.Fatalf("cluster %d has %d dims, want %d", i, len(dims), want[i])
+		}
+	}
+}
+
+func TestTable1RecoversDimensions(t *testing.T) {
+	data, rep, err := Table1(CaseParams{N: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline result: perfect correspondence between input
+	// and output dimension sets. At reduced scale, demand at least 4/5
+	// exact and high purity.
+	if data.ExactDimMatches < 4 {
+		t.Fatalf("only %d/5 exact dimension matches\n%s", data.ExactDimMatches, rep)
+	}
+	if data.Purity < 0.95 {
+		t.Fatalf("purity %.3f < 0.95\n%s", data.Purity, rep)
+	}
+	if len(data.OutputDims) != 5 {
+		t.Fatalf("%d output clusters", len(data.OutputDims))
+	}
+	if !strings.Contains(rep.String(), "Dimensions") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestTable2RecoversVaryingDimensions(t *testing.T) {
+	data, rep, err := Table2(CaseParams{N: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.ExactDimMatches < 3 {
+		t.Fatalf("only %d/5 exact dimension matches on varying-dim input\n%s",
+			data.ExactDimMatches, rep)
+	}
+	if data.Purity < 0.90 {
+		t.Fatalf("purity %.3f\n%s", data.Purity, rep)
+	}
+	// Output dimension counts must vary (the whole point of Case 2).
+	sizes := map[int]bool{}
+	for _, dims := range data.OutputDims {
+		sizes[len(dims)] = true
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("output dimension counts not varied: %v", data.OutputDims)
+	}
+}
+
+func TestTable3ConfusionNearDiagonal(t *testing.T) {
+	data, rep, err := Table3(CaseParams{N: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Purity < 0.95 {
+		t.Fatalf("purity %.3f\n%s", data.Purity, rep)
+	}
+	// Every input cluster must be claimed by some output cluster.
+	m := data.Matrix.Match()
+	claimed := map[int]bool{}
+	for _, j := range m {
+		if j >= 0 {
+			claimed[j] = true
+		}
+	}
+	if len(claimed) < 5 {
+		t.Fatalf("only %d input clusters matched\n%s", len(claimed), rep)
+	}
+}
+
+func TestTable4ConfusionNearDiagonal(t *testing.T) {
+	data, _, err := Table4(CaseParams{N: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Purity < 0.90 {
+		t.Fatalf("purity %.3f", data.Purity)
+	}
+}
+
+func TestTable5CliqueBehaviour(t *testing.T) {
+	data, rep, err := Table5(Table5Params{N: 4000, Dims: 8, ClusterDims: 4,
+		Taus: []float64{0.01}, FixedTau: 0.004, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 2 {
+		t.Fatalf("rows: %d", len(data.Rows))
+	}
+	unrestricted := data.Rows[0]
+	restricted := data.Rows[1]
+	if unrestricted.Err != "" || restricted.Err != "" {
+		t.Fatalf("clique errored: %+v", data.Rows)
+	}
+	// The paper's qualitative claims: unrestricted output reports
+	// projections (overlap > 1); the restricted run produces multiple
+	// output clusters per input cluster.
+	if unrestricted.Overlap <= 1 {
+		t.Fatalf("unrestricted overlap %.2f, want > 1\n%s", unrestricted.Overlap, rep)
+	}
+	if restricted.Clusters < 5 {
+		t.Fatalf("restricted run found %d clusters\n%s", restricted.Clusters, rep)
+	}
+	if len(data.Snapshot) == 0 {
+		t.Fatal("no snapshot for restricted run")
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	data, rep, err := Figure7(Figure7Params{
+		Ns: []int{2000, 4000}, Dims: 10, WithClique: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) != 2 {
+		t.Fatalf("points: %d", len(data.Points))
+	}
+	for _, p := range data.Points {
+		if p.Proclus <= 0 {
+			t.Fatalf("non-positive PROCLUS timing: %+v", p)
+		}
+		if p.CliqueErr != "" {
+			t.Fatalf("clique errored: %s", p.CliqueErr)
+		}
+	}
+	if !strings.Contains(rep.String(), "points") {
+		t.Fatal("report missing sweep parameter")
+	}
+}
+
+func TestFigure7WithoutClique(t *testing.T) {
+	data, _, err := Figure7(Figure7Params{Ns: []int{1500}, Dims: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Points[0].Clique != 0 || data.Points[0].CliqueErr != "" {
+		t.Fatalf("CLIQUE ran despite WithClique=false: %+v", data.Points[0])
+	}
+}
+
+func TestFigure8TauSwitch(t *testing.T) {
+	// With the switch at l=5 and a deliberately explosive low tau, the
+	// CLIQUE series must record an error for high l but not for low l.
+	data, _, err := Figure8(Figure8Params{
+		Ls: []int{4}, N: 1500, Dims: 8, WithClique: true,
+		TauLow: 0.01, TauHigh: 0.005, TauSwitch: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Points[0].CliqueErr != "" {
+		t.Fatalf("low-l CLIQUE errored: %s", data.Points[0].CliqueErr)
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	data, _, err := Figure8(Figure8Params{
+		Ls: []int{4, 6}, N: 2000, Dims: 10, WithClique: false, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) != 2 {
+		t.Fatalf("points: %d", len(data.Points))
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	data, _, err := Figure9(Figure9Params{Ds: []int{10, 20}, N: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) != 2 {
+		t.Fatalf("points: %d", len(data.Points))
+	}
+	for _, p := range data.Points {
+		if p.Clique != 0 {
+			t.Fatal("figure 9 must not run CLIQUE")
+		}
+	}
+}
+
+func TestLSweepSuggestsNearTruth(t *testing.T) {
+	data, rep, err := LSweep(LSweepParams{N: 4000, Dims: 12, TrueL: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if data.Suggested < data.TrueL-1 || data.Suggested > data.TrueL+1 {
+		t.Fatalf("suggested l = %d, true %d\n%s", data.Suggested, data.TrueL, rep)
+	}
+	// Objective must be nondecreasing overall: compare ends.
+	first := data.Points[0].Objective
+	last := data.Points[len(data.Points)-1].Objective
+	if last <= first {
+		t.Fatalf("objective did not grow across sweep: %v → %v", first, last)
+	}
+}
+
+func TestOrientedOrclusWins(t *testing.T) {
+	data, rep, err := Oriented(OrientedParams{N: 2500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 2 {
+		t.Fatalf("rows: %d", len(data.Rows))
+	}
+	var proclusARI, orclusARI float64
+	for _, r := range data.Rows {
+		switch r.Algorithm {
+		case "proclus":
+			proclusARI = r.ARI
+		case "orclus":
+			orclusARI = r.ARI
+		}
+	}
+	if orclusARI < 0.85 {
+		t.Fatalf("ORCLUS ARI %.3f\n%s", orclusARI, rep)
+	}
+	if orclusARI <= proclusARI {
+		t.Fatalf("ORCLUS (%.3f) did not beat PROCLUS (%.3f) on oriented clusters\n%s",
+			orclusARI, proclusARI, rep)
+	}
+	var sb strings.Builder
+	if err := data.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "orclus") {
+		t.Fatal("CSV missing orclus row")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "x", Title: "y"}
+	r.addf("line %d", 1)
+	s := r.String()
+	if !strings.Contains(s, "== x — y ==") || !strings.Contains(s, "line 1") {
+		t.Fatalf("report rendering: %q", s)
+	}
+}

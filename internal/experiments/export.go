@@ -1,0 +1,128 @@
+package experiments
+
+// CSV export of experiment data, for plotting the reproduced figures
+// with external tooling. Every experiment result type writes one flat
+// table; timing series write one row per swept value with both series.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing CSV: %w", err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteCSV emits the timing series as seconds per swept value.
+func (ts *TimingSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{ts.Param, "proclus_seconds", "clique_seconds", "clique_error"}}
+	for _, p := range ts.Points {
+		clique := ""
+		if p.Clique > 0 {
+			clique = strconv.FormatFloat(p.Clique.Seconds(), 'f', 6, 64)
+		}
+		rows = append(rows, []string{
+			strconv.Itoa(p.X),
+			strconv.FormatFloat(p.Proclus.Seconds(), 'f', 6, 64),
+			clique,
+			p.CliqueErr,
+		})
+	}
+	return writeAll(cw, rows)
+}
+
+// WriteCSV emits input and output cluster rows: kind, id, dims, points.
+func (t *DimsTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"kind", "cluster", "dimensions", "points"}}
+	for i := range t.InputDims {
+		rows = append(rows, []string{
+			"input", string(rune('A' + i)), dimsJoin(t.InputDims[i]), strconv.Itoa(t.InputSizes[i]),
+		})
+	}
+	rows = append(rows, []string{"input", "outliers", "", strconv.Itoa(t.InputOutliers)})
+	for i := range t.OutputDims {
+		rows = append(rows, []string{
+			"output", strconv.Itoa(i + 1), dimsJoin(t.OutputDims[i]), strconv.Itoa(t.OutputSizes[i]),
+		})
+	}
+	rows = append(rows, []string{"output", "outliers", "", strconv.Itoa(t.OutputOutliers)})
+	return writeAll(cw, rows)
+}
+
+// WriteCSV emits the confusion matrix with header row/column names.
+func (c *ConfusionExperiment) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	m := c.Matrix
+	header := []string{"output\\input"}
+	for j := 0; j < m.NumInput(); j++ {
+		header = append(header, string(rune('A'+j)))
+	}
+	header = append(header, "outliers")
+	rows := [][]string{header}
+	for i := 0; i <= m.NumOutput(); i++ {
+		name := strconv.Itoa(i + 1)
+		if i == m.NumOutput() {
+			name = "outliers"
+		}
+		row := []string{name}
+		for j := 0; j <= m.NumInput(); j++ {
+			row = append(row, strconv.Itoa(m.Entry(i, j)))
+		}
+		rows = append(rows, row)
+	}
+	return writeAll(cw, rows)
+}
+
+// WriteCSV emits one row per CLIQUE sweep setting.
+func (t *Table5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"tau", "fixed_dims", "clusters", "coverage", "overlap", "purity", "max_level", "error"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			strconv.FormatFloat(r.Tau, 'f', 4, 64),
+			strconv.Itoa(r.FixedDims),
+			strconv.Itoa(r.Clusters),
+			strconv.FormatFloat(r.Coverage, 'f', 4, 64),
+			strconv.FormatFloat(r.Overlap, 'f', 4, 64),
+			strconv.FormatFloat(r.Purity, 'f', 4, 64),
+			strconv.Itoa(r.MaxLevel),
+			r.Err,
+		})
+	}
+	return writeAll(cw, rows)
+}
+
+// WriteCSV emits one row per swept l value.
+func (t *LSweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"l", "objective", "outliers", "purity", "suggested"}}
+	for _, p := range t.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.L),
+			strconv.FormatFloat(p.Objective, 'f', 6, 64),
+			strconv.Itoa(p.Outliers),
+			strconv.FormatFloat(p.Purity, 'f', 4, 64),
+			strconv.FormatBool(p.L == t.Suggested),
+		})
+	}
+	return writeAll(cw, rows)
+}
+
+func dimsJoin(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = strconv.Itoa(d + 1)
+	}
+	return strings.Join(parts, " ")
+}

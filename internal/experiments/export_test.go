@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV output: %v\n%s", err, s)
+	}
+	return rows
+}
+
+func TestTimingSeriesCSV(t *testing.T) {
+	ts := &TimingSeries{
+		Param: "points",
+		Points: []TimingPoint{
+			{X: 1000, Proclus: 250 * time.Millisecond, Clique: 2 * time.Second},
+			{X: 2000, Proclus: 500 * time.Millisecond, CliqueErr: "guard"},
+		},
+	}
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0][0] != "points" || rows[1][1] != "0.250000" || rows[1][2] != "2.000000" {
+		t.Fatalf("rows: %v", rows)
+	}
+	if rows[2][3] != "guard" {
+		t.Fatalf("error column: %v", rows[2])
+	}
+}
+
+func TestDimsTableCSV(t *testing.T) {
+	data, _, err := Table1(CaseParams{N: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := data.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	// header + 5 input + input outliers + 5 output + output outliers
+	if len(rows) != 13 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[1][0] != "input" || rows[1][1] != "A" {
+		t.Fatalf("first data row: %v", rows[1])
+	}
+}
+
+func TestConfusionCSV(t *testing.T) {
+	data, _, err := Table3(CaseParams{N: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := data.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	// header + 5 output clusters + the outlier row.
+	if len(rows) != 7 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Cells of the matrix body must all parse as integers.
+	for _, row := range rows[1:] {
+		for _, cell := range row[1:] {
+			if strings.TrimLeft(cell, "0123456789") != "" {
+				t.Fatalf("non-numeric cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestLSweepCSV(t *testing.T) {
+	data := &LSweepResult{
+		TrueL:     4,
+		Suggested: 4,
+		Points: []LSweepRow{
+			{L: 3, Objective: 2.5, Outliers: 10, Purity: 0.9},
+			{L: 4, Objective: 2.6, Outliers: 12, Purity: 0.95},
+		},
+	}
+	var sb strings.Builder
+	if err := data.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if rows[2][4] != "true" || rows[1][4] != "false" {
+		t.Fatalf("suggested flags: %v", rows)
+	}
+}
+
+func TestTable5CSV(t *testing.T) {
+	data := &Table5Result{Rows: []Table5Row{
+		{Tau: 0.005, Clusters: 7, Coverage: 0.42, Overlap: 1.0, MaxLevel: 7},
+	}}
+	var sb strings.Builder
+	if err := data.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 2 || rows[1][0] != "0.0050" {
+		t.Fatalf("rows: %v", rows)
+	}
+}

@@ -1,0 +1,66 @@
+// Package greedy implements the farthest-first traversal of Gonzalez
+// (1985), which the PROCLUS initialization phase uses (paper Figure 3)
+// to thin a random sample down to a candidate medoid set in which points
+// are mutually well separated.
+package greedy
+
+import (
+	"fmt"
+
+	"proclus/internal/randx"
+)
+
+// DistanceTo computes the distance from the candidate item at index i to
+// the item at index j. Implementations are supplied by the caller so the
+// traversal is agnostic to the point representation and metric.
+type DistanceTo func(i, j int) float64
+
+// FarthestFirst selects k indices from [0, n) by farthest-first
+// traversal: the first pick is uniform at random, and every subsequent
+// pick maximizes the minimum distance to the picks so far. It returns
+// the picks in selection order.
+//
+// Complexity is O(n·k) distance evaluations with O(n) auxiliary space,
+// matching Figure 3 of the paper: after each pick the per-item distance
+// to the closest chosen medoid is folded into a running minimum.
+func FarthestFirst(r *randx.Rand, n, k int, d DistanceTo) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("greedy: k = %d must be positive", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("greedy: cannot choose %d of %d items", k, n)
+	}
+	picks := make([]int, 0, k)
+	first := r.Intn(n)
+	picks = append(picks, first)
+
+	minDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minDist[i] = d(i, first)
+	}
+	chosen := make([]bool, n)
+	chosen[first] = true
+
+	for len(picks) < k {
+		best, bestDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			if !chosen[i] && minDist[i] > bestDist {
+				best, bestDist = i, minDist[i]
+			}
+		}
+		if best < 0 {
+			// Unreachable while k <= n, but keep the invariant explicit.
+			return nil, fmt.Errorf("greedy: no remaining candidates at pick %d", len(picks))
+		}
+		picks = append(picks, best)
+		chosen[best] = true
+		for i := 0; i < n; i++ {
+			if !chosen[i] {
+				if nd := d(i, best); nd < minDist[i] {
+					minDist[i] = nd
+				}
+			}
+		}
+	}
+	return picks, nil
+}

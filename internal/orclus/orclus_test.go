@@ -1,0 +1,282 @@
+package orclus
+
+import (
+	"math"
+	"testing"
+
+	"proclus/internal/dataset"
+	"proclus/internal/eval"
+	"proclus/internal/linalg"
+	"proclus/internal/synth"
+)
+
+func TestRunValidates(t *testing.T) {
+	ds, _ := dataset.FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}}, nil)
+	cases := []Config{
+		{K: 0, L: 1},
+		{K: 1, L: 0},
+		{K: 1, L: 3},
+		{K: 1, L: 1, Alpha: 1.5},
+		{K: 1, L: 1, K0Factor: -1},
+		{K: 9, L: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(ds, cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	bad := dataset.New(1)
+	bad.Append([]float64{math.NaN()})
+	if _, err := Run(bad, Config{K: 1, L: 1}); err == nil {
+		t.Error("NaN dataset accepted")
+	}
+}
+
+func orientedData(t *testing.T, seed uint64) (*dataset.Dataset, *synth.OrientedTruth) {
+	t.Helper()
+	ds, gt, err := synth.GenerateOriented(synth.OrientedConfig{
+		N: 3000, Dims: 10, K: 3, L: 2, OutlierFraction: -1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, gt
+}
+
+func TestRecoverOrientedClusters(t *testing.T) {
+	ds, _ := orientedData(t, 11)
+	res, err := Run(ds, Config{K: 3, L: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters: %d", len(res.Clusters))
+	}
+	ari, err := eval.AdjustedRandIndex(ds.Labels(), res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Fatalf("ARI = %.3f on cleanly separated oriented clusters", ari)
+	}
+}
+
+func TestRecoveredBasisSpansTightDirections(t *testing.T) {
+	// For each recovered cluster matched to its generating cluster, the
+	// recovered basis must span (approximately) the generated tight
+	// directions: projecting a generated tight vector onto the recovered
+	// basis should preserve most of its norm.
+	ds, gt := orientedData(t, 13)
+	res, err := Run(ds, Config{K: 3, L: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := eval.NewConfusion(ds.Labels(), res.Assignments, len(res.Clusters), len(gt.Sizes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := cm.Match()
+	checked := 0
+	for ci, cl := range res.Clusters {
+		gi := match[ci]
+		if gi < 0 || len(cl.Members) < 100 {
+			continue
+		}
+		for _, tight := range gt.TightBases[gi] {
+			var captured float64
+			for _, b := range cl.Basis {
+				d := linalg.Dot(tight, b)
+				captured += d * d
+			}
+			if captured < 0.8 {
+				t.Fatalf("cluster %d: recovered basis captures only %.2f of a tight direction",
+					ci, captured)
+			}
+		}
+		checked++
+	}
+	if checked < 2 {
+		t.Fatalf("only %d clusters could be checked", checked)
+	}
+}
+
+func TestResultInvariants(t *testing.T) {
+	ds, _ := orientedData(t, 17)
+	res, err := Run(ds, Config{K: 3, L: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != ds.Len() {
+		t.Fatal("assignment length mismatch")
+	}
+	seen := make([]bool, ds.Len())
+	total := 0
+	for ci, cl := range res.Clusters {
+		if len(cl.Basis) != 2 {
+			t.Fatalf("cluster %d basis has %d vectors", ci, len(cl.Basis))
+		}
+		// Basis orthonormality.
+		for a := 0; a < len(cl.Basis); a++ {
+			for b := a; b < len(cl.Basis); b++ {
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(linalg.Dot(cl.Basis[a], cl.Basis[b])-want) > 1e-6 {
+					t.Fatalf("cluster %d basis not orthonormal", ci)
+				}
+			}
+		}
+		for _, p := range cl.Members {
+			if seen[p] {
+				t.Fatalf("point %d in two clusters", p)
+			}
+			seen[p] = true
+			if res.Assignments[p] != ci {
+				t.Fatalf("assignment mismatch at %d", p)
+			}
+			total++
+		}
+		if cl.Energy < 0 {
+			t.Fatalf("negative energy %v", cl.Energy)
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("%d of %d points clustered", total, ds.Len())
+	}
+	if res.TotalEnergy < 0 {
+		t.Fatalf("negative total energy")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds, _ := orientedData(t, 19)
+	a, err := Run(ds, Config{K: 3, L: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, Config{K: 3, L: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+	if a.TotalEnergy != b.TotalEnergy {
+		t.Fatal("energy differs across identical runs")
+	}
+}
+
+func TestAxisParallelStillWorks(t *testing.T) {
+	// ORCLUS generalizes PROCLUS: on axis-parallel projected clusters it
+	// should also separate well.
+	ds, _, err := synth.Generate(synth.Config{
+		N: 3000, Dims: 10, K: 3, FixedDims: 4, OutlierFraction: -1,
+		MinSizeFraction: 0.2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, Config{K: 3, L: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := eval.AdjustedRandIndex(ds.Labels(), res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.8 {
+		t.Fatalf("ARI = %.3f on axis-parallel clusters", ari)
+	}
+}
+
+func TestStripOutliersSphereOfInfluence(t *testing.T) {
+	// White-box: two tight 1-d-subspace clusters on the x axis plus one
+	// point far beyond both spheres of influence and one point between
+	// the centroids (inside a sphere). Only the far point may be
+	// stripped.
+	ds, err := dataset.FromRows([][]float64{
+		{0, 0}, {1, 0}, {2, 0}, // cluster 0, centroid (1, 0)
+		{100, 0}, {101, 0}, {102, 0}, // cluster 1, centroid (101, 0)
+		{50, 0},   // midpoint: within Δ (inter-centroid distance 100) of both
+		{5000, 0}, // far out: beyond both spheres
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := [][]float64{{1, 0}} // project onto x
+	clusters := []*state{
+		{basis: basis, members: []int{0, 1, 2, 6}},
+		{basis: basis, members: []int{3, 4, 5, 7}},
+	}
+	stripOutliers(ds, clusters)
+	has := func(c *state, v int) bool {
+		for _, m := range c.members {
+			if m == v {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 3; i++ {
+		if !has(clusters[0], i) {
+			t.Fatalf("tight member %d stripped", i)
+		}
+		if !has(clusters[1], i+3) {
+			t.Fatalf("tight member %d stripped", i+3)
+		}
+	}
+	if !has(clusters[0], 6) {
+		t.Fatal("in-sphere midpoint stripped")
+	}
+	if has(clusters[1], 7) {
+		t.Fatal("far-out point survived the sphere-of-influence rule")
+	}
+}
+
+func TestHandleOutliersEndToEnd(t *testing.T) {
+	// End-to-end: the option must run cleanly and only ever remove a
+	// modest fraction of the points on clean cluster data.
+	ds, _ := orientedData(t, 41)
+	res, err := Run(ds, Config{K: 3, L: 2, Seed: 3, HandleOutliers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outliers := 0
+	for _, a := range res.Assignments {
+		if a == OutlierID {
+			outliers++
+		}
+	}
+	if outliers > ds.Len()/4 {
+		t.Fatalf("%d of %d points flagged; outlier rule too aggressive", outliers, ds.Len())
+	}
+}
+
+func TestHandleOutliersOffKeepsEveryPoint(t *testing.T) {
+	ds, _ := orientedData(t, 43)
+	res, err := Run(ds, Config{K: 3, L: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Assignments {
+		if a < 0 {
+			t.Fatalf("point %d unassigned despite HandleOutliers=false", i)
+		}
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	ds, _ := dataset.FromRows([][]float64{
+		{0, 0}, {0.5, 0.5}, {10, 10}, {10.5, 10.5},
+	}, nil)
+	res, err := Run(ds, Config{K: 2, L: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters: %d", len(res.Clusters))
+	}
+}

@@ -1,0 +1,90 @@
+// Package sample provides the random sampling primitives used by the
+// PROCLUS initialization phase: uniform sampling of index sets without
+// replacement, and reservoir sampling for streams of unknown length.
+package sample
+
+import (
+	"fmt"
+
+	"proclus/internal/randx"
+)
+
+// WithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). The result is in selection order (itself a uniform random
+// order). It returns an error if k > n or either argument is negative.
+//
+// For small k relative to n it uses rejection from a set; for large k it
+// uses a partial Fisher–Yates shuffle, so both sparse and dense draws
+// are O(k) expected time and O(k) or O(n) space respectively.
+func WithoutReplacement(r *randx.Rand, n, k int) ([]int, error) {
+	if k < 0 || n < 0 {
+		return nil, fmt.Errorf("sample: negative arguments n=%d k=%d", n, k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("sample: cannot draw %d distinct indices from %d", k, n)
+	}
+	if k == 0 {
+		return []int{}, nil
+	}
+	if k*3 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	// Dense draw: partial Fisher–Yates over the full index range.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k:k], nil
+}
+
+// Reservoir returns a uniform sample of size k from a stream of items
+// delivered through the returned Add function; Sample returns the
+// current reservoir. It implements Algorithm R.
+type Reservoir struct {
+	r    *randx.Rand
+	k    int
+	seen int
+	buf  []int
+}
+
+// NewReservoir creates a reservoir sampler holding up to k item indices.
+// It panics if k is not positive.
+func NewReservoir(r *randx.Rand, k int) *Reservoir {
+	if k <= 0 {
+		panic(fmt.Sprintf("sample: reservoir size %d", k))
+	}
+	return &Reservoir{r: r, k: k, buf: make([]int, 0, k)}
+}
+
+// Add offers item index v to the reservoir.
+func (rs *Reservoir) Add(v int) {
+	rs.seen++
+	if len(rs.buf) < rs.k {
+		rs.buf = append(rs.buf, v)
+		return
+	}
+	if j := rs.r.Intn(rs.seen); j < rs.k {
+		rs.buf[j] = v
+	}
+}
+
+// Seen returns the number of items offered so far.
+func (rs *Reservoir) Seen() int { return rs.seen }
+
+// Sample returns the current reservoir contents. The returned slice is
+// the reservoir's own storage; callers must copy it if they keep adding.
+func (rs *Reservoir) Sample() []int { return rs.buf }

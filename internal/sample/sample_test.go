@@ -1,0 +1,141 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proclus/internal/randx"
+)
+
+func TestWithoutReplacementBasics(t *testing.T) {
+	r := randx.New(1)
+	got, err := WithoutReplacement(r, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a 10-permutation: %v", got)
+		}
+		seen[v] = true
+	}
+}
+
+func TestWithoutReplacementErrors(t *testing.T) {
+	r := randx.New(1)
+	if _, err := WithoutReplacement(r, 5, 6); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := WithoutReplacement(r, -1, 0); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := WithoutReplacement(r, 3, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if got, err := WithoutReplacement(r, 3, 0); err != nil || len(got) != 0 {
+		t.Error("k=0 should yield empty sample")
+	}
+}
+
+func TestWithoutReplacementDistinctQuick(t *testing.T) {
+	prop := func(seed uint64, nRaw, kRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw) % (n + 1)
+		got, err := WithoutReplacement(randx.New(seed), n, k)
+		if err != nil || len(got) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithoutReplacementUniformish(t *testing.T) {
+	// Each of 20 indices should be chosen in a 5-of-20 draw about 25% of
+	// the time across many trials, for both the sparse and dense paths.
+	for _, k := range []int{5, 15} {
+		r := randx.New(77)
+		counts := make([]int, 20)
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			s, err := WithoutReplacement(r, 20, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range s {
+				counts[v]++
+			}
+		}
+		expected := trials * k / 20
+		for idx, c := range counts {
+			if c < expected*9/10 || c > expected*11/10 {
+				t.Fatalf("k=%d index %d chosen %d times, expected ~%d", k, idx, c, expected)
+			}
+		}
+	}
+}
+
+func TestReservoirExactWhenStreamSmall(t *testing.T) {
+	rs := NewReservoir(randx.New(1), 10)
+	for i := 0; i < 7; i++ {
+		rs.Add(i)
+	}
+	if rs.Seen() != 7 || len(rs.Sample()) != 7 {
+		t.Fatalf("reservoir should hold the whole short stream, got %v", rs.Sample())
+	}
+}
+
+func TestReservoirSizeCapped(t *testing.T) {
+	rs := NewReservoir(randx.New(2), 5)
+	for i := 0; i < 1000; i++ {
+		rs.Add(i)
+	}
+	if len(rs.Sample()) != 5 {
+		t.Fatalf("reservoir size %d, want 5", len(rs.Sample()))
+	}
+	for _, v := range rs.Sample() {
+		if v < 0 || v >= 1000 {
+			t.Fatalf("reservoir holds out-of-stream value %d", v)
+		}
+	}
+}
+
+func TestReservoirUniformish(t *testing.T) {
+	counts := make([]int, 20)
+	r := randx.New(3)
+	const trials = 20000
+	for tr := 0; tr < trials; tr++ {
+		rs := NewReservoir(r, 4)
+		for i := 0; i < 20; i++ {
+			rs.Add(i)
+		}
+		for _, v := range rs.Sample() {
+			counts[v]++
+		}
+	}
+	expected := trials * 4 / 20
+	for idx, c := range counts {
+		if c < expected*85/100 || c > expected*115/100 {
+			t.Fatalf("index %d sampled %d times, expected ~%d", idx, c, expected)
+		}
+	}
+}
+
+func TestNewReservoirPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0) did not panic")
+		}
+	}()
+	NewReservoir(randx.New(1), 0)
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"fmt"
+
+	"proclus/internal/dataset"
+	"proclus/internal/linalg"
+	"proclus/internal/randx"
+)
+
+// OrientedConfig describes a workload whose clusters correlate along
+// arbitrary (non-axis-parallel) directions — the generalization the
+// PROCLUS paper's conclusions name as future work. Each cluster is
+// generated around an anchor with large spread along d−l random
+// orthonormal directions and small spread along the remaining l
+// directions; those l tight directions are the cluster-specific subspace
+// a generalized projected clustering algorithm should recover.
+type OrientedConfig struct {
+	// N is the total number of points including outliers.
+	N int
+	// Dims is the dimensionality of the space.
+	Dims int
+	// K is the number of clusters.
+	K int
+	// L is the number of tight directions per cluster (the recoverable
+	// subspace dimensionality). Must satisfy 1 ≤ L < Dims.
+	L int
+	// OutlierFraction is the fraction of N generated as uniform noise.
+	// Negative means 0; default 5%.
+	OutlierFraction float64
+	// Min and Max bound the anchor/outlier coordinate range. Default
+	// [0, 100].
+	Min, Max float64
+	// SpreadSigma is the standard deviation along the spread directions.
+	// Default 15.
+	SpreadSigma float64
+	// TightSigma is the standard deviation along the tight directions.
+	// Default 1.
+	TightSigma float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// OrientedTruth records the generated structure.
+type OrientedTruth struct {
+	// Anchors holds the cluster centers.
+	Anchors [][]float64
+	// TightBases[i] holds cluster i's L orthonormal tight directions —
+	// the subspace in which its points are close together.
+	TightBases [][][]float64
+	// Sizes holds the points generated per cluster.
+	Sizes []int
+	// Outliers is the number of uniform noise points.
+	Outliers int
+}
+
+func (cfg OrientedConfig) withDefaults() OrientedConfig {
+	if cfg.Min == 0 && cfg.Max == 0 {
+		cfg.Min, cfg.Max = 0, 100
+	}
+	if cfg.OutlierFraction == 0 {
+		cfg.OutlierFraction = 0.05
+	}
+	if cfg.OutlierFraction < 0 {
+		cfg.OutlierFraction = 0
+	}
+	if cfg.SpreadSigma == 0 {
+		cfg.SpreadSigma = 15
+	}
+	if cfg.TightSigma == 0 {
+		cfg.TightSigma = 1
+	}
+	return cfg
+}
+
+func (cfg OrientedConfig) validate() error {
+	switch {
+	case cfg.N <= 0:
+		return fmt.Errorf("synth: N = %d must be positive", cfg.N)
+	case cfg.Dims < 2:
+		return fmt.Errorf("synth: Dims = %d must be at least 2", cfg.Dims)
+	case cfg.K <= 0:
+		return fmt.Errorf("synth: K = %d must be positive", cfg.K)
+	case cfg.L < 1 || cfg.L >= cfg.Dims:
+		return fmt.Errorf("synth: L = %d outside [1, %d)", cfg.L, cfg.Dims)
+	case cfg.Max <= cfg.Min:
+		return fmt.Errorf("synth: empty coordinate range [%v, %v)", cfg.Min, cfg.Max)
+	case cfg.OutlierFraction >= 1:
+		return fmt.Errorf("synth: OutlierFraction %v leaves no cluster points", cfg.OutlierFraction)
+	case cfg.SpreadSigma <= 0 || cfg.TightSigma <= 0:
+		return fmt.Errorf("synth: sigmas must be positive")
+	}
+	return nil
+}
+
+// GenerateOriented produces a labeled dataset of arbitrarily oriented
+// projected clusters and its ground truth.
+func GenerateOriented(cfg OrientedConfig) (*dataset.Dataset, *OrientedTruth, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, nil, err
+	}
+	r := randx.New(c.Seed)
+
+	gt := &OrientedTruth{
+		Anchors:    make([][]float64, c.K),
+		TightBases: make([][][]float64, c.K),
+		Sizes:      make([]int, c.K),
+	}
+	gt.Outliers = int(float64(c.N) * c.OutlierFraction)
+	clusterPoints := c.N - gt.Outliers
+	if clusterPoints < c.K {
+		return nil, nil, fmt.Errorf("synth: only %d cluster points for %d clusters", clusterPoints, c.K)
+	}
+	base := clusterPoints / c.K
+	for i := range gt.Sizes {
+		gt.Sizes[i] = base
+	}
+	for i := 0; i < clusterPoints-base*c.K; i++ {
+		gt.Sizes[i]++
+	}
+
+	ds := dataset.NewWithCapacity(c.Dims, c.N)
+	p := make([]float64, c.Dims)
+	for i := 0; i < c.K; i++ {
+		anchor := make([]float64, c.Dims)
+		for j := range anchor {
+			anchor[j] = r.Uniform(c.Min, c.Max)
+		}
+		gt.Anchors[i] = anchor
+		// Full orthonormal frame: first L vectors tight, rest spread.
+		frame := linalg.RandomOrthonormal(c.Dims, c.Dims, r.NormFloat64)
+		gt.TightBases[i] = frame[:c.L]
+		spread := frame[c.L:]
+		for n := 0; n < gt.Sizes[i]; n++ {
+			copy(p, anchor)
+			for _, v := range gt.TightBases[i] {
+				coef := r.Normal(0, c.TightSigma)
+				for j := range p {
+					p[j] += coef * v[j]
+				}
+			}
+			for _, v := range spread {
+				coef := r.Normal(0, c.SpreadSigma)
+				for j := range p {
+					p[j] += coef * v[j]
+				}
+			}
+			ds.AppendLabeled(p, i)
+		}
+	}
+	for n := 0; n < gt.Outliers; n++ {
+		for j := range p {
+			p[j] = r.Uniform(c.Min, c.Max)
+		}
+		ds.AppendLabeled(p, dataset.Outlier)
+	}
+	shuffleDataset(r, ds)
+	return ds, gt, nil
+}

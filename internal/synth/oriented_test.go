@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"proclus/internal/dataset"
+	"proclus/internal/linalg"
+)
+
+func TestGenerateOrientedShape(t *testing.T) {
+	ds, gt, err := GenerateOriented(OrientedConfig{
+		N: 2000, Dims: 8, K: 3, L: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2000 || ds.Dims() != 8 {
+		t.Fatalf("shape %d×%d", ds.Len(), ds.Dims())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Anchors) != 3 || len(gt.TightBases) != 3 {
+		t.Fatal("ground truth shape")
+	}
+	sum := gt.Outliers
+	for _, s := range gt.Sizes {
+		if s <= 0 {
+			t.Fatalf("empty cluster")
+		}
+		sum += s
+	}
+	if sum != 2000 {
+		t.Fatalf("sizes sum to %d", sum)
+	}
+	if gt.Outliers != 100 {
+		t.Fatalf("outliers = %d, want 5%% of 2000", gt.Outliers)
+	}
+}
+
+func TestGenerateOrientedValidation(t *testing.T) {
+	base := OrientedConfig{N: 100, Dims: 5, K: 2, L: 2, Seed: 1}
+	cases := []func(*OrientedConfig){
+		func(c *OrientedConfig) { c.N = 0 },
+		func(c *OrientedConfig) { c.Dims = 1 },
+		func(c *OrientedConfig) { c.K = 0 },
+		func(c *OrientedConfig) { c.L = 0 },
+		func(c *OrientedConfig) { c.L = 5 },
+		func(c *OrientedConfig) { c.OutlierFraction = 1 },
+		func(c *OrientedConfig) { c.Min, c.Max = 3, 3 },
+		func(c *OrientedConfig) { c.SpreadSigma = -1 },
+	}
+	for i, mut := range cases {
+		cfg := base
+		mut(&cfg)
+		if _, _, err := GenerateOriented(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateOrientedDeterministic(t *testing.T) {
+	cfg := OrientedConfig{N: 500, Dims: 6, K: 2, L: 2, Seed: 9}
+	a, _, err := GenerateOriented(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateOriented(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		pa, pb := a.Point(i), b.Point(i)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("point %d differs", i)
+			}
+		}
+	}
+}
+
+func TestOrientedClustersAreTightAlongTruthBasis(t *testing.T) {
+	ds, gt, err := GenerateOriented(OrientedConfig{
+		N: 3000, Dims: 8, K: 2, L: 2, OutlierFraction: -1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		var members []int
+		for i := 0; i < ds.Len(); i++ {
+			if ds.Label(i) == c {
+				members = append(members, i)
+			}
+		}
+		// Standard deviation of projections onto tight directions must
+		// be near TightSigma (1), and along random spread directions far
+		// larger.
+		for _, v := range gt.TightBases[c] {
+			sd := projectionStdDev(ds, members, gt.Anchors[c], v)
+			if sd > 2 {
+				t.Fatalf("cluster %d tight direction has sd %v", c, sd)
+			}
+		}
+		// The frame's spread directions aren't recorded, but total
+		// variance must dwarf the tight variance.
+		var totalVar float64
+		centroid := ds.Centroid(members)
+		for _, m := range members {
+			p := ds.Point(m)
+			for j := range p {
+				d := p[j] - centroid[j]
+				totalVar += d * d
+			}
+		}
+		totalVar /= float64(len(members))
+		if totalVar < 100 {
+			t.Fatalf("cluster %d total variance %v suspiciously small", c, totalVar)
+		}
+	}
+}
+
+func projectionStdDev(ds *dataset.Dataset, members []int, origin, v []float64) float64 {
+	var sum, sumSq float64
+	for _, m := range members {
+		c := linalg.ProjectOffset(ds.Point(m), origin, [][]float64{v})[0]
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(len(members))
+	mean := sum / n
+	return math.Sqrt(sumSq/n - mean*mean)
+}

@@ -1,0 +1,331 @@
+package synth
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"proclus/internal/dataset"
+)
+
+func baseConfig() Config {
+	return Config{N: 5000, Dims: 20, K: 5, AvgDims: 5, Seed: 42}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := baseConfig()
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != cfg.N {
+		t.Fatalf("N = %d, want %d", ds.Len(), cfg.N)
+	}
+	if ds.Dims() != cfg.Dims {
+		t.Fatalf("Dims = %d, want %d", ds.Dims(), cfg.Dims)
+	}
+	if !ds.Labeled() {
+		t.Fatal("generated dataset should be labeled")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Anchors) != cfg.K || len(gt.Dimensions) != cfg.K || len(gt.Sizes) != cfg.K {
+		t.Fatal("ground truth shape mismatch")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	a, gta, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, gtb, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("non-deterministic size")
+	}
+	for i := 0; i < a.Len(); i++ {
+		pa, pb := a.Point(i), b.Point(i)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("point %d differs between identical seeds", i)
+			}
+		}
+		if a.Label(i) != b.Label(i) {
+			t.Fatalf("label %d differs between identical seeds", i)
+		}
+	}
+	for i := range gta.Dimensions {
+		if len(gta.Dimensions[i]) != len(gtb.Dimensions[i]) {
+			t.Fatal("ground-truth dims differ between identical seeds")
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	cfg := baseConfig()
+	a, _, _ := Generate(cfg)
+	cfg.Seed = 43
+	b, _, _ := Generate(cfg)
+	diff := false
+	for i := 0; i < a.Len() && !diff; i++ {
+		if a.Point(i)[0] != b.Point(i)[0] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestOutlierFraction(t *testing.T) {
+	cfg := baseConfig()
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outliers := 0
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Label(i) == dataset.Outlier {
+			outliers++
+		}
+	}
+	want := int(float64(cfg.N) * 0.05)
+	if outliers != want || gt.Outliers != want {
+		t.Fatalf("outliers = %d (gt %d), want %d", outliers, gt.Outliers, want)
+	}
+}
+
+func TestZeroOutliers(t *testing.T) {
+	cfg := baseConfig()
+	cfg.OutlierFraction = -1 // explicit zero
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Outliers != 0 {
+		t.Fatalf("gt.Outliers = %d", gt.Outliers)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Label(i) == dataset.Outlier {
+			t.Fatal("outlier present despite zero fraction")
+		}
+	}
+}
+
+func TestSizesSumToClusterPoints(t *testing.T) {
+	cfg := baseConfig()
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, s := range gt.Sizes {
+		if s <= 0 {
+			t.Fatalf("cluster size %d not positive", s)
+		}
+		sum += s
+	}
+	if want := cfg.N - gt.Outliers; sum != want {
+		t.Fatalf("cluster sizes sum to %d, want %d", sum, want)
+	}
+}
+
+func TestLabelsMatchSizes(t *testing.T) {
+	cfg := baseConfig()
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.K)
+	for i := 0; i < ds.Len(); i++ {
+		if l := ds.Label(i); l >= 0 {
+			counts[l]++
+		}
+	}
+	for i := range counts {
+		if counts[i] != gt.Sizes[i] {
+			t.Fatalf("cluster %d has %d labeled points, gt says %d", i, counts[i], gt.Sizes[i])
+		}
+	}
+}
+
+func TestDimensionCountsPoisson(t *testing.T) {
+	cfg := baseConfig()
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dims := range gt.Dimensions {
+		if len(dims) < 2 || len(dims) > cfg.Dims {
+			t.Fatalf("cluster %d has %d dims, outside [2, %d]", i, len(dims), cfg.Dims)
+		}
+		if !sort.IntsAreSorted(dims) {
+			t.Fatalf("cluster %d dims not sorted: %v", i, dims)
+		}
+		seen := map[int]bool{}
+		for _, d := range dims {
+			if d < 0 || d >= cfg.Dims || seen[d] {
+				t.Fatalf("cluster %d dims invalid: %v", i, dims)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestFixedDims(t *testing.T) {
+	cfg := baseConfig()
+	cfg.FixedDims = 7
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dims := range gt.Dimensions {
+		if len(dims) != 7 {
+			t.Fatalf("cluster %d has %d dims, want 7", i, len(dims))
+		}
+	}
+}
+
+func TestExplicitDimCounts(t *testing.T) {
+	cfg := baseConfig()
+	cfg.DimCounts = []int{2, 2, 3, 6, 7}
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range cfg.DimCounts {
+		if len(gt.Dimensions[i]) != want {
+			t.Fatalf("cluster %d has %d dims, want %d", i, len(gt.Dimensions[i]), want)
+		}
+	}
+}
+
+func TestDimensionSharing(t *testing.T) {
+	// Successive clusters must share min{|D_{i-1}|, d_i/2} dimensions.
+	cfg := baseConfig()
+	cfg.FixedDims = 6
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < cfg.K; i++ {
+		prev := map[int]bool{}
+		for _, d := range gt.Dimensions[i-1] {
+			prev[d] = true
+		}
+		shared := 0
+		for _, d := range gt.Dimensions[i] {
+			if prev[d] {
+				shared++
+			}
+		}
+		want := len(gt.Dimensions[i]) / 2
+		if l := len(gt.Dimensions[i-1]); want > l {
+			want = l
+		}
+		if shared < want {
+			t.Fatalf("clusters %d,%d share %d dims, want at least %d", i-1, i, shared, want)
+		}
+	}
+}
+
+func TestClusterPointsConcentrateOnClusterDims(t *testing.T) {
+	cfg := baseConfig()
+	cfg.N = 20000
+	cfg.FixedDims = 5
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each cluster, the per-dimension standard deviation around the
+	// anchor must be far smaller on cluster dims (≤ s·r = 4) than on
+	// non-cluster dims (uniform over [0,100], stddev ≈ 28.9).
+	for c := 0; c < cfg.K; c++ {
+		isDim := map[int]bool{}
+		for _, d := range gt.Dimensions[c] {
+			isDim[d] = true
+		}
+		var members []int
+		for i := 0; i < ds.Len(); i++ {
+			if ds.Label(i) == c {
+				members = append(members, i)
+			}
+		}
+		if len(members) < 50 {
+			t.Fatalf("cluster %d too small to test: %d", c, len(members))
+		}
+		for j := 0; j < cfg.Dims; j++ {
+			var sumSq float64
+			for _, i := range members {
+				d := ds.Point(i)[j] - gt.Anchors[c][j]
+				sumSq += d * d
+			}
+			sd := math.Sqrt(sumSq / float64(len(members)))
+			if isDim[j] && sd > 5 {
+				t.Fatalf("cluster %d dim %d: stddev %v too large for a cluster dim", c, j, sd)
+			}
+			if !isDim[j] && sd < 10 {
+				t.Fatalf("cluster %d dim %d: stddev %v too small for a uniform dim", c, j, sd)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero N", func(c *Config) { c.N = 0 }},
+		{"one dim", func(c *Config) { c.Dims = 1 }},
+		{"zero K", func(c *Config) { c.K = 0 }},
+		{"no dims spec", func(c *Config) { c.AvgDims = 0 }},
+		{"bad fixed dims", func(c *Config) { c.FixedDims = 1 }},
+		{"fixed dims too large", func(c *Config) { c.FixedDims = 21 }},
+		{"dim counts wrong len", func(c *Config) { c.DimCounts = []int{2, 2} }},
+		{"dim count too small", func(c *Config) { c.DimCounts = []int{1, 2, 2, 2, 2} }},
+		{"outliers eat everything", func(c *Config) { c.OutlierFraction = 1 }},
+		{"bad range", func(c *Config) { c.Min, c.Max = 5, 5 }},
+		{"bad scale", func(c *Config) { c.MaxScale = 0.5 }},
+		{"bad spread", func(c *Config) { c.Spread = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig()
+		tc.mut(&cfg)
+		if _, _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGenerateSmallConfigsQuick(t *testing.T) {
+	prop := func(seed uint64, nRaw, kRaw, dRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		d := int(dRaw%8) + 2
+		n := int(nRaw%200) + k*20 + 20
+		ds, gt, err := Generate(Config{N: n, Dims: d, K: k, AvgDims: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if ds.Len() != n || ds.Validate() != nil {
+			return false
+		}
+		sum := gt.Outliers
+		for _, s := range gt.Sizes {
+			if s <= 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

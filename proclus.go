@@ -1,0 +1,254 @@
+// Package proclus is the public API of this repository: a Go
+// implementation of PROCLUS, the projected clustering algorithm of
+// Aggarwal, Procopiuc, Wolf, Yu and Park ("Fast Algorithms for Projected
+// Clustering", SIGMOD 1999), together with the CLIQUE baseline it was
+// evaluated against, the paper's synthetic workload generator, a
+// full-dimensional k-medoids reference, and the paper's evaluation
+// metrics.
+//
+// # Quick start
+//
+//	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+//		N: 10000, Dims: 20, K: 5, AvgDims: 7, Seed: 1,
+//	})
+//	if err != nil { ... }
+//	res, err := proclus.Run(ds, proclus.Config{K: 5, L: 7, Seed: 1})
+//	if err != nil { ... }
+//	for i, c := range res.Clusters {
+//		fmt.Printf("cluster %d: %d points, dims %v\n", i, len(c.Members), c.Dimensions)
+//	}
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the stable surface so downstream users depend on one import
+// path.
+package proclus
+
+import (
+	"context"
+	"io"
+
+	"proclus/internal/clique"
+	"proclus/internal/core"
+	"proclus/internal/dataset"
+	"proclus/internal/eval"
+	"proclus/internal/medoid"
+	"proclus/internal/orclus"
+	"proclus/internal/synth"
+)
+
+// Dataset is a set of points in d-dimensional space with optional
+// ground-truth labels. See NewDataset, FromRows, ReadCSV and Generate.
+type Dataset = dataset.Dataset
+
+// Outlier is the ground-truth label of noise points in labeled datasets.
+const Outlier = dataset.Outlier
+
+// Config holds the PROCLUS parameters; K (cluster count) and L (average
+// dimensions per cluster) are required.
+type Config = core.Config
+
+// Result is the output of a PROCLUS run: a (k+1)-way partition plus
+// per-cluster dimension sets.
+type Result = core.Result
+
+// Cluster is one projected cluster in a Result.
+type Cluster = core.Cluster
+
+// OutlierID marks points assigned to no cluster in Result.Assignments.
+const OutlierID = core.OutlierID
+
+// Stats records a run's phase timings and hill-climbing trace.
+type Stats = core.Stats
+
+// InitMethod selects the candidate-medoid initialization strategy.
+type InitMethod = core.InitMethod
+
+// Initialization strategies: the paper's greedy farthest-first over a
+// random sample, or uniform random selection (ablation baseline).
+const (
+	InitGreedy = core.InitGreedy
+	InitRandom = core.InitRandom
+)
+
+// AssignMetric selects the point-to-medoid distance.
+type AssignMetric = core.AssignMetric
+
+// Assignment metrics: the paper's Manhattan segmental distance, or
+// unnormalized Manhattan over each medoid's dimensions (ablation
+// baseline).
+const (
+	MetricSegmental = core.MetricSegmental
+	MetricManhattan = core.MetricManhattan
+)
+
+// Run executes PROCLUS on ds.
+func Run(ds *Dataset, cfg Config) (*Result, error) { return core.Run(ds, cfg) }
+
+// RunContext executes PROCLUS on ds, aborting between hill-climbing
+// trials when ctx is cancelled.
+func RunContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, ds, cfg)
+}
+
+// LSweepPoint is one point of an l-parameter sweep.
+type LSweepPoint = core.LSweepPoint
+
+// SweepL runs PROCLUS for every l in [minL, maxL], the loop §4.3 of the
+// paper recommends when the average cluster dimensionality is unknown.
+func SweepL(ds *Dataset, cfg Config, minL, maxL int) ([]LSweepPoint, error) {
+	return core.SweepL(ds, cfg, minL, maxL)
+}
+
+// SuggestL picks an l from a sweep by elbow detection on the objective
+// curve.
+func SuggestL(points []LSweepPoint) (int, error) { return core.SuggestL(points) }
+
+// KSweepPoint is one point of a k-parameter sweep.
+type KSweepPoint = core.KSweepPoint
+
+// SweepK runs PROCLUS for every k in [minK, maxK] with otherwise fixed
+// configuration.
+func SweepK(ds *Dataset, cfg Config, minK, maxK int) ([]KSweepPoint, error) {
+	return core.SweepK(ds, cfg, minK, maxK)
+}
+
+// SuggestK picks a k from a sweep by knee detection on the objective
+// curve.
+func SuggestK(points []KSweepPoint) (int, error) { return core.SuggestK(points) }
+
+// CliqueConfig holds the CLIQUE parameters (grid resolution Xi and
+// density threshold Tau).
+type CliqueConfig = clique.Config
+
+// CliqueResult is the output of a CLIQUE run: dense-unit clusters per
+// subspace, which may overlap.
+type CliqueResult = clique.Result
+
+// RunCLIQUE executes the CLIQUE baseline on ds.
+func RunCLIQUE(ds *Dataset, cfg CliqueConfig) (*CliqueResult, error) { return clique.Run(ds, cfg) }
+
+// CliqueMembership returns each CLIQUE cluster's covered point indices.
+func CliqueMembership(ds *Dataset, res *CliqueResult) [][]int { return clique.Membership(ds, res) }
+
+// Region is an axis-parallel hyper-rectangle of grid units used in
+// CLIQUE cluster descriptions.
+type Region = clique.Region
+
+// DescribeCliqueCluster returns a minimal cover of a CLIQUE cluster's
+// dense units by maximal axis-parallel regions (CLIQUE's description
+// step).
+func DescribeCliqueCluster(cl clique.Cluster) []Region { return clique.Describe(cl) }
+
+// CliquePartitionView flattens a CLIQUE result into a disjoint
+// assignment (one cluster per covered point, -1 for uncovered),
+// preferring higher-dimensional then larger clusters.
+func CliquePartitionView(ds *Dataset, res *CliqueResult) []int {
+	return clique.PartitionView(ds, res)
+}
+
+// GeneratorConfig describes a synthetic dataset in the sense of §4.1 of
+// the paper.
+type GeneratorConfig = synth.Config
+
+// GroundTruth records the clusters a generated dataset actually
+// contains.
+type GroundTruth = synth.GroundTruth
+
+// Generate produces a labeled synthetic dataset and its ground truth.
+func Generate(cfg GeneratorConfig) (*Dataset, *GroundTruth, error) { return synth.Generate(cfg) }
+
+// ORCLUSConfig parameterizes generalized (arbitrarily oriented)
+// projected clustering — the future-work direction of the paper's
+// conclusions, published by two of its authors as ORCLUS (SIGMOD 2000).
+type ORCLUSConfig = orclus.Config
+
+// ORCLUSResult is the output of an ORCLUS run: clusters with arbitrary
+// orthonormal subspace bases instead of axis subsets.
+type ORCLUSResult = orclus.Result
+
+// ORCLUSCluster is one generalized projected cluster.
+type ORCLUSCluster = orclus.Cluster
+
+// RunORCLUS executes generalized projected clustering on ds.
+func RunORCLUS(ds *Dataset, cfg ORCLUSConfig) (*ORCLUSResult, error) { return orclus.Run(ds, cfg) }
+
+// OrientedConfig describes a synthetic workload of arbitrarily oriented
+// projected clusters.
+type OrientedConfig = synth.OrientedConfig
+
+// OrientedTruth records an oriented workload's generated structure.
+type OrientedTruth = synth.OrientedTruth
+
+// GenerateOriented produces a labeled dataset of arbitrarily oriented
+// projected clusters.
+func GenerateOriented(cfg OrientedConfig) (*Dataset, *OrientedTruth, error) {
+	return synth.GenerateOriented(cfg)
+}
+
+// KMedoidsConfig parameterizes the full-dimensional CLARANS-style
+// baseline.
+type KMedoidsConfig = medoid.Config
+
+// KMedoidsResult is a full-dimensional clustering.
+type KMedoidsResult = medoid.Result
+
+// RunKMedoids executes the full-dimensional k-medoids baseline on ds.
+func RunKMedoids(ds *Dataset, cfg KMedoidsConfig) (*KMedoidsResult, error) {
+	return medoid.Run(ds, cfg)
+}
+
+// ConfusionMatrix cross-tabulates output clusters against ground-truth
+// input clusters, in the layout of the paper's Tables 3 and 4.
+type ConfusionMatrix = eval.ConfusionMatrix
+
+// NewConfusion builds a confusion matrix from ground-truth labels and an
+// assignment vector (negative = outlier).
+func NewConfusion(labels, assignments []int, numOutput, numInput int) (*ConfusionMatrix, error) {
+	return eval.NewConfusion(labels, assignments, numOutput, numInput)
+}
+
+// DimensionMatch scores a recovered dimension set against ground truth.
+type DimensionMatch = eval.DimensionMatch
+
+// MatchDimensions compares the recovered dimension set found against
+// truth, returning precision, recall and exactness.
+func MatchDimensions(found, truth []int) DimensionMatch { return eval.MatchDimensions(found, truth) }
+
+// AverageOverlap computes Σ|C_i| / |∪C_i| over possibly-overlapping
+// cluster membership lists (the paper's overlap metric for CLIQUE).
+func AverageOverlap(memberships [][]int) (float64, error) { return eval.AverageOverlap(memberships) }
+
+// Coverage returns the fraction of true cluster points appearing in at
+// least one output cluster.
+func Coverage(labels []int, memberships [][]int) float64 { return eval.Coverage(labels, memberships) }
+
+// AdjustedRandIndex scores an assignment against ground-truth labels;
+// 1 = identical partitions, ~0 = chance. Negative values of either side
+// form one extra outlier group.
+func AdjustedRandIndex(labels, assignments []int) (float64, error) {
+	return eval.AdjustedRandIndex(labels, assignments)
+}
+
+// NormalizedMutualInfo scores an assignment against ground-truth labels
+// in [0, 1] (arithmetic normalization).
+func NormalizedMutualInfo(labels, assignments []int) (float64, error) {
+	return eval.NormalizedMutualInfo(labels, assignments)
+}
+
+// NewDataset returns an empty dataset of the given dimensionality.
+func NewDataset(dims int) *Dataset { return dataset.New(dims) }
+
+// FromRows builds a dataset from rows, with optional labels.
+func FromRows(rows [][]float64, labels []int) (*Dataset, error) {
+	return dataset.FromRows(rows, labels)
+}
+
+// ReadCSV reads a dataset from CSV; if hasLabels is set, the last column
+// is the ground-truth label.
+func ReadCSV(r io.Reader, hasLabels bool) (*Dataset, error) { return dataset.ReadCSV(r, hasLabels) }
+
+// LoadFile reads a dataset from a .csv or binary file produced by
+// Dataset.SaveFile.
+func LoadFile(path string, hasLabels bool) (*Dataset, error) {
+	return dataset.LoadFile(path, hasLabels)
+}

@@ -1,0 +1,136 @@
+package proclus_test
+
+import (
+	"strings"
+	"testing"
+
+	"proclus"
+)
+
+// The facade tests exercise the public API end to end: generate → run →
+// evaluate, plus the CSV path, exactly as the README's quick start does.
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	ds, gt, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 5000, Dims: 12, K: 3, FixedDims: 4, MinSizeFraction: 0.15, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proclus.Run(ds, proclus.Config{K: 3, L: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters: %d", len(res.Clusters))
+	}
+	cm, err := proclus.NewConfusion(ds.Labels(), res.Assignments, 3, len(gt.Sizes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Purity() < 0.9 {
+		t.Fatalf("purity %.3f on well-separated data", cm.Purity())
+	}
+	exact := 0
+	match := cm.Match()
+	for i, cl := range res.Clusters {
+		if match[i] >= 0 && proclus.MatchDimensions(cl.Dimensions, gt.Dimensions[match[i]]).Exact {
+			exact++
+		}
+	}
+	if exact < 2 {
+		t.Fatalf("only %d/3 exact dimension recoveries", exact)
+	}
+}
+
+func TestPublicAPICliqueAndMetrics(t *testing.T) {
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 3000, Dims: 8, K: 2, FixedDims: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proclus.RunCLIQUE(ds, proclus.CliqueConfig{Xi: 10, Tau: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("CLIQUE found nothing")
+	}
+	members := proclus.CliqueMembership(ds, res)
+	ov, err := proclus.AverageOverlap(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov < 1 {
+		t.Fatalf("overlap %v < 1", ov)
+	}
+	cov := proclus.Coverage(ds.Labels(), members)
+	if cov <= 0 || cov > 1 {
+		t.Fatalf("coverage %v out of range", cov)
+	}
+}
+
+func TestPublicAPIKMedoids(t *testing.T) {
+	ds, err := proclus.FromRows([][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {50, 50}, {51, 50}, {50, 51},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proclus.RunKMedoids(ds, proclus.KMedoidsConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] == res.Assignments[3] {
+		t.Fatal("far blobs merged")
+	}
+	if res.Assignments[0] != res.Assignments[1] || res.Assignments[3] != res.Assignments[4] {
+		t.Fatal("near points separated")
+	}
+}
+
+func TestPublicAPIORCLUS(t *testing.T) {
+	ds, _, err := proclus.GenerateOriented(proclus.OrientedConfig{
+		N: 2000, Dims: 8, K: 2, L: 2, OutlierFraction: -1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proclus.RunORCLUS(ds, proclus.ORCLUSConfig{K: 2, L: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := proclus.AdjustedRandIndex(ds.Labels(), res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Fatalf("ORCLUS ARI %.3f on separable oriented clusters", ari)
+	}
+	nmi, err := proclus.NormalizedMutualInfo(ds.Labels(), res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.8 {
+		t.Fatalf("NMI %.3f", nmi)
+	}
+}
+
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	ds, err := proclus.FromRows([][]float64{{1.5, 2}, {3, 4.25}}, []int{0, proclus.Outlier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ds.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := proclus.ReadCSV(strings.NewReader(sb.String()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Label(1) != proclus.Outlier {
+		t.Fatal("round trip lost data")
+	}
+}
