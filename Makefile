@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test test-race bench bench-obs
+
+check: vet build test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Observability overhead: instrumented assignment pass (counters on,
+# observer nil) vs an uninstrumented replica. Compare medians; the
+# instrumented path must stay within ~2%.
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkAssign' -count 5 ./internal/core/

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -82,5 +84,65 @@ func TestRunErrors(t *testing.T) {
 	path := writeBlobData(t)
 	if err := run([]string{"-in", path, "-xi", "1"}, &sb); err == nil {
 		t.Error("bad xi accepted")
+	}
+}
+
+func TestRunWritesReportAndTrace(t *testing.T) {
+	path := writeBlobData(t)
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-xi", "10", "-tau", "0.05",
+		"-report", reportPath, "-trace", tracePath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Algorithm string `json:"algorithm"`
+		Dataset   struct {
+			Points int    `json:"points"`
+			Source string `json:"source"`
+		} `json:"dataset"`
+		Counters struct {
+			PointsScanned   int64 `json:"points_scanned"`
+			DenseUnitProbes int64 `json:"dense_unit_probes"`
+		} `json:"counters"`
+		Levels             int   `json:"levels"`
+		DenseBySubspaceDim []int `json:"dense_by_subspace_dim"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Algorithm != "clique" {
+		t.Errorf("algorithm = %q", rep.Algorithm)
+	}
+	if rep.Dataset.Points != 1000 || rep.Dataset.Source != path {
+		t.Errorf("dataset info = %+v", rep.Dataset)
+	}
+	if rep.Counters.PointsScanned <= 0 || rep.Counters.DenseUnitProbes <= 0 {
+		t.Errorf("counters not collected: %+v", rep.Counters)
+	}
+	if rep.Levels < 2 || len(rep.DenseBySubspaceDim) != rep.Levels {
+		t.Errorf("lattice summary: levels %d, dense %v", rep.Levels, rep.DenseBySubspaceDim)
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(trace)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has only %d lines", len(lines))
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("trace line %d is not valid JSON: %s", i, line)
+		}
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"proclus/internal/experiments"
+	"proclus/internal/obs"
 )
 
 func main() {
@@ -30,19 +32,31 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("proclus-bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp      = fs.String("experiment", "all", "one of table1..table5, fig7..fig9, lsweep, oriented, or all")
-		full     = fs.Bool("full", false, "paper-scale workloads (N = 100k+; CLIQUE runs take minutes to hours)")
-		override = fs.Int("n", 0, "override the workload size (0 = scale defaults)")
-		csvDir   = fs.String("csvdir", "", "also write each experiment's data as <csvdir>/<id>.csv")
-		seed     = fs.Uint64("seed", 3, "random seed")
+		exp        = fs.String("experiment", "all", "one of table1..table5, fig7..fig9, lsweep, oriented, or all")
+		full       = fs.Bool("full", false, "paper-scale workloads (N = 100k+; CLIQUE runs take minutes to hours)")
+		override   = fs.Int("n", 0, "override the workload size (0 = scale defaults)")
+		csvDir     = fs.String("csvdir", "", "also write each experiment's data as <csvdir>/<id>.csv")
+		seed       = fs.Uint64("seed", 3, "random seed")
+		reportPath = fs.String("report", "", "write per-experiment timing records as a JSON array to this path")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	exportCSV := func(id string, data csvWriter) error {
 		if *csvDir == "" || data == nil {
 			return nil
@@ -161,6 +175,7 @@ func run(args []string, out io.Writer) error {
 
 	want := strings.ToLower(*exp)
 	matched := false
+	var records []benchRecord
 	for _, r := range runners {
 		if want != "all" && want != r.id {
 			continue
@@ -171,8 +186,28 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.id, err)
 		}
+		wall := time.Since(start)
 		fmt.Fprintln(out, rep)
-		fmt.Fprintf(out, "(%s completed in %s)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		// Phase timings come from core.Stats, measured inside PROCLUS;
+		// the wall-clock line additionally includes dataset generation,
+		// evaluation, and any CLIQUE baseline runs.
+		if t := rep.Timing; t.Runs > 0 {
+			fmt.Fprintf(out, "(%s proclus phases over %d run(s): init %s, iterate %s, refine %s — %s in-algorithm)\n",
+				r.id, t.Runs,
+				t.Init.Round(time.Millisecond), t.Iterate.Round(time.Millisecond),
+				t.Refine.Round(time.Millisecond), t.Total().Round(time.Millisecond))
+		}
+		fmt.Fprintf(out, "(%s completed in %s wall clock, including generation and evaluation)\n\n",
+			r.id, wall.Round(time.Millisecond))
+		records = append(records, benchRecord{
+			Experiment:     r.id,
+			WallSeconds:    wall.Seconds(),
+			ProclusRuns:    rep.Timing.Runs,
+			InitSeconds:    rep.Timing.Init.Seconds(),
+			IterateSeconds: rep.Timing.Iterate.Seconds(),
+			RefineSeconds:  rep.Timing.Refine.Seconds(),
+			PhaseSeconds:   rep.Timing.Total().Seconds(),
+		})
 		if err := exportCSV(r.id, data); err != nil {
 			return fmt.Errorf("%s: exporting CSV: %w", r.id, err)
 		}
@@ -180,7 +215,39 @@ func run(args []string, out io.Writer) error {
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if *reportPath != "" {
+		if err := writeBenchReport(*reportPath, records); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// benchRecord is one experiment's machine-readable timing summary.
+// Phase fields cover only time inside PROCLUS runs; WallSeconds covers
+// the whole experiment including generation and evaluation.
+type benchRecord struct {
+	Experiment     string  `json:"experiment"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	ProclusRuns    int     `json:"proclus_runs"`
+	InitSeconds    float64 `json:"init_seconds"`
+	IterateSeconds float64 `json:"iterate_seconds"`
+	RefineSeconds  float64 `json:"refine_seconds"`
+	PhaseSeconds   float64 `json:"phase_seconds"`
+}
+
+func writeBenchReport(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // csvWriter is implemented by every experiment's data type.

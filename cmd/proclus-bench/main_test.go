@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,5 +77,36 @@ func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-zap"}, &sb); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunWritesBenchReport(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table1", "-n", "3000", "-report", reportPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "in-algorithm") {
+		t.Fatalf("missing phase-timing line:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []struct {
+		Experiment   string  `json:"experiment"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		ProclusRuns  int     `json:"proclus_runs"`
+		PhaseSeconds float64 `json:"phase_seconds"`
+	}
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v", err)
+	}
+	if len(records) != 1 || records[0].Experiment != "table1" {
+		t.Fatalf("records: %+v", records)
+	}
+	r := records[0]
+	if r.ProclusRuns <= 0 || r.PhaseSeconds <= 0 || r.WallSeconds < r.PhaseSeconds {
+		t.Errorf("timing record inconsistent: %+v", r)
 	}
 }

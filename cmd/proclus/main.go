@@ -8,6 +8,8 @@
 //	proclus -in data.csv -labels -k 5 -l 7
 //	proclus -in data.bin -k 5 -l 7 -assign out.csv
 //	proclus -in data.bin -k 5 -sweepl 2:9     # try a range of l values
+//	proclus -in data.bin -k 5 -l 7 -report run.json -trace trace.jsonl
+//	proclus -in data.bin -k 5 -l 7 -cpuprofile cpu.pprof
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"proclus/internal/core"
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
+	"proclus/internal/obs"
 )
 
 func main() {
@@ -31,20 +34,25 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("proclus", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		in        = fs.String("in", "", "input dataset (.csv or binary); required")
-		hasLabels = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
-		k         = fs.Int("k", 5, "number of clusters")
-		l         = fs.Int("l", 0, "average dimensions per cluster; required unless -sweepl is set")
-		sweepL    = fs.String("sweepl", "", "sweep l over a min:max range and report the objective curve")
-		sweepK    = fs.String("sweepk", "", "sweep k over a min:max range and report the objective curve")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		workers   = fs.Int("workers", 0, "assignment goroutines (0 = GOMAXPROCS)")
-		normalize = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
-		assignOut = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
+		in         = fs.String("in", "", "input dataset (.csv or binary); required")
+		hasLabels  = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
+		k          = fs.Int("k", 5, "number of clusters")
+		l          = fs.Int("l", 0, "average dimensions per cluster; required unless -sweepl is set")
+		sweepL     = fs.String("sweepl", "", "sweep l over a min:max range and report the objective curve")
+		sweepK     = fs.String("sweepk", "", "sweep k over a min:max range and report the objective curve")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		workers    = fs.Int("workers", 0, "assignment goroutines (0 = GOMAXPROCS)")
+		normalize  = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
+		assignOut  = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
+		reportPath = fs.String("report", "", "write a machine-readable JSON run report to this path (sweeps report the suggested run)")
+		tracePath  = fs.String("trace", "", "write a JSON-lines event trace to this path")
+		progress   = fs.Bool("progress", false, "log human-readable progress to stderr")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +65,24 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("one of -l or -sweepl is required")
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	observer, closeTrace, err := buildObserver(*tracePath, *progress)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeTrace(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	ds, err := dataset.LoadFile(*in, *hasLabels)
 	if err != nil {
 		return err
@@ -72,13 +98,16 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -normalize mode %q (want minmax or zscore)", *normalize)
 	}
-	cfg := core.Config{K: *k, L: *l, Seed: *seed, Workers: *workers}
+	cfg := core.Config{K: *k, L: *l, Seed: *seed, Workers: *workers, Observer: observer}
+	report := func(res *core.Result) error {
+		return writeReport(*reportPath, res, *in, ds.Labeled())
+	}
 
 	if *sweepL != "" {
-		return runSweepL(out, ds, cfg, *sweepL)
+		return runSweepL(out, ds, cfg, *sweepL, report)
 	}
 	if *sweepK != "" {
-		return runSweepK(out, ds, cfg, *sweepK)
+		return runSweepK(out, ds, cfg, *sweepK, report)
 	}
 
 	start := time.Now()
@@ -120,10 +149,48 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\nassignments written to %s\n", *assignOut)
 	}
-	return nil
+	return report(res)
 }
 
-func runSweepL(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string) error {
+// buildObserver assembles the CLI's observer from the -trace and
+// -progress flags and returns a cleanup that closes the trace file and
+// surfaces any deferred tracer write error.
+func buildObserver(tracePath string, progress bool) (obs.Observer, func() error, error) {
+	var observers []obs.Observer
+	closeTrace := func() error { return nil }
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		tracer := obs.NewJSONTracer(f)
+		observers = append(observers, tracer)
+		closeTrace = func() error {
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return tracer.Err()
+		}
+	}
+	if progress {
+		observers = append(observers, obs.NewProgressLogger(os.Stderr))
+	}
+	return obs.Multi(observers...), closeTrace, nil
+}
+
+// writeReport writes res's run report to path, stamping the dataset's
+// provenance, which only the CLI knows. An empty path is a no-op.
+func writeReport(path string, res *core.Result, source string, labeled bool) error {
+	if path == "" {
+		return nil
+	}
+	rep := res.Report()
+	rep.Dataset.Source = source
+	rep.Dataset.Labeled = labeled
+	return rep.WriteFile(path)
+}
+
+func runSweepL(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string, report func(*core.Result) error) error {
 	lo, hi, err := parseRange(spec)
 	if err != nil {
 		return err
@@ -137,18 +204,20 @@ func runSweepL(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string)
 		return err
 	}
 	fmt.Fprintf(out, "%6s %12s %10s\n", "l", "objective", "outliers")
+	var suggestedRes *core.Result
 	for _, p := range points {
 		marker := ""
 		if p.L == suggested {
 			marker = "  ← suggested"
+			suggestedRes = p.Result
 		}
 		fmt.Fprintf(out, "%6d %12.4f %10d%s\n", p.L, p.Objective, p.Outliers, marker)
 	}
 	fmt.Fprintf(out, "\nsuggested l: %d (objective elbow; see §4.3 of the paper)\n", suggested)
-	return nil
+	return report(suggestedRes)
 }
 
-func runSweepK(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string) error {
+func runSweepK(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string, report func(*core.Result) error) error {
 	lo, hi, err := parseRange(spec)
 	if err != nil {
 		return err
@@ -162,15 +231,17 @@ func runSweepK(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string)
 		return err
 	}
 	fmt.Fprintf(out, "%6s %12s %10s\n", "k", "objective", "outliers")
+	var suggestedRes *core.Result
 	for _, p := range points {
 		marker := ""
 		if p.K == suggested {
 			marker = "  ← suggested"
+			suggestedRes = p.Result
 		}
 		fmt.Fprintf(out, "%6d %12.4f %10d%s\n", p.K, p.Objective, p.Result.NumOutliers(), marker)
 	}
 	fmt.Fprintf(out, "\nsuggested k: %d (objective knee)\n", suggested)
-	return nil
+	return report(suggestedRes)
 }
 
 func parseRange(spec string) (lo, hi int, err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,5 +132,119 @@ func TestParseRange(t *testing.T) {
 		if _, _, err := parseRange(bad); err == nil {
 			t.Errorf("parseRange(%q) accepted", bad)
 		}
+	}
+}
+
+func TestRunWritesReportAndTrace(t *testing.T) {
+	path := writeWorkload(t)
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-k", "2", "-l", "3",
+		"-report", reportPath, "-trace", tracePath,
+		"-cpuprofile", cpuPath, "-memprofile", memPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Algorithm string `json:"algorithm"`
+		Dataset   struct {
+			Points  int    `json:"points"`
+			Labeled bool   `json:"labeled"`
+			Source  string `json:"source"`
+		} `json:"dataset"`
+		Counters struct {
+			DistanceEvals int64 `json:"distance_evals"`
+			PointsScanned int64 `json:"points_scanned"`
+		} `json:"counters"`
+		Clusters []struct {
+			Size int `json:"size"`
+		} `json:"clusters"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Algorithm != "proclus" {
+		t.Errorf("algorithm = %q", rep.Algorithm)
+	}
+	if rep.Dataset.Points != 1500 || !rep.Dataset.Labeled || rep.Dataset.Source != path {
+		t.Errorf("dataset info = %+v", rep.Dataset)
+	}
+	if rep.Counters.DistanceEvals <= 0 || rep.Counters.PointsScanned <= 0 {
+		t.Errorf("counters not collected: %+v", rep.Counters)
+	}
+	if len(rep.Clusters) != 2 {
+		t.Errorf("clusters: %d", len(rep.Clusters))
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(trace)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has only %d lines", len(lines))
+	}
+	var first, last struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("trace line 0 is not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("trace last line is not valid JSON: %v", err)
+	}
+	if first.Type != "run_start" || last.Type != "run_end" {
+		t.Errorf("trace bracketing: first %q, last %q", first.Type, last.Type)
+	}
+
+	for _, p := range []string{cpuPath, memPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+}
+
+func TestRunSweepWritesReport(t *testing.T) {
+	path := writeWorkload(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-sweepl", "2:4", "-report", reportPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Algorithm string `json:"algorithm"`
+		Config    struct {
+			L int `json:"l"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("sweep report is not valid JSON: %v", err)
+	}
+	if rep.Algorithm != "proclus" || rep.Config.L < 2 || rep.Config.L > 4 {
+		t.Errorf("sweep report: algorithm %q, l %d", rep.Algorithm, rep.Config.L)
+	}
+}
+
+func TestRunProgressLogs(t *testing.T) {
+	path := writeWorkload(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3", "-progress"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PROCLUS:") {
+		t.Fatalf("output missing header:\n%s", sb.String())
 	}
 }

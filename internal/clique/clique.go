@@ -24,8 +24,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"proclus/internal/dataset"
+	"proclus/internal/obs"
 )
 
 // Config holds the CLIQUE parameters.
@@ -75,6 +77,14 @@ type Config struct {
 	// worker, so results are identical for every worker count). Values
 	// below 1 select GOMAXPROCS.
 	Workers int
+
+	// Observer receives structured run events: run start/end, phase
+	// transitions and per-level candidate/dense counts. Nil — the
+	// default — disables event emission entirely; hot-path counters are
+	// still collected at negligible cost so Stats.Counters is always
+	// populated. The observer does not participate in the algorithm:
+	// runs with and without one produce identical Results.
+	Observer obs.Observer
 }
 
 func (cfg Config) withDefaults() Config {
@@ -140,6 +150,11 @@ type Result struct {
 	// Xi records the grid resolution the run used, so membership can be
 	// recomputed later against the same grid.
 	Xi int
+	// Config echoes the effective configuration (defaults applied) in
+	// the JSON-safe form embedded in run reports.
+	Config ConfigReport
+	// Stats records phase timings and counters.
+	Stats Stats
 }
 
 // grid maps points to interval indices.
@@ -189,7 +204,7 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	g := newGrid(ds, cfg.Xi)
 	minCount := int(cfg.Tau * float64(ds.Len()))
 	// "More than Tau·N": strictly greater.
-	r := &searcher{ds: ds, cfg: cfg, grid: g, minCount: minCount}
+	r := &searcher{ds: ds, cfg: cfg, grid: g, minCount: minCount, obs: cfg.Observer}
 	return r.run()
 }
 
@@ -198,6 +213,21 @@ type searcher struct {
 	cfg      Config
 	grid     *grid
 	minCount int
+	stats    Stats
+	// obs receives structured events; nil disables emission.
+	obs obs.Observer
+	// counters accumulates hot-path work, batched per pass so it stays
+	// cheap enough to keep always on.
+	counters obs.Counters
+}
+
+// emit forwards an event to the attached observer. The nil check is the
+// disabled fast path: no interface call happens without an observer.
+func (s *searcher) emit(e obs.Event) {
+	if s.obs != nil {
+		e.Algorithm = "clique"
+		s.obs.Observe(e)
+	}
 }
 
 // unitKey encodes a unit's intervals within a known subspace as a
@@ -237,20 +267,39 @@ func (s *searcher) run() (*Result, error) {
 	if s.cfg.Xi > 255 {
 		return nil, fmt.Errorf("clique: Xi = %d exceeds the supported maximum 255", s.cfg.Xi)
 	}
+	s.stats.DatasetPoints = s.ds.Len()
+	s.stats.DatasetDims = s.ds.Dims()
+	runStart := time.Now()
+	s.emit(obs.Event{Type: obs.EvRunStart, Points: s.ds.Len(), Dims: s.ds.Dims()})
+
 	res := &Result{DenseBySubspaceDim: []int{0}, Xi: s.cfg.Xi}
+	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "histogram"})
+	start := time.Now()
 	cur := s.denseOneDim()
+	s.stats.HistogramDuration = time.Since(start)
 	res.DenseBySubspaceDim = append(res.DenseBySubspaceDim, countUnits(cur))
+	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "histogram",
+		Dense: countUnits(cur), Seconds: s.stats.HistogramDuration.Seconds()})
+
+	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "search"})
+	start = time.Now()
 	var levels []*level
 	levels = append(levels, cur)
 	for q := 2; ; q++ {
 		if s.cfg.MaxDims > 0 && q > s.cfg.MaxDims {
 			break
 		}
+		s.emit(obs.Event{Type: obs.EvLevelStart, Level: q})
+		levelStart := time.Now()
 		cands, err := s.candidates(cur, q)
 		if err != nil {
 			return nil, err
 		}
-		if countUnits(cands) == 0 {
+		nCands := countUnits(cands)
+		if nCands == 0 {
+			// Close the level event pair so traces stay balanced.
+			s.emit(obs.Event{Type: obs.EvLevelEnd, Level: q,
+				Seconds: time.Since(levelStart).Seconds()})
 			break
 		}
 		s.countPass(cands)
@@ -260,13 +309,23 @@ func (s *searcher) run() (*Result, error) {
 		}
 		n := countUnits(next)
 		res.DenseBySubspaceDim = append(res.DenseBySubspaceDim, n)
+		levelDur := time.Since(levelStart)
+		s.stats.LevelDurations = append(s.stats.LevelDurations, levelDur)
+		s.emit(obs.Event{Type: obs.EvLevelEnd, Level: q,
+			Candidates: nCands, Dense: n, Seconds: levelDur.Seconds()})
 		if n == 0 {
 			break
 		}
 		levels = append(levels, next)
 		cur = next
 	}
+	s.stats.SearchDuration = time.Since(start)
 	res.Levels = len(levels)
+	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "search",
+		Level: res.Levels, Seconds: s.stats.SearchDuration.Seconds()})
+
+	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "report"})
+	start = time.Now()
 
 	// Report clusters. With FixedDims set, only that level is reported.
 	// With ReportMaximal, only maximal dense subspaces are. Otherwise
@@ -305,12 +364,24 @@ func (s *searcher) run() (*Result, error) {
 	}
 	s.countClusterSizes(res.Clusters)
 	sortClusters(res.Clusters)
+	s.stats.ReportDuration = time.Since(start)
+	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "report",
+		Clusters: len(res.Clusters), Seconds: s.stats.ReportDuration.Seconds()})
+
+	res.Config = s.cfg.reportConfig()
+	s.stats.Counters = s.counters.Snapshot()
+	res.Stats = s.stats
+	s.emit(obs.Event{Type: obs.EvRunEnd, Clusters: len(res.Clusters),
+		Level: res.Levels, Seconds: time.Since(runStart).Seconds()})
 	return res, nil
 }
 
 // denseOneDim performs the histogram pass for 1-dimensional units.
 func (s *searcher) denseOneDim() *level {
 	d := s.ds.Dims()
+	// Each point lands in one 1-dimensional unit per dimension.
+	s.counters.PointsScanned.Add(int64(s.ds.Len()))
+	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(d))
 	counts := make([][]int, d)
 	for j := range counts {
 		counts[j] = make([]int, s.cfg.Xi)
@@ -442,6 +513,12 @@ func (s *searcher) countPass(cands *level) {
 	for _, su := range cands.subspaces {
 		subspaces = append(subspaces, su)
 	}
+	// Counted once per logical pass, not per shard: every point is
+	// probed against every subspace exactly once regardless of how the
+	// subspaces shard across workers, so the totals stay independent of
+	// the Workers setting.
+	s.counters.PointsScanned.Add(int64(s.ds.Len()))
+	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(len(subspaces)))
 	forEachSubspaceShard(subspaces, s.cfg.Workers, func(shard []*subspaceUnits) {
 		buf := make([]int, 16)
 		s.ds.Each(func(_ int, p []float64) {
@@ -591,6 +668,8 @@ func (s *searcher) countClusterSizes(clusters []Cluster) {
 	for _, ref := range bySub {
 		refs = append(refs, ref)
 	}
+	s.counters.PointsScanned.Add(int64(s.ds.Len()))
+	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(len(refs)))
 	buf := make([]int, 16)
 	s.ds.Each(func(_ int, p []float64) {
 		for _, ref := range refs {

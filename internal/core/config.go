@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"proclus/internal/dataset"
+	"proclus/internal/obs"
 )
 
 // Config holds the PROCLUS parameters. K and L are the two inputs the
@@ -89,6 +90,17 @@ type Config struct {
 	// clusters, and no outlier detection. It exists as an ablation
 	// baseline for the paper's §2.3 refinement phase.
 	SkipRefinement bool
+
+	// Observer receives structured run events: run start/end, phase
+	// transitions, restart boundaries, hill-climbing iterations and
+	// medoid replacements. Nil — the default — disables event emission
+	// entirely; hot-path counters are still collected (batched per
+	// worker chunk) at negligible cost so Stats.Counters is always
+	// populated. Attach obs.NewJSONTracer, obs.NewProgressLogger, or
+	// several at once via obs.Multi. The observer must be safe for
+	// concurrent use and does not participate in the algorithm: runs
+	// with and without one produce identical Results.
+	Observer obs.Observer
 }
 
 // InitMethod selects the initialization strategy.
@@ -103,6 +115,17 @@ const (
 	InitRandom
 )
 
+// String names the method ("greedy", "random") for logs and reports.
+func (m InitMethod) String() string {
+	switch m {
+	case InitGreedy:
+		return "greedy"
+	case InitRandom:
+		return "random"
+	}
+	return fmt.Sprintf("InitMethod(%d)", int(m))
+}
+
 // AssignMetric selects the point-to-medoid distance.
 type AssignMetric int
 
@@ -115,6 +138,18 @@ const (
 	// with fewer dimensions.
 	MetricManhattan
 )
+
+// String names the metric ("segmental", "manhattan") for logs and
+// reports.
+func (m AssignMetric) String() string {
+	switch m {
+	case MetricSegmental:
+		return "segmental"
+	case MetricManhattan:
+		return "manhattan"
+	}
+	return fmt.Sprintf("AssignMetric(%d)", int(m))
+}
 
 func (cfg Config) withDefaults() Config {
 	if cfg.SampleFactor == 0 {
@@ -193,7 +228,15 @@ type Result struct {
 	Objective float64
 	// Iterations is the number of hill-climbing trials evaluated.
 	Iterations int
-	// Stats records phase timings and the hill-climbing trace.
+	// Seed is the effective seed the run used. Re-running with the
+	// same data, configuration and this seed reproduces the result
+	// exactly, so any run can be replayed from its report.
+	Seed uint64
+	// Config echoes the effective configuration (defaults applied) in
+	// the JSON-safe form embedded in run reports.
+	Config ConfigReport
+	// Stats records phase timings, counters and the hill-climbing
+	// trace.
 	Stats Stats
 }
 
@@ -210,6 +253,26 @@ type Stats struct {
 	// order, across restarts. The running minimum is the hill climb's
 	// progress curve.
 	ObjectiveTrace []float64
+	// Restarts breaks IterateDuration down per hill-climb restart, in
+	// order.
+	Restarts []RestartStats
+	// Counters snapshots the run's hot-path counters (distance
+	// evaluations, points scanned by assignment passes).
+	Counters obs.Snapshot
+	// DatasetPoints and DatasetDims record the input's shape, so a
+	// Result can describe its provenance in run reports.
+	DatasetPoints int
+	DatasetDims   int
+}
+
+// RestartStats describes one hill-climb restart.
+type RestartStats struct {
+	// Iterations is the number of trials the restart evaluated.
+	Iterations int
+	// BestObjective is the lowest objective the restart reached.
+	BestObjective float64
+	// Duration is the restart's wall time.
+	Duration time.Duration
 }
 
 // OutlierID is the assignment value of points classified as outliers.

@@ -11,6 +11,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/dist"
 	"proclus/internal/greedy"
+	"proclus/internal/obs"
 	"proclus/internal/randx"
 	"proclus/internal/sample"
 )
@@ -32,7 +33,7 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, 
 	if err := cfg.validate(ds); err != nil {
 		return nil, err
 	}
-	r := &runner{ctx: ctx, ds: ds, cfg: cfg, rng: randx.New(cfg.Seed)}
+	r := &runner{ctx: ctx, ds: ds, cfg: cfg, rng: randx.New(cfg.Seed), obs: cfg.Observer}
 	return r.run()
 }
 
@@ -43,6 +44,22 @@ type runner struct {
 	cfg   Config
 	rng   *randx.Rand
 	stats Stats
+	// obs receives structured events; nil disables emission.
+	obs obs.Observer
+	// counters accumulates hot-path work, batched per worker chunk so
+	// it stays cheap enough to keep always on.
+	counters obs.Counters
+}
+
+// emit forwards an event to the attached observer. The nil check is
+// the disabled fast path: no interface call happens without an
+// observer. Emission sites that must allocate to build their event
+// (copying slices) guard on r.obs != nil themselves.
+func (r *runner) emit(e obs.Event) {
+	if r.obs != nil {
+		e.Algorithm = "proclus"
+		r.obs.Observe(e)
+	}
 }
 
 // cancelled reports a pending context cancellation. A nil context
@@ -60,13 +77,22 @@ func (r *runner) cancelled() error {
 }
 
 func (r *runner) run() (*Result, error) {
+	r.stats.DatasetPoints = r.ds.Len()
+	r.stats.DatasetDims = r.ds.Dims()
+	runStart := time.Now()
+	r.emit(obs.Event{Type: obs.EvRunStart, Points: r.ds.Len(), Dims: r.ds.Dims()})
+
+	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "initialize"})
 	start := time.Now()
 	candidates, err := r.initialize()
 	if err != nil {
 		return nil, err
 	}
 	r.stats.InitDuration = time.Since(start)
+	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "initialize",
+		Candidates: len(candidates), Seconds: r.stats.InitDuration.Seconds()})
 
+	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "iterate"})
 	start = time.Now()
 	restarts := r.cfg.Restarts
 	if restarts < 1 {
@@ -75,10 +101,20 @@ func (r *runner) run() (*Result, error) {
 	var best *trialState
 	totalIterations := 0
 	for i := 0; i < restarts; i++ {
-		trial, iterations, err := r.iterate(candidates)
+		r.emit(obs.Event{Type: obs.EvRestartStart, Restart: i + 1})
+		restartStart := time.Now()
+		trial, iterations, err := r.iterate(candidates, i+1)
 		if err != nil {
 			return nil, err
 		}
+		restartDur := time.Since(restartStart)
+		r.stats.Restarts = append(r.stats.Restarts, RestartStats{
+			Iterations:    iterations,
+			BestObjective: trial.objective,
+			Duration:      restartDur,
+		})
+		r.emit(obs.Event{Type: obs.EvRestartEnd, Restart: i + 1,
+			Iteration: iterations, Objective: trial.objective, Seconds: restartDur.Seconds()})
 		totalIterations += iterations
 		if best == nil || trial.objective < best.objective {
 			best = trial
@@ -88,7 +124,10 @@ func (r *runner) run() (*Result, error) {
 		}
 	}
 	r.stats.IterateDuration = time.Since(start)
+	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "iterate",
+		Iteration: totalIterations, Seconds: r.stats.IterateDuration.Seconds()})
 
+	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "refine"})
 	start = time.Now()
 	var res *Result
 	if r.cfg.SkipRefinement {
@@ -98,8 +137,16 @@ func (r *runner) run() (*Result, error) {
 		res = r.refine(best)
 	}
 	r.stats.RefineDuration = time.Since(start)
+	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "refine", Seconds: r.stats.RefineDuration.Seconds()})
+
 	res.Iterations = totalIterations
+	res.Seed = r.cfg.Seed
+	res.Config = r.cfg.reportConfig()
+	r.stats.Counters = r.counters.Snapshot()
 	res.Stats = r.stats
+	r.emit(obs.Event{Type: obs.EvRunEnd, Objective: res.Objective,
+		Clusters: len(res.Clusters), Outliers: res.NumOutliers(),
+		Iteration: totalIterations, Seconds: time.Since(runStart).Seconds()})
 	return res, nil
 }
 
@@ -131,8 +178,9 @@ func (r *runner) initialize() ([]int, error) {
 	if medoidCount > len(s) {
 		medoidCount = len(s)
 	}
+	segAll := dist.Counted(dist.SegmentalAll, &r.counters.DistanceEvals)
 	picks, err := greedy.FarthestFirst(r.rng, len(s), medoidCount, func(i, j int) float64 {
-		return dist.SegmentalAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
+		return segAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("proclus: greedy medoid selection: %w", err)
@@ -155,7 +203,8 @@ type trialState struct {
 }
 
 // iterate performs the hill climb of §2.2 and returns the best trial.
-func (r *runner) iterate(candidates []int) (*trialState, int, error) {
+// restart is the 1-based restart index, used only for event context.
+func (r *runner) iterate(candidates []int, restart int) (*trialState, int, error) {
 	k := r.cfg.K
 	if len(candidates) < k {
 		return nil, 0, fmt.Errorf("proclus: only %d candidate medoids for k = %d", len(candidates), k)
@@ -174,7 +223,8 @@ func (r *runner) iterate(candidates []int) (*trialState, int, error) {
 		iterations++
 		trial := r.evaluateMedoids(current)
 		r.stats.ObjectiveTrace = append(r.stats.ObjectiveTrace, trial.objective)
-		if trial.objective < bestObjective {
+		improved := trial.objective < bestObjective
+		if improved {
 			bestObjective = trial.objective
 			best = trial
 			best.badMedoids = r.findBadMedoids(trial)
@@ -182,6 +232,8 @@ func (r *runner) iterate(candidates []int) (*trialState, int, error) {
 		} else {
 			noImprove++
 		}
+		r.emit(obs.Event{Type: obs.EvIteration, Restart: restart, Iteration: iterations,
+			Objective: trial.objective, Best: bestObjective, Improved: improved})
 		if noImprove >= r.cfg.MaxNoImprove || iterations >= r.cfg.MaxIterations {
 			break
 		}
@@ -193,6 +245,10 @@ func (r *runner) iterate(candidates []int) (*trialState, int, error) {
 			// Every candidate already serves as a medoid; no neighbouring
 			// vertex exists in the search graph.
 			break
+		}
+		if r.obs != nil {
+			r.emit(obs.Event{Type: obs.EvMedoidSwap, Restart: restart, Iteration: iterations,
+				Replaced: append([]int(nil), best.badMedoids...)})
 		}
 		current = next
 	}
@@ -235,6 +291,7 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 			}
 		}
 	}
+	r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
 	// Sharded scan: each worker fills per-chunk lists, concatenated in
 	// chunk order afterwards so the result is identical to a serial
 	// scan. Strict inequality keeps the nearest other medoid (at
@@ -262,6 +319,10 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 				}
 			}
 		}
+		// One batched add per chunk keeps the counters off the inner
+		// loop; the totals are exact and independent of Workers.
+		r.counters.DistanceEvals.Add(int64(hi-lo) * int64(k))
+		r.counters.PointsScanned.Add(int64(hi - lo))
 		mu.Lock()
 		chunks = append(chunks, chunk{lo: lo, lists: lists})
 		mu.Unlock()
@@ -301,6 +362,8 @@ func (r *runner) assignPoints(medoids []int, dims [][]int) (assign []int, sizes 
 			}
 			assign[p] = bestIdx
 		}
+		r.counters.DistanceEvals.Add(int64(hi-lo) * int64(len(medoidPoints)))
+		r.counters.PointsScanned.Add(int64(hi - lo))
 	})
 	sizes = make([]int, len(medoids))
 	for _, a := range assign {
@@ -453,11 +516,18 @@ func (r *runner) refine(best *trialState) *Result {
 			}
 		}
 	}
+	r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
 	parallelFor(r.ds.Len(), r.cfg.Workers, func(lo, hi int) {
+		// The early break makes the per-point distance count
+		// data-dependent, so accumulate locally and add once per chunk.
+		// Each point's count is chunking-independent, so the total still
+		// matches a serial scan exactly.
+		var evals int64
 		for p := lo; p < hi; p++ {
 			pt := r.ds.Point(p)
 			outlier := true
 			for i, m := range best.medoids {
+				evals++
 				if dist.Segmental(pt, r.ds.Point(m), dims[i]) <= delta[i] {
 					outlier = false
 					break
@@ -467,6 +537,8 @@ func (r *runner) refine(best *trialState) *Result {
 				assign[p] = OutlierID
 			}
 		}
+		r.counters.DistanceEvals.Add(evals)
+		r.counters.PointsScanned.Add(int64(hi - lo))
 	})
 
 	res := r.packageResult(best.medoids, dims, assign)

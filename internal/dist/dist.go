@@ -11,6 +11,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Manhattan returns the L1 distance between x and y. It panics if the
@@ -118,6 +119,17 @@ func ByName(name string) (Func, bool) {
 		return SegmentalAll, true
 	}
 	return nil, false
+}
+
+// Counted wraps f so every evaluation increments n. It instruments
+// call sites whose evaluation count cannot be derived arithmetically
+// (e.g. the greedy farthest-first closure); loops with a predictable
+// count should instead add their totals to the counter in one batch.
+func Counted(f Func, n *atomic.Int64) Func {
+	return func(x, y []float64) float64 {
+		n.Add(1)
+		return f(x, y)
+	}
 }
 
 func checkLen(x, y []float64) {

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -183,6 +184,20 @@ func TestByName(t *testing.T) {
 	}
 	if _, ok := ByName("cosine"); ok {
 		t.Error("ByName(cosine) unexpectedly resolved")
+	}
+}
+
+func TestCounted(t *testing.T) {
+	var n atomic.Int64
+	f := Counted(Manhattan, &n)
+	x, y := []float64{0, 0}, []float64{1, 2}
+	if got := f(x, y); got != 3 {
+		t.Fatalf("Counted changed the value: got %v, want 3", got)
+	}
+	f(x, y)
+	f(y, x)
+	if n.Load() != 3 {
+		t.Fatalf("counter = %d, want 3", n.Load())
 	}
 }
 

@@ -14,18 +14,46 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"proclus/internal/core"
 	"proclus/internal/dataset"
 	"proclus/internal/synth"
 )
 
 // Report is a rendered experiment: an identifier (e.g. "table3"), a
-// title quoting the paper artifact, and preformatted lines.
+// title quoting the paper artifact, and preformatted lines. Timing
+// aggregates the PROCLUS phase breakdown across the experiment's runs.
 type Report struct {
-	ID    string
-	Title string
-	Lines []string
+	ID     string
+	Title  string
+	Lines  []string
+	Timing Timing
 }
+
+// Timing aggregates PROCLUS phase timings across an experiment's runs.
+// The numbers come from core.Stats — measured inside the algorithm —
+// so dataset generation, evaluation and rendering never leak into
+// them, unlike wall-clock timing around the whole experiment.
+type Timing struct {
+	// Runs is the number of PROCLUS runs aggregated.
+	Runs int
+	// Init, Iterate and Refine sum the per-phase durations over Runs.
+	Init    time.Duration
+	Iterate time.Duration
+	Refine  time.Duration
+}
+
+// Add folds one run's phase timings into the aggregate.
+func (t *Timing) Add(s core.Stats) {
+	t.Runs++
+	t.Init += s.InitDuration
+	t.Iterate += s.IterateDuration
+	t.Refine += s.RefineDuration
+}
+
+// Total is the summed time PROCLUS spent across all phases and runs.
+func (t Timing) Total() time.Duration { return t.Init + t.Iterate + t.Refine }
 
 // String renders the report.
 func (r *Report) String() string {

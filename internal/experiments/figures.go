@@ -83,6 +83,7 @@ func (p Figure7Params) withDefaults() Figure7Params {
 func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 	p = p.withDefaults()
 	ts := &TimingSeries{Param: "points"}
+	var timing Timing
 	for _, n := range p.Ns {
 		ds, _, err := synth.Generate(synth.Config{
 			N: n, Dims: p.Dims, K: caseK, FixedDims: 5, Seed: p.Seed,
@@ -92,9 +93,11 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 		}
 		pt := TimingPoint{X: n}
 		start := time.Now()
-		if _, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1}); err != nil {
+		res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1})
+		if err != nil {
 			return nil, nil, err
 		}
+		timing.Add(res.Stats)
 		pt.Proclus = time.Since(start)
 		if p.WithClique {
 			start = time.Now()
@@ -105,7 +108,9 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 		}
 		ts.Points = append(ts.Points, pt)
 	}
-	return ts, ts.report("fig7", "scalability with the number of points (PROCLUS vs CLIQUE)"), nil
+	rep := ts.report("fig7", "scalability with the number of points (PROCLUS vs CLIQUE)")
+	rep.Timing = timing
+	return ts, rep, nil
 }
 
 // Figure8Params scales the "runtime vs average cluster dimensionality"
@@ -157,6 +162,7 @@ func (p Figure8Params) withDefaults() Figure8Params {
 func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 	p = p.withDefaults()
 	ts := &TimingSeries{Param: "l"}
+	var timing Timing
 	for _, l := range p.Ls {
 		ds, _, err := synth.Generate(synth.Config{
 			N: p.N, Dims: p.Dims, K: caseK, FixedDims: l, Seed: p.Seed,
@@ -166,9 +172,11 @@ func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 		}
 		pt := TimingPoint{X: l}
 		start := time.Now()
-		if _, err := core.Run(ds, core.Config{K: caseK, L: l, Seed: p.Seed + 1}); err != nil {
+		res, err := core.Run(ds, core.Config{K: caseK, L: l, Seed: p.Seed + 1})
+		if err != nil {
 			return nil, nil, err
 		}
+		timing.Add(res.Stats)
 		pt.Proclus = time.Since(start)
 		if p.WithClique {
 			tau := p.TauLow
@@ -183,7 +191,9 @@ func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 		}
 		ts.Points = append(ts.Points, pt)
 	}
-	return ts, ts.report("fig8", "scalability with average cluster dimensionality (PROCLUS vs CLIQUE)"), nil
+	rep := ts.report("fig8", "scalability with average cluster dimensionality (PROCLUS vs CLIQUE)")
+	rep.Timing = timing
+	return ts, rep, nil
 }
 
 // Figure9Params scales the "runtime vs space dimensionality" experiment.
@@ -221,6 +231,7 @@ func (p Figure9Params) withDefaults() Figure9Params {
 func Figure9(p Figure9Params) (*TimingSeries, *Report, error) {
 	p = p.withDefaults()
 	ts := &TimingSeries{Param: "dims"}
+	var timing Timing
 	for _, d := range p.Ds {
 		var total time.Duration
 		for rep := 0; rep < p.Repeats; rep++ {
@@ -231,12 +242,16 @@ func Figure9(p Figure9Params) (*TimingSeries, *Report, error) {
 				return nil, nil, err
 			}
 			start := time.Now()
-			if _, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1 + uint64(rep)}); err != nil {
+			res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1 + uint64(rep)})
+			if err != nil {
 				return nil, nil, err
 			}
+			timing.Add(res.Stats)
 			total += time.Since(start)
 		}
 		ts.Points = append(ts.Points, TimingPoint{X: d, Proclus: total / time.Duration(p.Repeats)})
 	}
-	return ts, ts.report("fig9", "scalability with the dimensionality of the space (PROCLUS only)"), nil
+	rep := ts.report("fig9", "scalability with the dimensionality of the space (PROCLUS only)")
+	rep.Timing = timing
+	return ts, rep, nil
 }

@@ -109,5 +109,8 @@ func LSweep(p LSweepParams) (*LSweepResult, *Report, error) {
 	}
 	r.addf("")
 	r.addf("true dimensionality: %d   suggested: %d", out.TrueL, out.Suggested)
+	for _, pt := range points {
+		r.Timing.Add(pt.Result.Stats)
+	}
 	return out, r, nil
 }

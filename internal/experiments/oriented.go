@@ -128,5 +128,6 @@ func Oriented(p OrientedParams) (*OrientedResult, *Report, error) {
 		r.addf("%10s %8.3f %8.3f %12s",
 			row.Algorithm, row.ARI, row.NMI, row.Elapsed.Round(time.Millisecond))
 	}
+	r.Timing.Add(pr.Stats)
 	return out, r, nil
 }

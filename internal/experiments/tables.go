@@ -103,7 +103,9 @@ func Table1(p CaseParams) (*DimsTable, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return t, t.report("table1", "PROCLUS: dimensions of input and output clusters, Case 1 (l = 7)"), nil
+	rep := t.report("table1", "PROCLUS: dimensions of input and output clusters, Case 1 (l = 7)")
+	rep.Timing.Add(res.Stats)
+	return t, rep, nil
 }
 
 // Table2 reproduces Table 2: input vs output cluster dimensions for
@@ -121,7 +123,9 @@ func Table2(p CaseParams) (*DimsTable, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return t, t.report("table2", "PROCLUS: dimensions of input and output clusters, Case 2 (l = 4)"), nil
+	rep := t.report("table2", "PROCLUS: dimensions of input and output clusters, Case 2 (l = 4)")
+	rep.Timing.Add(res.Stats)
+	return t, rep, nil
 }
 
 // ConfusionExperiment is the data behind Tables 3 and 4.
@@ -130,16 +134,16 @@ type ConfusionExperiment struct {
 	Purity float64
 }
 
-func confusionFor(ds *dataset.Dataset, gt *synth.GroundTruth, l int, seed uint64) (*ConfusionExperiment, error) {
+func confusionFor(ds *dataset.Dataset, gt *synth.GroundTruth, l int, seed uint64) (*ConfusionExperiment, *core.Result, error) {
 	res, err := runCase(ds, l, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cm, err := eval.NewConfusion(eval.LabelsFromDataset(ds), res.Assignments, len(res.Clusters), len(gt.Sizes))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &ConfusionExperiment{Matrix: cm, Purity: cm.Purity()}, nil
+	return &ConfusionExperiment{Matrix: cm, Purity: cm.Purity()}, res, nil
 }
 
 func (c *ConfusionExperiment) report(id, title string) *Report {
@@ -157,11 +161,13 @@ func Table3(p CaseParams) (*ConfusionExperiment, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := confusionFor(ds, gt, 7, p.Seed+1)
+	c, res, err := confusionFor(ds, gt, 7, p.Seed+1)
 	if err != nil {
 		return nil, nil, err
 	}
-	return c, c.report("table3", "PROCLUS: confusion matrix, Case 1 (same number of dimensions)"), nil
+	rep := c.report("table3", "PROCLUS: confusion matrix, Case 1 (same number of dimensions)")
+	rep.Timing.Add(res.Stats)
+	return c, rep, nil
 }
 
 // Table4 reproduces Table 4: the confusion matrix for Case 2.
@@ -170,11 +176,13 @@ func Table4(p CaseParams) (*ConfusionExperiment, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := confusionFor(ds, gt, 4, p.Seed+1)
+	c, res, err := confusionFor(ds, gt, 4, p.Seed+1)
 	if err != nil {
 		return nil, nil, err
 	}
-	return c, c.report("table4", "PROCLUS: confusion matrix, Case 2 (different numbers of dimensions)"), nil
+	rep := c.report("table4", "PROCLUS: confusion matrix, Case 2 (different numbers of dimensions)")
+	rep.Timing.Add(res.Stats)
+	return c, rep, nil
 }
 
 // Table5Params scales the CLIQUE comparison of Table 5 and the

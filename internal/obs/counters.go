@@ -1,0 +1,43 @@
+package obs
+
+import "sync/atomic"
+
+// Counters aggregates the hot-path work counters of one run. The
+// algorithms update them in per-worker batches (one atomic add per
+// chunk of points), so keeping them always on costs a few nanoseconds
+// per thousands of points — benchmark-verified under 2% on the
+// assignment hot path (see BenchmarkAssign* in internal/core).
+//
+// Counters must not be copied after first use.
+type Counters struct {
+	// DistanceEvals counts point-to-point distance evaluations.
+	DistanceEvals atomic.Int64
+	// PointsScanned counts data-point visits by full-dataset passes
+	// (assignment and outlier passes in PROCLUS, histogram and counting
+	// passes in CLIQUE).
+	PointsScanned atomic.Int64
+	// DenseUnitProbes counts unit-membership lookups performed by
+	// CLIQUE's counting passes.
+	DenseUnitProbes atomic.Int64
+}
+
+// Snapshot returns a plain-integer copy of the counters. A nil
+// receiver yields the zero Snapshot.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		DistanceEvals:   c.DistanceEvals.Load(),
+		PointsScanned:   c.PointsScanned.Load(),
+		DenseUnitProbes: c.DenseUnitProbes.Load(),
+	}
+}
+
+// Snapshot is the immutable, JSON-ready copy of Counters embedded in
+// Stats records and run reports.
+type Snapshot struct {
+	DistanceEvals   int64 `json:"distance_evals"`
+	PointsScanned   int64 `json:"points_scanned"`
+	DenseUnitProbes int64 `json:"dense_unit_probes"`
+}

@@ -32,6 +32,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
 	"proclus/internal/medoid"
+	"proclus/internal/obs"
 	"proclus/internal/orclus"
 	"proclus/internal/synth"
 )
@@ -57,8 +58,59 @@ type Cluster = core.Cluster
 // OutlierID marks points assigned to no cluster in Result.Assignments.
 const OutlierID = core.OutlierID
 
-// Stats records a run's phase timings and hill-climbing trace.
+// Stats records a run's phase timings, per-restart breakdown, hot-path
+// counters and hill-climbing trace.
 type Stats = core.Stats
+
+// RestartStats describes one hill-climb restart in Stats.Restarts.
+type RestartStats = core.RestartStats
+
+// Observer receives structured run events when attached via
+// Config.Observer (or CliqueConfig.Observer). Nil disables emission.
+type Observer = obs.Observer
+
+// Event is one structured observation: a run/phase/restart boundary, a
+// hill-climbing iteration, a medoid replacement, or a CLIQUE lattice
+// level.
+type Event = obs.Event
+
+// EventType discriminates Events.
+type EventType = obs.EventType
+
+// JSONTracer is an Observer writing one JSON object per event.
+type JSONTracer = obs.JSONTracer
+
+// ProgressLogger is an Observer printing human-readable progress lines.
+type ProgressLogger = obs.ProgressLogger
+
+// RunReport is the machine-readable summary of one run: config, seed,
+// per-phase and per-restart timings, counters, objective trace and
+// final clusters. Build one with Result.Report (or
+// CliqueResult.Report).
+type RunReport = obs.RunReport
+
+// CounterSnapshot holds a run's hot-path counters (distance
+// evaluations, points scanned, dense-unit probes).
+type CounterSnapshot = obs.Snapshot
+
+// NewJSONTracer returns an Observer writing one JSON line per event to
+// w. Safe for concurrent use; check Err after the run.
+func NewJSONTracer(w io.Writer) *JSONTracer { return obs.NewJSONTracer(w) }
+
+// NewProgressLogger returns an Observer printing human-readable
+// progress lines to w (typically os.Stderr).
+func NewProgressLogger(w io.Writer) *ProgressLogger { return obs.NewProgressLogger(w) }
+
+// MultiObserver fans events out to several observers; nils are
+// dropped, and zero observers yield nil (emission disabled).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// StartProfiles begins a CPU profile (cpuPath non-empty) and returns a
+// stop function that finishes it and writes a heap profile (memPath
+// non-empty). Either path may be empty.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, memPath)
+}
 
 // InitMethod selects the candidate-medoid initialization strategy.
 type InitMethod = core.InitMethod
