@@ -1,8 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-obs
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-obs
 
 check: vet build test-race
+
+# ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
+# race-enabled tests, coverage, and the benchmark smoke run.
+ci: fmt-check vet build test-race cover bench-smoke
+
+.PHONY: fmt-check
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -16,8 +29,17 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration per benchmark: proves the benchmarks still compile and
+# run without spending minutes on stable timings (the CI smoke job).
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkAssign' -benchtime 1x ./internal/core/
 
 # Observability overhead: instrumented assignment pass (counters on,
 # observer nil) vs an uninstrumented replica. Compare medians; the

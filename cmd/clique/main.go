@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		maximal    = fs.Bool("maximal", false, "report only maximal dense subspaces")
 		highest    = fs.Bool("highest", false, "report only the highest dimensionality reached")
 		mdl        = fs.Bool("mdl", false, "enable MDL subspace pruning (CLIQUE §3.2)")
-		workers    = fs.Int("workers", 0, "counting-pass goroutines (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", 0, "goroutine budget for the histogram and counting passes (0 = GOMAXPROCS); results are identical for any value")
 		verbose    = fs.Bool("v", false, "list every cluster with its region description")
 		reportPath = fs.String("report", "", "write a machine-readable JSON run report to this path")
 		tracePath  = fs.String("trace", "", "write a JSON-lines event trace to this path")

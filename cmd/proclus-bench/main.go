@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		override   = fs.Int("n", 0, "override the workload size (0 = scale defaults)")
 		csvDir     = fs.String("csvdir", "", "also write each experiment's data as <csvdir>/<id>.csv")
 		seed       = fs.Uint64("seed", 3, "random seed")
+		workers    = fs.Int("workers", 0, "goroutine budget per PROCLUS/CLIQUE run (0 = GOMAXPROCS); results are identical for any value")
 		reportPath = fs.String("report", "", "write per-experiment timing records as a JSON array to this path")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
@@ -92,7 +93,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		figN = *override
 		fig7Ns = []int{*override, 2 * *override}
 	}
-	caseParams := experiments.CaseParams{N: caseN, Seed: *seed}
+	caseParams := experiments.CaseParams{N: caseN, Seed: *seed, Workers: *workers}
 
 	runners := []runner{
 		{"table1", func() (*experiments.Report, csvWriter, error) {
@@ -112,7 +113,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			return r, d, err
 		}},
 		{"table5", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.Table5Params{Seed: *seed}
+			p := experiments.Table5Params{Seed: *seed, Workers: *workers}
 			if *full {
 				p.N = 100000
 				p.Dims = 20
@@ -130,12 +131,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		}},
 		{"fig7", func() (*experiments.Report, csvWriter, error) {
 			d, r, err := experiments.Figure7(experiments.Figure7Params{
-				Ns: fig7Ns, WithClique: true, Seed: *seed,
+				Ns: fig7Ns, WithClique: true, Seed: *seed, Workers: *workers,
 			})
 			return r, d, err
 		}},
 		{"fig8", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.Figure8Params{N: figN, WithClique: true, Seed: *seed}
+			p := experiments.Figure8Params{N: figN, WithClique: true, Seed: *seed, Workers: *workers}
 			if *full {
 				p.Dims = 20
 			}
@@ -146,7 +147,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			return r, d, err
 		}},
 		{"fig9", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.Figure9Params{N: figN, Seed: *seed}
+			p := experiments.Figure9Params{N: figN, Seed: *seed, Workers: *workers}
 			if *override > 0 {
 				p.Ds = []int{10, 20}
 				p.Repeats = 1
@@ -155,7 +156,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			return r, d, err
 		}},
 		{"lsweep", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.LSweepParams{N: figN, Seed: *seed}
+			p := experiments.LSweepParams{N: figN, Seed: *seed, Workers: *workers}
 			if *override > 0 {
 				p.Dims = 10
 				p.TrueL = 4
@@ -164,7 +165,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			return r, d, err
 		}},
 		{"oriented", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.OrientedParams{Seed: *seed}
+			p := experiments.OrientedParams{Seed: *seed, Workers: *workers}
 			if *override > 0 {
 				p.N = *override
 			}

@@ -45,7 +45,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		sweepL     = fs.String("sweepl", "", "sweep l over a min:max range and report the objective curve")
 		sweepK     = fs.String("sweepk", "", "sweep k over a min:max range and report the objective curve")
 		seed       = fs.Uint64("seed", 1, "random seed")
-		workers    = fs.Int("workers", 0, "assignment goroutines (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", 0, "goroutine budget: concurrent restarts plus per-pass parallelism (0 = GOMAXPROCS); results are identical for any value")
 		normalize  = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
 		assignOut  = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
 		reportPath = fs.String("report", "", "write a machine-readable JSON run report to this path (sweeps report the suggested run)")

@@ -35,8 +35,8 @@ func ExampleRun() {
 		fmt.Printf("cluster %d: dims %v\n", i+1, cl.Dimensions)
 	}
 	// Output:
-	// cluster 1: dims [2 3]
-	// cluster 2: dims [0 1]
+	// cluster 1: dims [0 1]
+	// cluster 2: dims [2 3]
 }
 
 func ExampleGenerate() {

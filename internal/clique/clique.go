@@ -21,13 +21,13 @@ package clique
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"proclus/internal/dataset"
 	"proclus/internal/obs"
+	"proclus/internal/parallel"
 )
 
 // Config holds the CLIQUE parameters.
@@ -72,10 +72,12 @@ type Config struct {
 	// the original CLIQUE program, which has this pruning; overlap ≈ 1
 	// and coverage well below 100% (paper §4.2) require it.
 	MDLPruning bool
-	// Workers bounds the goroutines used by the counting passes, which
-	// shard by subspace (each subspace's counters belong to exactly one
-	// worker, so results are identical for every worker count). Values
-	// below 1 select GOMAXPROCS.
+	// Workers bounds the goroutines used by the full-dataset passes: the
+	// 1-dimensional histogram (sharded by points, merged with commuting
+	// integer adds), the per-level candidate counting pass and the
+	// cluster-size pass (both sharded by subspace, so each subspace's
+	// counters belong to exactly one worker). Results are identical for
+	// every worker count. Values below 1 select GOMAXPROCS.
 	Workers int
 
 	// Observer receives structured run events: run start/end, phase
@@ -377,6 +379,9 @@ func (s *searcher) run() (*Result, error) {
 }
 
 // denseOneDim performs the histogram pass for 1-dimensional units.
+// Points shard across workers, each accumulating a private histogram;
+// the merge adds integers, which commute, so the totals are identical
+// for every worker count.
 func (s *searcher) denseOneDim() *level {
 	d := s.ds.Dims()
 	// Each point lands in one 1-dimensional unit per dimension.
@@ -386,10 +391,24 @@ func (s *searcher) denseOneDim() *level {
 	for j := range counts {
 		counts[j] = make([]int, s.cfg.Xi)
 	}
-	s.ds.Each(func(_ int, p []float64) {
-		for j, v := range p {
-			counts[j][s.grid.interval(j, v)]++
+	var mu sync.Mutex
+	parallel.For(s.ds.Len(), s.cfg.Workers, func(lo, hi int) {
+		local := make([][]int, d)
+		for j := range local {
+			local[j] = make([]int, s.cfg.Xi)
 		}
+		for pi := lo; pi < hi; pi++ {
+			for j, v := range s.ds.Point(pi) {
+				local[j][s.grid.interval(j, v)]++
+			}
+		}
+		mu.Lock()
+		for j := range counts {
+			for iv, c := range local[j] {
+				counts[j][iv] += c
+			}
+		}
+		mu.Unlock()
 	})
 	lv := &level{q: 1, subspaces: map[string]*subspaceUnits{}}
 	for j := 0; j < d; j++ {
@@ -519,7 +538,8 @@ func (s *searcher) countPass(cands *level) {
 	// the Workers setting.
 	s.counters.PointsScanned.Add(int64(s.ds.Len()))
 	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(len(subspaces)))
-	forEachSubspaceShard(subspaces, s.cfg.Workers, func(shard []*subspaceUnits) {
+	parallel.For(len(subspaces), s.cfg.Workers, func(lo, hi int) {
+		shard := subspaces[lo:hi]
 		buf := make([]int, 16)
 		s.ds.Each(func(_ int, p []float64) {
 			for _, su := range shard {
@@ -537,35 +557,6 @@ func (s *searcher) countPass(cands *level) {
 			}
 		})
 	})
-}
-
-// forEachSubspaceShard splits subspaces into contiguous shards and runs
-// fn on each from its own goroutine. workers < 1 selects GOMAXPROCS.
-func forEachSubspaceShard(subspaces []*subspaceUnits, workers int, fn func(shard []*subspaceUnits)) {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(subspaces) {
-		workers = len(subspaces)
-	}
-	if workers <= 1 {
-		fn(subspaces)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (len(subspaces) + workers - 1) / workers
-	for lo := 0; lo < len(subspaces); lo += chunk {
-		hi := lo + chunk
-		if hi > len(subspaces) {
-			hi = len(subspaces)
-		}
-		wg.Add(1)
-		go func(shard []*subspaceUnits) {
-			defer wg.Done()
-			fn(shard)
-		}(subspaces[lo:hi])
-	}
-	wg.Wait()
 }
 
 func pruneSparse(cands *level, minCount int) *level {
@@ -670,20 +661,24 @@ func (s *searcher) countClusterSizes(clusters []Cluster) {
 	}
 	s.counters.PointsScanned.Add(int64(s.ds.Len()))
 	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(len(refs)))
-	buf := make([]int, 16)
-	s.ds.Each(func(_ int, p []float64) {
-		for _, ref := range refs {
-			if cap(buf) < len(ref.dims) {
-				buf = make([]int, len(ref.dims))
+	// Shard by subspace: every cluster lives in exactly one subspace, so
+	// each worker increments a disjoint set of Size fields.
+	parallel.For(len(refs), s.cfg.Workers, func(lo, hi int) {
+		buf := make([]int, 16)
+		s.ds.Each(func(_ int, p []float64) {
+			for _, ref := range refs[lo:hi] {
+				if cap(buf) < len(ref.dims) {
+					buf = make([]int, len(ref.dims))
+				}
+				ivs := buf[:len(ref.dims)]
+				for i, d := range ref.dims {
+					ivs[i] = s.grid.interval(d, p[d])
+				}
+				if ci, ok := ref.units[unitKey(ivs)]; ok {
+					clusters[ci].Size++
+				}
 			}
-			ivs := buf[:len(ref.dims)]
-			for i, d := range ref.dims {
-				ivs[i] = s.grid.interval(d, p[d])
-			}
-			if ci, ok := ref.units[unitKey(ivs)]; ok {
-				clusters[ci].Size++
-			}
-		}
+		})
 	})
 }
 

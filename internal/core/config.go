@@ -68,9 +68,13 @@ type Config struct {
 	// Seed drives all randomness; runs with equal seeds and inputs
 	// produce identical results.
 	Seed uint64
-	// Workers bounds the number of goroutines used for the assignment
-	// passes. Values below 1 select GOMAXPROCS. The result is identical
-	// for any worker count.
+	// Workers bounds the total number of goroutines used across the
+	// run: greedy initialization, concurrent hill-climb restarts (each
+	// on its own deterministic sub-stream of Seed), the per-trial
+	// locality/dimension/assignment passes, and the refinement passes.
+	// Values below 1 select GOMAXPROCS. The result — medoids,
+	// assignments, dimension sets and the run report's objective trace —
+	// is bit-identical for any worker count.
 	Workers int
 
 	// InitMethod selects how candidate medoids are chosen; see the
@@ -99,7 +103,10 @@ type Config struct {
 	// populated. Attach obs.NewJSONTracer, obs.NewProgressLogger, or
 	// several at once via obs.Multi. The observer must be safe for
 	// concurrent use and does not participate in the algorithm: runs
-	// with and without one produce identical Results.
+	// with and without one produce identical Results. When Workers
+	// permits several restarts to run at once, their restart and
+	// iteration events interleave in wall-clock order; the run report,
+	// built from Stats, stays in restart order regardless.
 	Observer obs.Observer
 }
 

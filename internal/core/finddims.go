@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"proclus/internal/alloc"
+	"proclus/internal/parallel"
 )
 
 // findDimensions implements the FindDimensions procedure (paper Figure
@@ -21,10 +22,15 @@ import (
 func (r *runner) findDimensions(medoids []int, groups [][]int) [][]int {
 	k := len(medoids)
 
+	// One Z row per medoid, each an independent scan of that medoid's
+	// group: disjoint writes, and each row's float accumulation stays
+	// serial inside zRow, so results are identical for any worker count.
 	z := make([][]float64, k)
-	for i := range z {
-		z[i] = r.zRow(medoids[i], groups[i])
-	}
+	parallel.For(k, r.innerWorkers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			z[i] = r.zRow(medoids[i], groups[i])
+		}
+	})
 
 	dims, err := alloc.PickSmallest(z, r.cfg.K*r.cfg.L, 2)
 	if err != nil {

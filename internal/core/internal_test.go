@@ -5,7 +5,6 @@ package core
 import (
 	"math"
 	"sort"
-	"sync/atomic"
 	"testing"
 
 	"proclus/internal/dataset"
@@ -14,7 +13,7 @@ import (
 
 func newRunner(ds *dataset.Dataset, cfg Config) *runner {
 	cfg = cfg.withDefaults()
-	return &runner{ds: ds, cfg: cfg, rng: randx.New(cfg.Seed)}
+	return &runner{ds: ds, cfg: cfg, rng: randx.New(cfg.Seed), innerWorkers: cfg.Workers}
 }
 
 func gridDataset() *dataset.Dataset {
@@ -243,7 +242,7 @@ func TestReplaceBadSubstitutes(t *testing.T) {
 		badMedoids: []int{2},
 	}
 	candidates := []int{0, 20, 40, 1, 21, 41}
-	next, ok := r.replaceBad(best, candidates)
+	next, ok := r.replaceBad(best, candidates, r.rng)
 	if !ok {
 		t.Fatal("replacement reported no free candidates")
 	}
@@ -264,36 +263,7 @@ func TestReplaceBadExhaustedPool(t *testing.T) {
 	ds := gridDataset()
 	r := newRunner(ds, Config{K: 3, L: 2})
 	best := &trialState{medoids: []int{0, 20, 40}, badMedoids: []int{0}}
-	if _, ok := r.replaceBad(best, []int{0, 20, 40}); ok {
+	if _, ok := r.replaceBad(best, []int{0, 20, 40}, r.rng); ok {
 		t.Fatal("replacement succeeded with no free candidates")
-	}
-}
-
-func TestParallelForCoversRangeOnce(t *testing.T) {
-	for _, workers := range []int{0, 1, 3, 7, 100} {
-		const n = 1000
-		var touched [n]int32
-		parallelFor(n, workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				atomic.AddInt32(&touched[i], 1)
-			}
-		})
-		for i, v := range touched {
-			if v != 1 {
-				t.Fatalf("workers=%d: index %d touched %d times", workers, i, v)
-			}
-		}
-	}
-}
-
-func TestParallelForZeroN(t *testing.T) {
-	called := false
-	parallelFor(0, 4, func(lo, hi int) {
-		if lo != hi {
-			called = true
-		}
-	})
-	if called {
-		t.Fatal("parallelFor(0) invoked work")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"proclus/internal/obs"
+	"proclus/internal/parallel"
 	"proclus/internal/randx"
 	"proclus/internal/synth"
 )
@@ -26,7 +27,7 @@ func benchAssignSetup(b *testing.B, observer obs.Observer) (*runner, []int, [][]
 		b.Fatal(err)
 	}
 	cfg := Config{K: 4, L: 5, Workers: 1, Observer: observer}.withDefaults()
-	r := &runner{ds: ds, cfg: cfg, rng: randx.New(1), obs: observer}
+	r := &runner{ds: ds, cfg: cfg, rng: randx.New(1), obs: observer, innerWorkers: cfg.Workers}
 	medoids := []int{0, 1250, 2500, 3750}
 	dims := make([][]int, len(medoids))
 	for i := range dims {
@@ -73,7 +74,7 @@ func BenchmarkAssignRaw(b *testing.B) {
 
 // rawAssignPoints replicates assignPoints exactly, with the counter
 // adds removed. Keeping everything else identical (allocations, metric
-// closure, parallelFor) isolates the instrumentation cost.
+// closure, parallel.For) isolates the instrumentation cost.
 func rawAssignPoints(r *runner, medoids []int, dims [][]int) (assign []int, sizes []int) {
 	n := r.ds.Len()
 	assign = make([]int, n)
@@ -82,7 +83,7 @@ func rawAssignPoints(r *runner, medoids []int, dims [][]int) (assign []int, size
 		medoidPoints[i] = r.ds.Point(m)
 	}
 	metric := r.pointMetric()
-	parallelFor(n, r.cfg.Workers, func(lo, hi int) {
+	parallel.For(n, r.innerWorkers, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			pt := r.ds.Point(p)
 			bestIdx, bestDist := 0, math.Inf(1)

@@ -12,6 +12,7 @@ import (
 	"proclus/internal/dist"
 	"proclus/internal/greedy"
 	"proclus/internal/obs"
+	"proclus/internal/parallel"
 	"proclus/internal/randx"
 	"proclus/internal/sample"
 )
@@ -44,6 +45,14 @@ type runner struct {
 	cfg   Config
 	rng   *randx.Rand
 	stats Stats
+	// innerWorkers bounds the goroutines of the data-parallel passes
+	// (localities, dimension rows, assignment, outliers). It is set per
+	// phase before any worker goroutine starts: the full budget during
+	// initialization and refinement, the budget divided by the number of
+	// concurrent restarts during the iterative phase. Zero selects
+	// GOMAXPROCS, which keeps white-box tests that construct runners
+	// directly on the old behaviour.
+	innerWorkers int
 	// obs receives structured events; nil disables emission.
 	obs obs.Observer
 	// counters accumulates hot-path work, batched per worker chunk so
@@ -82,8 +91,11 @@ func (r *runner) run() (*Result, error) {
 	runStart := time.Now()
 	r.emit(obs.Event{Type: obs.EvRunStart, Points: r.ds.Len(), Dims: r.ds.Dims()})
 
+	workers := parallel.Workers(r.cfg.Workers)
+
 	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "initialize"})
 	start := time.Now()
+	r.innerWorkers = workers
 	candidates, err := r.initialize()
 	if err != nil {
 		return nil, err
@@ -98,30 +110,70 @@ func (r *runner) run() (*Result, error) {
 	if restarts < 1 {
 		restarts = 1
 	}
-	var best *trialState
-	totalIterations := 0
-	for i := 0; i < restarts; i++ {
+	// Every restart hill-climbs on its own generator, split off the
+	// master stream serially before any restart runs. The streams — and
+	// with them every downstream decision — therefore depend only on the
+	// seed, never on the Workers value or the goroutine schedule, so
+	// concurrent and serial execution are bit-identical.
+	rngs := make([]*randx.Rand, restarts)
+	for i := range rngs {
+		rngs[i] = r.rng.Split()
+	}
+	// Split the worker budget: up to `concurrent` restarts run at once,
+	// each entitled to an equal share of goroutines for its data-parallel
+	// passes. A single restart keeps the whole budget.
+	concurrent := workers
+	if concurrent > restarts {
+		concurrent = restarts
+	}
+	r.innerWorkers = workers / concurrent
+	if r.innerWorkers < 1 {
+		r.innerWorkers = 1
+	}
+	outcomes := make([]restartOutcome, restarts)
+	cancelErr := parallel.EachContext(r.ctx, restarts, concurrent, func(i int) {
 		r.emit(obs.Event{Type: obs.EvRestartStart, Restart: i + 1})
 		restartStart := time.Now()
-		trial, iterations, err := r.iterate(candidates, i+1)
-		if err != nil {
-			return nil, err
+		o := &outcomes[i]
+		o.trial, o.iterations, o.trace, o.err = r.climb(candidates, i+1, rngs[i])
+		o.duration = time.Since(restartStart)
+		if o.err != nil {
+			return
 		}
-		restartDur := time.Since(restartStart)
-		r.stats.Restarts = append(r.stats.Restarts, RestartStats{
-			Iterations:    iterations,
-			BestObjective: trial.objective,
-			Duration:      restartDur,
-		})
 		r.emit(obs.Event{Type: obs.EvRestartEnd, Restart: i + 1,
-			Iteration: iterations, Objective: trial.objective, Seconds: restartDur.Seconds()})
-		totalIterations += iterations
-		if best == nil || trial.objective < best.objective {
-			best = trial
+			Iteration: o.iterations, Objective: o.trial.objective, Seconds: o.duration.Seconds()})
+	})
+	// Merge in restart order so the trace, the per-restart stats and the
+	// best-trial tie-break (strictly-lower objective wins, so equal
+	// objectives keep the lowest restart index) are deterministic.
+	var best *trialState
+	totalIterations := 0
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return nil, o.err
 		}
-		if err := r.cancelled(); err != nil {
-			return nil, err
+		if o.trial == nil {
+			// Restart never ran: the context was cancelled before it was
+			// dispatched.
+			if cancelErr != nil {
+				return nil, cancelErr
+			}
+			return nil, fmt.Errorf("proclus: restart %d missing without cancellation", i+1)
 		}
+		r.stats.ObjectiveTrace = append(r.stats.ObjectiveTrace, o.trace...)
+		r.stats.Restarts = append(r.stats.Restarts, RestartStats{
+			Iterations:    o.iterations,
+			BestObjective: o.trial.objective,
+			Duration:      o.duration,
+		})
+		totalIterations += o.iterations
+		if best == nil || o.trial.objective < best.objective {
+			best = o.trial
+		}
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
 	}
 	r.stats.IterateDuration = time.Since(start)
 	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "iterate",
@@ -129,6 +181,7 @@ func (r *runner) run() (*Result, error) {
 
 	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "refine"})
 	start = time.Now()
+	r.innerWorkers = workers
 	var res *Result
 	if r.cfg.SkipRefinement {
 		res = r.packageResult(best.medoids, best.dims, append([]int(nil), best.assign...))
@@ -179,7 +232,7 @@ func (r *runner) initialize() ([]int, error) {
 		medoidCount = len(s)
 	}
 	segAll := dist.Counted(dist.SegmentalAll, &r.counters.DistanceEvals)
-	picks, err := greedy.FarthestFirst(r.rng, len(s), medoidCount, func(i, j int) float64 {
+	picks, err := greedy.FarthestFirstParallel(r.rng, len(s), medoidCount, r.innerWorkers, func(i, j int) float64 {
 		return segAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
 	})
 	if err != nil {
@@ -202,27 +255,43 @@ type trialState struct {
 	badMedoids []int // positions (0..k-1) of bad medoids within medoids
 }
 
-// iterate performs the hill climb of §2.2 and returns the best trial.
+// restartOutcome collects one hill-climb restart's results so the
+// restart engine can merge them in restart order after concurrent
+// execution.
+type restartOutcome struct {
+	trial      *trialState
+	iterations int
+	trace      []float64
+	duration   time.Duration
+	err        error
+}
+
+// climb performs the hill climb of §2.2 and returns the best trial, the
+// trial count, and the objective of every evaluated trial in order.
 // restart is the 1-based restart index, used only for event context.
-func (r *runner) iterate(candidates []int, restart int) (*trialState, int, error) {
+// rng is the restart's private generator: climb is called concurrently
+// for different restarts and must not touch shared mutable state beyond
+// the atomic counters and the (concurrency-safe) observer.
+func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialState, int, []float64, error) {
 	k := r.cfg.K
 	if len(candidates) < k {
-		return nil, 0, fmt.Errorf("proclus: only %d candidate medoids for k = %d", len(candidates), k)
+		return nil, 0, nil, fmt.Errorf("proclus: only %d candidate medoids for k = %d", len(candidates), k)
 	}
-	perm := r.rng.Perm(len(candidates))
+	perm := rng.Perm(len(candidates))
 	current := make([]int, k)
 	for i := 0; i < k; i++ {
 		current[i] = candidates[perm[i]]
 	}
 
 	var best *trialState
+	var trace []float64
 	bestObjective := math.Inf(1)
 	noImprove := 0
 	iterations := 0
 	for {
 		iterations++
 		trial := r.evaluateMedoids(current)
-		r.stats.ObjectiveTrace = append(r.stats.ObjectiveTrace, trial.objective)
+		trace = append(trace, trial.objective)
 		improved := trial.objective < bestObjective
 		if improved {
 			bestObjective = trial.objective
@@ -238,9 +307,9 @@ func (r *runner) iterate(candidates []int, restart int) (*trialState, int, error
 			break
 		}
 		if err := r.cancelled(); err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
-		next, ok := r.replaceBad(best, candidates)
+		next, ok := r.replaceBad(best, candidates, rng)
 		if !ok {
 			// Every candidate already serves as a medoid; no neighbouring
 			// vertex exists in the search graph.
@@ -252,7 +321,7 @@ func (r *runner) iterate(candidates []int, restart int) (*trialState, int, error
 		}
 		current = next
 	}
-	return best, iterations, nil
+	return best, iterations, trace, nil
 }
 
 // evaluateMedoids runs one hill-climbing trial: localities, dimensions,
@@ -279,18 +348,23 @@ func (r *runner) evaluateMedoids(medoids []int) *trialState {
 func (r *runner) computeLocalities(medoids []int) [][]int {
 	k := len(medoids)
 	delta := make([]float64, k)
-	for i := range medoids {
-		delta[i] = math.Inf(1)
-		for j := range medoids {
-			if i == j {
-				continue
-			}
-			d := dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]))
-			if d < delta[i] {
-				delta[i] = d
+	// Each δ_i is an independent minimum over the other medoids, so the
+	// rows parallelize with disjoint writes and worker-count-independent
+	// results.
+	parallel.For(k, r.innerWorkers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			delta[i] = math.Inf(1)
+			for j := range medoids {
+				if i == j {
+					continue
+				}
+				d := dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]))
+				if d < delta[i] {
+					delta[i] = d
+				}
 			}
 		}
-	}
+	})
 	r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
 	// Sharded scan: each worker fills per-chunk lists, concatenated in
 	// chunk order afterwards so the result is identical to a serial
@@ -309,7 +383,7 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 	}
 	var mu sync.Mutex
 	var chunks []chunk
-	parallelFor(n, r.cfg.Workers, func(lo, hi int) {
+	parallel.For(n, r.innerWorkers, func(lo, hi int) {
 		lists := make([][]int, k)
 		for p := lo; p < hi; p++ {
 			pt := r.ds.Point(p)
@@ -350,7 +424,7 @@ func (r *runner) assignPoints(medoids []int, dims [][]int) (assign []int, sizes 
 		medoidPoints[i] = r.ds.Point(m)
 	}
 	metric := r.pointMetric()
-	parallelFor(n, r.cfg.Workers, func(lo, hi int) {
+	parallel.For(n, r.innerWorkers, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			pt := r.ds.Point(p)
 			bestIdx, bestDist := 0, math.Inf(1)
@@ -459,8 +533,9 @@ func (r *runner) findBadMedoids(t *trialState) []int {
 
 // replaceBad builds the next trial's medoid set by substituting random
 // unused candidates for the bad medoids of the best set. It reports
-// false when no unused candidates remain.
-func (r *runner) replaceBad(best *trialState, candidates []int) ([]int, bool) {
+// false when no unused candidates remain. rng is the calling restart's
+// private generator.
+func (r *runner) replaceBad(best *trialState, candidates []int, rng *randx.Rand) ([]int, bool) {
 	inUse := make(map[int]bool, len(best.medoids))
 	for _, m := range best.medoids {
 		inUse[m] = true
@@ -475,7 +550,7 @@ func (r *runner) replaceBad(best *trialState, candidates []int) ([]int, bool) {
 		return nil, false
 	}
 	next := append([]int(nil), best.medoids...)
-	r.rng.Shuffle(len(free), func(a, b int) { free[a], free[b] = free[b], free[a] })
+	rng.Shuffle(len(free), func(a, b int) { free[a], free[b] = free[b], free[a] })
 	for i, pos := range best.badMedoids {
 		if i >= len(free) {
 			break
@@ -517,7 +592,7 @@ func (r *runner) refine(best *trialState) *Result {
 		}
 	}
 	r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
-	parallelFor(r.ds.Len(), r.cfg.Workers, func(lo, hi int) {
+	parallel.For(r.ds.Len(), r.innerWorkers, func(lo, hi int) {
 		// The early break makes the per-point distance count
 		// data-dependent, so accumulate locally and add once per chunk.
 		// Each point's count is chunking-independent, so the total still

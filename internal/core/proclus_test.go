@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 
 	"proclus/internal/dataset"
+	"proclus/internal/obs"
 	"proclus/internal/randx"
 	"proclus/internal/synth"
 )
@@ -102,28 +104,52 @@ func TestRunRecoverTwoProjectedClusters(t *testing.T) {
 	}
 }
 
+// comparableResult strips a Result down to the fields the determinism
+// contract covers: everything except wall-clock durations and the
+// Workers echo in the config report.
+type comparableResult struct {
+	Clusters    []Cluster
+	Assignments []int
+	Objective   float64
+	Iterations  int
+	Seed        uint64
+	Trace       []float64
+	Restarts    []RestartStats
+	Counters    obs.Snapshot
+}
+
+func stripTimings(res *Result) comparableResult {
+	c := comparableResult{
+		Clusters:    res.Clusters,
+		Assignments: res.Assignments,
+		Objective:   res.Objective,
+		Iterations:  res.Iterations,
+		Seed:        res.Seed,
+		Trace:       res.Stats.ObjectiveTrace,
+		Counters:    res.Stats.Counters,
+	}
+	for _, rs := range res.Stats.Restarts {
+		rs.Duration = 0
+		c.Restarts = append(c.Restarts, rs)
+	}
+	return c
+}
+
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	ds := wellSeparated(t, 100)
-	var prev *Result
+	var prev *comparableResult
+	var prevWorkers int
 	for _, workers := range []int{1, 2, 8} {
 		res, err := Run(ds, Config{K: 2, L: 2, Seed: 3, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if prev != nil {
-			if len(res.Assignments) != len(prev.Assignments) {
-				t.Fatal("assignment length changed with workers")
-			}
-			for i := range res.Assignments {
-				if res.Assignments[i] != prev.Assignments[i] {
-					t.Fatalf("assignment %d differs between worker counts", i)
-				}
-			}
-			if res.Objective != prev.Objective {
-				t.Fatalf("objective differs: %v vs %v", res.Objective, prev.Objective)
-			}
+		got := stripTimings(res)
+		if prev != nil && !reflect.DeepEqual(got, *prev) {
+			t.Fatalf("result differs between Workers=%d and Workers=%d:\n%+v\nvs\n%+v",
+				prevWorkers, workers, *prev, got)
 		}
-		prev = res
+		prev, prevWorkers = &got, workers
 	}
 }
 

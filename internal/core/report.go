@@ -52,8 +52,8 @@ func (r *Result) Report() *obs.RunReport {
 			Points: r.Stats.DatasetPoints,
 			Dims:   r.Stats.DatasetDims,
 		},
-		Seed:           r.Seed,
-		Config:         r.Config,
+		Seed:   r.Seed,
+		Config: r.Config,
 		Phases: []obs.PhaseReport{
 			{Name: "initialize", Seconds: r.Stats.InitDuration.Seconds()},
 			{Name: "iterate", Seconds: r.Stats.IterateDuration.Seconds()},

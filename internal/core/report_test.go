@@ -81,6 +81,45 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestReportGoldenConcurrentRestarts proves the serial/concurrent
+// equivalence at the report level: a run whose restarts execute
+// concurrently must reproduce the golden file byte-for-byte — same
+// effective seed, same per-restart iteration counts and objectives,
+// same trace — once wall-clock fields are zeroed and the Workers echo
+// (the one config field that legitimately differs) is pinned back to
+// the golden fixture's value.
+func TestReportGoldenConcurrentRestarts(t *testing.T) {
+	ds := reportData(t)
+	cfg := reportConfigFixture()
+	cfg.Workers = 4 // two concurrent restarts, two workers inside each
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	zeroReportTimings(rep)
+	echo, ok := rep.Config.(ConfigReport)
+	if !ok {
+		t.Fatalf("config echo has type %T", rep.Config)
+	}
+	if echo.Workers != 4 {
+		t.Fatalf("config echo Workers = %d, want 4", echo.Workers)
+	}
+	echo.Workers = reportConfigFixture().Workers
+	rep.Config = echo
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "report_golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run TestReportGolden with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("concurrent-restart report differs from the serial golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
 func TestReportDeterministicAcrossRuns(t *testing.T) {
 	ds := reportData(t)
 	serialize := func() []byte {

@@ -77,6 +77,10 @@ type CaseParams struct {
 	N int
 	// Seed drives generation and clustering.
 	Seed uint64
+	// Workers bounds the goroutines each PROCLUS run may use
+	// (core.Config.Workers); values below 1 select GOMAXPROCS. Results
+	// are identical for any value.
+	Workers int
 }
 
 func (p CaseParams) withDefaults() CaseParams {

@@ -62,6 +62,11 @@ type Figure7Params struct {
 	// CliqueTau is CLIQUE's density threshold. Default 0.005.
 	CliqueTau float64
 	Seed      uint64
+	// Workers bounds the goroutines each PROCLUS and CLIQUE run may
+	// use; values below 1 select GOMAXPROCS. Results are identical for
+	// any value, so the sweep measures the same clusterings at every
+	// worker count.
+	Workers int
 }
 
 func (p Figure7Params) withDefaults() Figure7Params {
@@ -93,7 +98,7 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 		}
 		pt := TimingPoint{X: n}
 		start := time.Now()
-		res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1})
+		res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1, Workers: p.Workers})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -101,7 +106,7 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 		pt.Proclus = time.Since(start)
 		if p.WithClique {
 			start = time.Now()
-			if _, err := clique.Run(ds, clique.Config{Xi: 10, Tau: p.CliqueTau}); err != nil {
+			if _, err := clique.Run(ds, clique.Config{Xi: 10, Tau: p.CliqueTau, Workers: p.Workers}); err != nil {
 				pt.CliqueErr = err.Error()
 			}
 			pt.Clique = time.Since(start)
@@ -132,6 +137,9 @@ type Figure8Params struct {
 	TauLow, TauHigh float64
 	TauSwitch       int
 	Seed            uint64
+	// Workers bounds the goroutines each PROCLUS and CLIQUE run may
+	// use; values below 1 select GOMAXPROCS.
+	Workers int
 }
 
 func (p Figure8Params) withDefaults() Figure8Params {
@@ -172,7 +180,7 @@ func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 		}
 		pt := TimingPoint{X: l}
 		start := time.Now()
-		res, err := core.Run(ds, core.Config{K: caseK, L: l, Seed: p.Seed + 1})
+		res, err := core.Run(ds, core.Config{K: caseK, L: l, Seed: p.Seed + 1, Workers: p.Workers})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -184,7 +192,7 @@ func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 				tau = p.TauHigh
 			}
 			start = time.Now()
-			if _, err := clique.Run(ds, clique.Config{Xi: 10, Tau: tau}); err != nil {
+			if _, err := clique.Run(ds, clique.Config{Xi: 10, Tau: tau, Workers: p.Workers}); err != nil {
 				pt.CliqueErr = err.Error()
 			}
 			pt.Clique = time.Since(start)
@@ -211,6 +219,9 @@ type Figure9Params struct {
 	// the curve). Default 3.
 	Repeats int
 	Seed    uint64
+	// Workers bounds the goroutines each PROCLUS run may use; values
+	// below 1 select GOMAXPROCS.
+	Workers int
 }
 
 func (p Figure9Params) withDefaults() Figure9Params {
@@ -242,7 +253,7 @@ func Figure9(p Figure9Params) (*TimingSeries, *Report, error) {
 				return nil, nil, err
 			}
 			start := time.Now()
-			res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1 + uint64(rep)})
+			res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1 + uint64(rep), Workers: p.Workers})
 			if err != nil {
 				return nil, nil, err
 			}

@@ -22,6 +22,9 @@ type LSweepParams struct {
 	// MinL and MaxL bound the sweep. Defaults 2 and TrueL+4.
 	MinL, MaxL int
 	Seed       uint64
+	// Workers bounds the goroutines each PROCLUS run may use; values
+	// below 1 select GOMAXPROCS.
+	Workers int
 }
 
 func (p LSweepParams) withDefaults() LSweepParams {
@@ -71,7 +74,7 @@ func LSweep(p LSweepParams) (*LSweepResult, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	points, err := core.SweepL(ds, core.Config{K: caseK, Seed: p.Seed + 1}, p.MinL, p.MaxL)
+	points, err := core.SweepL(ds, core.Config{K: caseK, Seed: p.Seed + 1, Workers: p.Workers}, p.MinL, p.MaxL)
 	if err != nil {
 		return nil, nil, err
 	}

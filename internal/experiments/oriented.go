@@ -27,6 +27,9 @@ type OrientedParams struct {
 	// L is the per-cluster subspace dimensionality. Default 2.
 	L    int
 	Seed uint64
+	// Workers bounds the goroutines the PROCLUS run may use; values
+	// below 1 select GOMAXPROCS. The ORCLUS baseline is serial.
+	Workers int
 }
 
 func (p OrientedParams) withDefaults() OrientedParams {
@@ -101,7 +104,7 @@ func Oriented(p OrientedParams) (*OrientedResult, *Report, error) {
 	}
 
 	start := time.Now()
-	pr, err := core.Run(ds, core.Config{K: p.K, L: p.L, Seed: p.Seed + 1})
+	pr, err := core.Run(ds, core.Config{K: p.K, L: p.L, Seed: p.Seed + 1, Workers: p.Workers})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -36,8 +36,8 @@ type DimsTable struct {
 
 // runCase executes PROCLUS on a generated case input with the matching
 // paper parameters (k = 5; l = 7 for Case 1, l = 4 for Case 2).
-func runCase(ds *dataset.Dataset, l int, seed uint64) (*core.Result, error) {
-	return core.Run(ds, core.Config{K: caseK, L: l, Seed: seed})
+func runCase(ds *dataset.Dataset, l int, seed uint64, workers int) (*core.Result, error) {
+	return core.Run(ds, core.Config{K: caseK, L: l, Seed: seed, Workers: workers})
 }
 
 func buildDimsTable(ds *dataset.Dataset, gt *synth.GroundTruth, res *core.Result) (*DimsTable, error) {
@@ -95,7 +95,7 @@ func Table1(p CaseParams) (*DimsTable, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := runCase(ds, 7, p.Seed+1)
+	res, err := runCase(ds, 7, p.Seed+1, p.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,7 +115,7 @@ func Table2(p CaseParams) (*DimsTable, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := runCase(ds, 4, p.Seed+1)
+	res, err := runCase(ds, 4, p.Seed+1, p.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -134,8 +134,8 @@ type ConfusionExperiment struct {
 	Purity float64
 }
 
-func confusionFor(ds *dataset.Dataset, gt *synth.GroundTruth, l int, seed uint64) (*ConfusionExperiment, *core.Result, error) {
-	res, err := runCase(ds, l, seed)
+func confusionFor(ds *dataset.Dataset, gt *synth.GroundTruth, l int, seed uint64, workers int) (*ConfusionExperiment, *core.Result, error) {
+	res, err := runCase(ds, l, seed, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,7 +161,7 @@ func Table3(p CaseParams) (*ConfusionExperiment, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	c, res, err := confusionFor(ds, gt, 7, p.Seed+1)
+	c, res, err := confusionFor(ds, gt, 7, p.Seed+1, p.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -176,7 +176,7 @@ func Table4(p CaseParams) (*ConfusionExperiment, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	c, res, err := confusionFor(ds, gt, 4, p.Seed+1)
+	c, res, err := confusionFor(ds, gt, 4, p.Seed+1, p.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -208,6 +208,9 @@ type Table5Params struct {
 	// (paper: 0.1% with 7-dim output). Default 0.002.
 	FixedTau float64
 	Seed     uint64
+	// Workers bounds the goroutines each CLIQUE run may use
+	// (clique.Config.Workers); values below 1 select GOMAXPROCS.
+	Workers int
 }
 
 func (p Table5Params) withDefaults() Table5Params {
@@ -272,6 +275,7 @@ func Table5(p Table5Params) (*Table5Result, *Report, error) {
 		row := Table5Row{Tau: tau, FixedDims: fixed}
 		res, err := clique.Run(ds, clique.Config{
 			Xi: 10, Tau: tau, FixedDims: fixed, ReportHighest: fixed == 0,
+			Workers: p.Workers,
 		})
 		if err != nil {
 			row.Err = err.Error()

@@ -6,7 +6,10 @@ package greedy
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
+	"proclus/internal/parallel"
 	"proclus/internal/randx"
 )
 
@@ -24,6 +27,19 @@ type DistanceTo func(i, j int) float64
 // matching Figure 3 of the paper: after each pick the per-item distance
 // to the closest chosen medoid is folded into a running minimum.
 func FarthestFirst(r *randx.Rand, n, k int, d DistanceTo) ([]int, error) {
+	return FarthestFirstParallel(r, n, k, 1, d)
+}
+
+// FarthestFirstParallel is FarthestFirst with the O(n) inner passes —
+// the distance-fold after each pick and the arg-max scan for the next
+// pick — sharded over up to workers goroutines. d must therefore be
+// safe for concurrent calls. The picks are identical to the serial
+// traversal for every worker count: shards fold and scan disjoint index
+// ranges, the per-item minima involve no accumulation (only pairwise
+// min), and the shard-wise arg-max reduction breaks ties toward the
+// lower index exactly as the serial scan does. workers < 1 selects
+// GOMAXPROCS.
+func FarthestFirstParallel(r *randx.Rand, n, k, workers int, d DistanceTo) ([]int, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("greedy: k = %d must be positive", k)
 	}
@@ -35,17 +51,41 @@ func FarthestFirst(r *randx.Rand, n, k int, d DistanceTo) ([]int, error) {
 	picks = append(picks, first)
 
 	minDist := make([]float64, n)
-	for i := 0; i < n; i++ {
-		minDist[i] = d(i, first)
-	}
+	parallel.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			minDist[i] = d(i, first)
+		}
+	})
 	chosen := make([]bool, n)
 	chosen[first] = true
 
+	// Each arg-max pass collects one candidate per shard; reducing them
+	// in ascending shard order with a strict comparison keeps the lowest
+	// index among equal maxima, matching the serial traversal's
+	// tie-break.
+	type shardBest struct {
+		lo, idx int
+		dist    float64
+	}
+	var mu sync.Mutex
 	for len(picks) < k {
+		var shards []shardBest
+		parallel.For(n, workers, func(lo, hi int) {
+			best, bestDist := -1, -1.0
+			for i := lo; i < hi; i++ {
+				if !chosen[i] && minDist[i] > bestDist {
+					best, bestDist = i, minDist[i]
+				}
+			}
+			mu.Lock()
+			shards = append(shards, shardBest{lo: lo, idx: best, dist: bestDist})
+			mu.Unlock()
+		})
+		sort.Slice(shards, func(a, b int) bool { return shards[a].lo < shards[b].lo })
 		best, bestDist := -1, -1.0
-		for i := 0; i < n; i++ {
-			if !chosen[i] && minDist[i] > bestDist {
-				best, bestDist = i, minDist[i]
+		for _, sb := range shards {
+			if sb.idx >= 0 && sb.dist > bestDist {
+				best, bestDist = sb.idx, sb.dist
 			}
 		}
 		if best < 0 {
@@ -54,13 +94,16 @@ func FarthestFirst(r *randx.Rand, n, k int, d DistanceTo) ([]int, error) {
 		}
 		picks = append(picks, best)
 		chosen[best] = true
-		for i := 0; i < n; i++ {
-			if !chosen[i] {
-				if nd := d(i, best); nd < minDist[i] {
-					minDist[i] = nd
+		pick := best
+		parallel.For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !chosen[i] {
+					if nd := d(i, pick); nd < minDist[i] {
+						minDist[i] = nd
+					}
 				}
 			}
-		}
+		})
 	}
 	return picks, nil
 }

@@ -1,0 +1,272 @@
+// Package parallel provides the shared concurrency primitives of the
+// clustering hot paths: a chunked parallel-for, an indexed work queue,
+// context-aware variants of both, and a bounded worker pool.
+//
+// All primitives propagate worker panics to the caller — a panic in a
+// worker goroutine re-surfaces on the calling goroutine as a
+// *WorkerPanic carrying the original value and the worker's stack —
+// instead of crashing the process from a bare goroutine.
+//
+// Determinism contract: the primitives never make results depend on the
+// worker count by themselves. Work is partitioned over index ranges and
+// callers write only to disjoint, index-addressed state, so any
+// computation built this way produces identical output for every
+// Workers value. Floating-point reductions whose accumulation order
+// matters must stay serial in the caller; see the package users in
+// internal/core and internal/clique for the pattern.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values below 1 select
+// GOMAXPROCS, anything else passes through.
+func Workers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// WorkerPanic is re-panicked on the calling goroutine when a worker
+// panics. It wraps the worker's original panic value and stack so the
+// failure is attributable even though it crossed goroutines.
+type WorkerPanic struct {
+	// Value is the worker's original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+func (w *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n\nworker stack:\n%s", w.Value, w.Stack)
+}
+
+// panicStore records the first worker panic so the spawning goroutine
+// can re-raise it after all workers finish.
+type panicStore struct {
+	mu  sync.Mutex
+	val *WorkerPanic
+}
+
+// capture must be deferred inside a worker goroutine. It keeps the
+// first panic observed; later panics (possible when several chunks fail
+// independently) are dropped — one representative failure is enough to
+// make the caller's bug visible.
+func (p *panicStore) capture() {
+	if v := recover(); v != nil {
+		wp := &WorkerPanic{Value: v, Stack: debug.Stack()}
+		p.mu.Lock()
+		if p.val == nil {
+			p.val = wp
+		}
+		p.mu.Unlock()
+	}
+}
+
+// repanic re-raises the recorded panic, if any, on the caller.
+func (p *panicStore) repanic() {
+	if p.val != nil {
+		panic(p.val)
+	}
+}
+
+// For splits [0, n) into one contiguous chunk per worker and runs fn on
+// each from its own goroutine. workers < 1 selects GOMAXPROCS. fn
+// instances must write only to disjoint state (per-index output slots),
+// so results are identical for every worker count. A panic inside fn
+// propagates to the caller as a *WorkerPanic.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var panics panicStore
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer panics.capture()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	panics.repanic()
+}
+
+// ForContext is For with cooperative cancellation: [0, n) is split into
+// finer chunks (several per worker) pulled from a shared queue, and no
+// new chunk starts once ctx is cancelled. It returns ctx.Err() when the
+// run was cut short — the caller must then discard any partial output —
+// and nil after all chunks completed. A nil ctx never cancels.
+func ForContext(ctx context.Context, n, workers int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	// Several chunks per worker so cancellation takes effect mid-pass
+	// rather than only at the end; chunk boundaries never affect results
+	// under the package's disjoint-write contract.
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	var next atomic.Int64
+	run := func() {
+		for {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			c := int(next.Add(1) - 1)
+			if c >= chunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	if workers <= 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		var panics panicStore
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer panics.capture()
+				run()
+			}()
+		}
+		wg.Wait()
+		panics.repanic()
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Each runs fn(i) for every i in [0, n) on up to workers goroutines.
+// Indices are pulled from a shared queue, so a long item does not
+// serialize the short ones behind it — the right shape for
+// heterogeneous units such as hill-climb restarts. fn instances must
+// write only to disjoint, index-addressed state. A panic inside fn
+// propagates to the caller as a *WorkerPanic.
+func Each(n, workers int, fn func(i int)) {
+	// Discarding the error is sound: with a nil context EachContext
+	// cannot be cancelled, so every index runs.
+	_ = EachContext(nil, n, workers, fn)
+}
+
+// EachContext is Each with cooperative cancellation: no new index is
+// dispatched once ctx is cancelled. Items already running complete. It
+// returns ctx.Err() when the run was cut short and nil after every
+// index ran. A nil ctx never cancels.
+func EachContext(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	if workers <= 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		var panics panicStore
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer panics.capture()
+				run()
+			}()
+		}
+		wg.Wait()
+		panics.repanic()
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Pool is a bounded worker pool for heterogeneous task sets whose size
+// is not known up front. At most `workers` submitted tasks run at once;
+// Go blocks while the pool is full, providing backpressure. A panic in
+// any task is re-raised by Wait as a *WorkerPanic.
+//
+// The zero Pool is not usable; construct with NewPool.
+type Pool struct {
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	panics panicStore
+}
+
+// NewPool returns a pool running at most workers tasks concurrently.
+// workers < 1 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Go submits a task, blocking until a worker slot is free.
+func (p *Pool) Go(task func()) {
+	p.wg.Add(1)
+	p.sem <- struct{}{}
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.sem }()
+		defer p.panics.capture()
+		task()
+	}()
+}
+
+// Wait blocks until every submitted task finished, then re-raises the
+// first task panic, if any. The pool is reusable after Wait returns
+// normally.
+func (p *Pool) Wait() {
+	p.wg.Wait()
+	p.panics.repanic()
+}

@@ -1,0 +1,218 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 100} {
+		const n = 1000
+		var touched [n]int32
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&touched[i], 1)
+			}
+		})
+		for i, v := range touched {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d touched %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForZeroN(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) {
+		if lo != hi {
+			called = true
+		}
+	})
+	if called {
+		t.Fatal("For(0) invoked work")
+	}
+}
+
+// TestForPropagatesPanic is the regression test for the bug where the
+// old core.parallelFor let a worker panic crash the whole process from
+// a bare goroutine instead of surfacing it to the caller.
+func TestForPropagatesPanic(t *testing.T) {
+	sentinel := errors.New("worker exploded")
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if workers == 1 {
+					// The serial fast path runs fn inline, so the panic
+					// arrives unwrapped.
+					if !errors.Is(r.(error), sentinel) {
+						t.Fatalf("workers=1: recovered %v, want sentinel", r)
+					}
+					return
+				}
+				wp, ok := r.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *WorkerPanic", workers, r, r)
+				}
+				if !errors.Is(wp.Value.(error), sentinel) {
+					t.Fatalf("workers=%d: wrapped value %v, want sentinel", workers, wp.Value)
+				}
+				if len(wp.Stack) == 0 {
+					t.Fatalf("workers=%d: WorkerPanic carries no stack", workers)
+				}
+				if wp.Error() == "" {
+					t.Fatalf("workers=%d: empty Error()", workers)
+				}
+			}()
+			For(100, workers, func(lo, hi int) {
+				if lo == 0 {
+					panic(sentinel)
+				}
+			})
+			t.Fatalf("workers=%d: For returned normally past a worker panic", workers)
+		}()
+	}
+}
+
+func TestForContextCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7} {
+		const n = 500
+		var touched [n]int32
+		if err := ForContext(context.Background(), n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&touched[i], 1)
+			}
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, v := range touched {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d touched %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForContext(ctx, 1000, 2, func(lo, hi int) {
+		// Cancel from inside the first chunk: later chunks must not start.
+		cancel()
+		ran.Add(int64(hi - lo))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("all %d items ran despite cancellation", got)
+	}
+}
+
+func TestEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		const n = 300
+		var touched [n]int32
+		Each(n, workers, func(i int) {
+			atomic.AddInt32(&touched[i], 1)
+		})
+		for i, v := range touched {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := EachContext(ctx, 1000, 2, func(i int) {
+		cancel()
+		ran.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatal("every item ran despite cancellation")
+	}
+}
+
+func TestEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*WorkerPanic); !ok {
+			t.Fatal("panic did not surface as *WorkerPanic")
+		}
+	}()
+	Each(50, 4, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Each returned normally past a worker panic")
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers, tasks = 3, 50
+	p := NewPool(workers)
+	var running, peak atomic.Int64
+	for i := 0; i < tasks; i++ {
+		p.Go(func() {
+			cur := running.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			running.Add(-1)
+		})
+	}
+	p.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", got, workers)
+	}
+}
+
+func TestPoolPropagatesPanicAndStaysUsable(t *testing.T) {
+	p := NewPool(2)
+	var after atomic.Int32
+	func() {
+		defer func() {
+			if _, ok := recover().(*WorkerPanic); !ok {
+				t.Fatal("Wait did not re-raise the task panic as *WorkerPanic")
+			}
+		}()
+		p.Go(func() { panic("task failed") })
+		p.Wait()
+		t.Fatal("Wait returned normally past a task panic")
+	}()
+	// The semaphore slot of the failed task must have been released, or
+	// this would deadlock once submissions exceed the bound.
+	for i := 0; i < 4; i++ {
+		p.Go(func() { after.Add(1) })
+	}
+	func() {
+		defer func() { recover() }() // Wait re-raises the recorded panic
+		p.Wait()
+	}()
+	if got := after.Load(); got != 4 {
+		t.Fatalf("%d follow-up tasks ran after a task panic, want 4", got)
+	}
+}
+
+func TestWorkersResolver(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got < 1 {
+		t.Fatalf("Workers(-3) = %d, want >= 1", got)
+	}
+}
