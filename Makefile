@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-obs
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-obs bench-record bench-baseline bench-check
 
 check: vet build test-race
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
-# race-enabled tests, coverage, and the benchmark smoke run.
-ci: fmt-check vet build test-race cover bench-smoke
+# race-enabled tests, coverage, the benchmark smoke run, and the
+# telemetry diff against the committed baseline.
+ci: fmt-check vet build test-race cover bench-smoke bench-check
 
 .PHONY: fmt-check
 fmt-check:
@@ -46,3 +47,28 @@ bench-smoke:
 # instrumented path must stay within ~2%.
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkAssign' -count 5 ./internal/core/
+
+# Pinned small configuration for benchmark telemetry: one experiment,
+# reduced N, fixed seed. The work counters (distance evaluations,
+# points scanned) are bit-for-bit reproducible for this configuration
+# on any machine; only the wall times vary with hardware.
+BENCH_CONFIG   = -experiment table1 -n 3000 -seed 3
+BENCH_BASELINE = bench/baseline.json
+
+# bench-record captures a timestamped telemetry file under bench/
+# (BENCH_<timestamp>.json) for ad-hoc before/after comparisons.
+bench-record:
+	$(GO) run ./cmd/proclus-bench $(BENCH_CONFIG) -bench-json bench/
+
+# bench-baseline refreshes the committed baseline after an intentional
+# performance-relevant change.
+bench-baseline:
+	$(GO) run ./cmd/proclus-bench $(BENCH_CONFIG) -bench-json $(BENCH_BASELINE)
+
+# bench-check records a fresh capture and diffs it against the
+# committed baseline. Work counters are held to the tight default
+# threshold; wall times get a wide 3x allowance because the baseline
+# was recorded on different hardware and the pinned run is short.
+bench-check:
+	$(GO) run ./cmd/proclus-bench $(BENCH_CONFIG) -bench-json bench/current.json
+	$(GO) run ./cmd/benchcmp -time-threshold 3.0 $(BENCH_BASELINE) bench/current.json

@@ -1,0 +1,84 @@
+// Command benchcmp diffs two benchmark-telemetry files produced by
+// proclus-bench -bench-json and exits non-zero when the candidate
+// regressed beyond the noise thresholds.
+//
+// Usage:
+//
+//	benchcmp baseline.json candidate.json
+//	benchcmp -time-threshold 3.0 bench/baseline.json BENCH_latest.json
+//
+// Time metrics (wall seconds, phase seconds, ns/op) are compared with
+// the wide -time-threshold; the deterministic work counters with the
+// tight -work-threshold. See internal/benchcmp for the schema.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"proclus/internal/benchcmp"
+)
+
+// errRegression distinguishes "candidate is slower" from usage and
+// I/O failures; both exit non-zero, but a regression has already been
+// explained by the printed report.
+var errRegression = errors.New("regressions detected")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		timeThreshold = fs.Float64("time-threshold", 0.5,
+			"relative slowdown beyond which a time metric is a regression (0.5 = 1.5x)")
+		workThreshold = fs.Float64("work-threshold", 0.1,
+			"relative tolerance for the deterministic work counters")
+		minSeconds = fs.Float64("min-seconds", 0.01,
+			"ignore time metrics where both sides measure below this floor")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: benchcmp [flags] baseline.json candidate.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("expected 2 files, got %d", fs.NArg())
+	}
+	baseline, err := benchcmp.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	candidate, err := benchcmp.Load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep, err := benchcmp.Compare(baseline, candidate, benchcmp.Options{
+		TimeThreshold: *timeThreshold,
+		WorkThreshold: *workThreshold,
+		MinSeconds:    *minSeconds,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(out); err != nil {
+		return err
+	}
+	if rep.HasRegressions() {
+		return errRegression
+	}
+	return nil
+}

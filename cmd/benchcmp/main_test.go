@@ -1,0 +1,114 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"proclus/internal/benchcmp"
+	"proclus/internal/obs"
+)
+
+func writeFixture(t *testing.T, dir, name string, mutate func(*benchcmp.File)) string {
+	t.Helper()
+	f := &benchcmp.File{
+		Schema:    benchcmp.SchemaVersion,
+		CreatedAt: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Config:    benchcmp.Config{Experiment: "table1", N: 3000, Seed: 3},
+		Records: []benchcmp.Record{{
+			Experiment:   "table1",
+			WallSeconds:  2.0,
+			Runs:         1,
+			PhaseSeconds: map[string]float64{"init": 0.2, "iterate": 1.0, "refine": 0.3},
+			Counters:     obs.Snapshot{DistanceEvals: 100000, PointsScanned: 50000},
+			NsPerOp:      1.5e9,
+		}},
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	path := filepath.Join(dir, name)
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := f.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIWithinNoiseExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", nil)
+	cand := writeFixture(t, dir, "cand.json", func(f *benchcmp.File) {
+		f.Records[0].WallSeconds *= 1.1
+	})
+	var sb strings.Builder
+	if err := run([]string{base, cand}, &sb); err != nil {
+		t.Fatalf("within-noise comparison failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestCLIRegressionExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", nil)
+	cand := writeFixture(t, dir, "cand.json", func(f *benchcmp.File) {
+		f.Records[0].PhaseSeconds["iterate"] *= 2 // the acceptance scenario
+	})
+	var sb strings.Builder
+	err := run([]string{base, cand}, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("2x regression not reported as failure: %v", err)
+	}
+	if !strings.Contains(sb.String(), "phase_seconds/iterate") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestCLISchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", nil)
+	cand := writeFixture(t, dir, "cand.json", func(f *benchcmp.File) {
+		f.Schema = benchcmp.SchemaVersion + 1
+	})
+	var sb strings.Builder
+	err := run([]string{base, cand}, &sb)
+	if err == nil || errors.Is(err, errRegression) {
+		t.Fatalf("schema mismatch not a hard error: %v", err)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"only-one.json"}, &sb); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	if err := run([]string{"a.json", "b.json"}, &sb); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	if err := run([]string{"-zap"}, &sb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestCLICustomThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFixture(t, dir, "base.json", nil)
+	cand := writeFixture(t, dir, "cand.json", func(f *benchcmp.File) {
+		f.Records[0].PhaseSeconds["iterate"] *= 2
+	})
+	var sb strings.Builder
+	// At -time-threshold 3.0 (the CI gate's wide setting) a 2x phase
+	// slowdown is tolerated.
+	if err := run([]string{"-time-threshold", "3.0", base, cand}, &sb); err != nil {
+		t.Fatalf("2x under 3.0 threshold flagged: %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 //	clique -in data.bin -xi 10 -tau 0.001 -fixeddims 7
 //	clique -in data.bin -highest -v            # report top level, list regions
 //	clique -in data.bin -report run.json -trace trace.jsonl
+//	clique -in data.bin -metrics-addr 127.0.0.1:9187
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 	"proclus/internal/clique"
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
-	"proclus/internal/obs"
+	"proclus/internal/obs/cliflags"
 )
 
 func main() {
@@ -35,23 +36,19 @@ func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("clique", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		in         = fs.String("in", "", "input dataset (.csv or binary); required")
-		hasLabels  = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
-		xi         = fs.Int("xi", 10, "intervals per dimension (ξ)")
-		tau        = fs.Float64("tau", 0.005, "density threshold as a fraction of N (τ)")
-		maxDims    = fs.Int("maxdims", 0, "stop the subspace search at this dimensionality (0 = unlimited)")
-		fixedDims  = fs.Int("fixeddims", 0, "report clusters only in subspaces of exactly this dimensionality")
-		maximal    = fs.Bool("maximal", false, "report only maximal dense subspaces")
-		highest    = fs.Bool("highest", false, "report only the highest dimensionality reached")
-		mdl        = fs.Bool("mdl", false, "enable MDL subspace pruning (CLIQUE §3.2)")
-		workers    = fs.Int("workers", 0, "goroutine budget for the histogram and counting passes (0 = GOMAXPROCS); results are identical for any value")
-		verbose    = fs.Bool("v", false, "list every cluster with its region description")
-		reportPath = fs.String("report", "", "write a machine-readable JSON run report to this path")
-		tracePath  = fs.String("trace", "", "write a JSON-lines event trace to this path")
-		progress   = fs.Bool("progress", false, "log human-readable progress to stderr")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
+		in        = fs.String("in", "", "input dataset (.csv or binary); required")
+		hasLabels = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
+		xi        = fs.Int("xi", 10, "intervals per dimension (ξ)")
+		tau       = fs.Float64("tau", 0.005, "density threshold as a fraction of N (τ)")
+		maxDims   = fs.Int("maxdims", 0, "stop the subspace search at this dimensionality (0 = unlimited)")
+		fixedDims = fs.Int("fixeddims", 0, "report clusters only in subspaces of exactly this dimensionality")
+		maximal   = fs.Bool("maximal", false, "report only maximal dense subspaces")
+		highest   = fs.Bool("highest", false, "report only the highest dimensionality reached")
+		mdl       = fs.Bool("mdl", false, "enable MDL subspace pruning (CLIQUE §3.2)")
+		workers   = fs.Int("workers", 0, "goroutine budget for the histogram and counting passes (0 = GOMAXPROCS); results are identical for any value")
+		verbose   = fs.Bool("v", false, "list every cluster with its region description")
 	)
+	obsFlags := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,21 +56,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		fs.Usage()
 		return fmt.Errorf("-in is required")
 	}
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := stopProfiles(); err != nil && retErr == nil {
-			retErr = err
-		}
-	}()
-	observer, closeTrace, err := buildObserver(*tracePath, *progress)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if err := closeTrace(); err != nil && retErr == nil {
+		if err := sess.Close(); err != nil && retErr == nil {
 			retErr = err
 		}
 	}()
@@ -85,7 +73,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	res, err := clique.Run(ds, clique.Config{
 		Xi: *xi, Tau: *tau, MaxDims: *maxDims, FixedDims: *fixedDims,
 		ReportMaximal: *maximal, ReportHighest: *highest, MDLPruning: *mdl,
-		Workers: *workers, Observer: observer,
+		Workers: *workers, Observer: sess.Observer, Metrics: sess.Metrics,
 	})
 	if err != nil {
 		return err
@@ -116,41 +104,15 @@ func run(args []string, out io.Writer) (retErr error) {
 			}
 		}
 	}
-	if *reportPath != "" {
+	if obsFlags.Report != "" {
 		rep := res.Report()
 		rep.Dataset.Source = *in
 		rep.Dataset.Labeled = ds.Labeled()
-		if err := rep.WriteFile(*reportPath); err != nil {
+		if err := rep.WriteFile(obsFlags.Report); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// buildObserver assembles the CLI's observer from the -trace and
-// -progress flags and returns a cleanup that closes the trace file and
-// surfaces any deferred tracer write error.
-func buildObserver(tracePath string, progress bool) (obs.Observer, func() error, error) {
-	var observers []obs.Observer
-	closeTrace := func() error { return nil }
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return nil, nil, err
-		}
-		tracer := obs.NewJSONTracer(f)
-		observers = append(observers, tracer)
-		closeTrace = func() error {
-			if err := f.Close(); err != nil {
-				return err
-			}
-			return tracer.Err()
-		}
-	}
-	if progress {
-		observers = append(observers, obs.NewProgressLogger(os.Stderr))
-	}
-	return obs.Multi(observers...), closeTrace, nil
 }
 
 func oneBased(dims []int) []int {

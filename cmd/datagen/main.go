@@ -6,6 +6,7 @@
 //	datagen -n 100000 -dims 20 -k 5 -avgdims 7 -seed 1 -o data.csv
 //	datagen -n 100000 -dims 20 -k 5 -dimcounts 2,2,3,6,7 -o case2.bin
 //	datagen -oriented -n 10000 -dims 10 -k 3 -fixeddims 2 -o rotated.bin
+//	datagen -n 100000 -dims 20 -k 5 -avgdims 7 -o data.bin -report gen.json
 //
 // The output is labeled: the final CSV column (and the binary label
 // block) holds the generating cluster index, -1 for outliers.
@@ -18,8 +19,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"proclus/internal/dataset"
+	"proclus/internal/obs"
+	"proclus/internal/obs/cliflags"
 	"proclus/internal/synth"
 )
 
@@ -30,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -46,6 +50,9 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		outPath   = fs.String("o", "", "output path (.csv for CSV, anything else for binary); required")
 	)
+	// Generation is a single short pass, so the live monitoring server is
+	// not offered; the remaining observability surface is shared.
+	obsFlags := cliflags.Register(fs, cliflags.WithoutServe())
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,9 +60,23 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-o is required")
 	}
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := sess.Close(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	start := time.Now()
+	sess.Observe(obs.Event{
+		Type: obs.EvRunStart, Algorithm: "datagen", Points: *n, Dims: *dims,
+	})
 
 	var ds *dataset.Dataset
 	var describe func(io.Writer)
+	var cfgEcho any
 	if *oriented {
 		cfg := synth.OrientedConfig{
 			N: *n, Dims: *dims, K: *k, L: *fixedDims,
@@ -64,6 +85,7 @@ func run(args []string, out io.Writer) error {
 		if *outliers == 0 {
 			cfg.OutlierFraction = -1
 		}
+		cfgEcho = cfg
 		var gt *synth.OrientedTruth
 		var err error
 		ds, gt, err = synth.GenerateOriented(cfg)
@@ -96,6 +118,7 @@ func run(args []string, out io.Writer) error {
 			}
 			cfg.DimCounts = counts
 		}
+		cfgEcho = cfg
 		var gt *synth.GroundTruth
 		var err error
 		ds, gt, err = synth.Generate(cfg)
@@ -113,8 +136,26 @@ func run(args []string, out io.Writer) error {
 	if err := ds.SaveFile(*outPath); err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
+	sess.Observe(obs.Event{
+		Type: obs.EvRunEnd, Algorithm: "datagen", Seconds: elapsed.Seconds(),
+	})
 	fmt.Fprintf(out, "wrote %d points × %d dims to %s\n", ds.Len(), ds.Dims(), *outPath)
 	describe(out)
+	if obsFlags.Report != "" {
+		rep := obs.RunReport{
+			Algorithm: "datagen",
+			Dataset: obs.DatasetInfo{
+				Points: ds.Len(), Dims: ds.Dims(), Labeled: true, Source: *outPath,
+			},
+			Seed:         *seed,
+			Config:       cfgEcho,
+			TotalSeconds: elapsed.Seconds(),
+		}
+		if err := rep.WriteFile(obsFlags.Report); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -108,5 +110,43 @@ func TestRunDeterministicFiles(t *testing.T) {
 				t.Fatalf("same seed produced different files at point %d", i)
 			}
 		}
+	}
+}
+
+func TestRunReportAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.bin")
+	report := filepath.Join(dir, "gen.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-n", "300", "-dims", "5", "-k", "2", "-fixeddims", "2",
+		"-o", out, "-report", report, "-trace", trace}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Algorithm string `json:"algorithm"`
+		Dataset   struct {
+			Points int    `json:"points"`
+			Source string `json:"source"`
+		} `json:"dataset"`
+		TotalSeconds float64 `json:"total_seconds"`
+	}
+	if err := json.Unmarshal(rep, &doc); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if doc.Algorithm != "datagen" || doc.Dataset.Points != 300 || doc.Dataset.Source != out {
+		t.Errorf("report fields: %+v", doc)
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"run_start"`) || !strings.Contains(string(tr), `"run_end"`) {
+		t.Errorf("trace missing run events:\n%s", tr)
 	}
 }

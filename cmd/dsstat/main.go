@@ -8,6 +8,7 @@
 //
 //	dsstat -in data.bin
 //	dsstat -in data.csv -labels
+//	dsstat -in data.bin -report stats.json
 package main
 
 import (
@@ -18,8 +19,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"proclus/internal/dataset"
+	"proclus/internal/obs"
+	"proclus/internal/obs/cliflags"
 )
 
 func main() {
@@ -29,13 +33,17 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("dsstat", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
 		in        = fs.String("in", "", "input dataset (.csv or binary); required")
 		hasLabels = fs.Bool("labels", false, "CSV input has a trailing label column")
 	)
+	// Inspection is a single streaming pass, so the live monitoring
+	// server is not offered; the remaining observability surface is
+	// shared.
+	obsFlags := cliflags.Register(fs, cliflags.WithoutServe())
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,23 +51,57 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-in is required")
 	}
-	if strings.HasSuffix(*in, ".csv") {
-		return statCSV(out, *in, *hasLabels)
-	}
-	return statBinary(out, *in)
-}
-
-func statBinary(out io.Writer, path string) error {
-	n, stats, err := dataset.ScanStats(path)
+	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		return err
+	}
+	defer func() {
+		if err := sess.Close(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	sess.Observe(obs.Event{Type: obs.EvRunStart, Algorithm: "dsstat"})
+	start := time.Now()
+	var n, dims int
+	if strings.HasSuffix(*in, ".csv") {
+		n, dims, err = statCSV(out, *in, *hasLabels)
+	} else {
+		n, dims, err = statBinary(out, *in)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	sess.Observe(obs.Event{
+		Type: obs.EvRunEnd, Algorithm: "dsstat",
+		Points: n, Dims: dims, Seconds: elapsed.Seconds(),
+	})
+	if obsFlags.Report != "" {
+		rep := obs.RunReport{
+			Algorithm: "dsstat",
+			Dataset: obs.DatasetInfo{
+				Points: n, Dims: dims, Labeled: *hasLabels, Source: *in,
+			},
+			TotalSeconds: elapsed.Seconds(),
+		}
+		if err := rep.WriteFile(obsFlags.Report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func statBinary(out io.Writer, path string) (n, dims int, err error) {
+	n, stats, err := dataset.ScanStats(path)
+	if err != nil {
+		return 0, 0, err
 	}
 	fmt.Fprintf(out, "%s: %d points × %d dims (streamed)\n\n", path, n, len(stats))
 	printStats(out, stats)
 	if counts, err := dataset.ScanLabelHistogram(path); err == nil {
 		printLabelHistogram(out, counts)
 	}
-	return nil
+	return n, len(stats), nil
 }
 
 func printLabelHistogram(out io.Writer, counts map[int]int) {
@@ -78,10 +120,10 @@ func printLabelHistogram(out io.Writer, counts map[int]int) {
 	}
 }
 
-func statCSV(out io.Writer, path string, hasLabels bool) error {
+func statCSV(out io.Writer, path string, hasLabels bool) (n, dims int, err error) {
 	ds, err := dataset.LoadFile(path, hasLabels)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	fmt.Fprintf(out, "%s: %d points × %d dims\n\n", path, ds.Len(), ds.Dims())
 	min, max := ds.Bounds()
@@ -128,7 +170,7 @@ func statCSV(out io.Writer, path string, hasLabels bool) error {
 			fmt.Fprintf(out, "  %-10s %8d points\n", name, counts[l])
 		}
 	}
-	return nil
+	return ds.Len(), ds.Dims(), nil
 }
 
 func printStats(out io.Writer, stats []dataset.ColumnStats) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -62,5 +64,31 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.bin")}, &sb); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := writeSample(t, ".bin")
+	report := filepath.Join(t.TempDir(), "stats.json")
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-report", report}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Algorithm string `json:"algorithm"`
+		Dataset   struct {
+			Points int `json:"points"`
+			Dims   int `json:"dims"`
+		} `json:"dataset"`
+	}
+	if err := json.Unmarshal(rep, &doc); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if doc.Algorithm != "dsstat" || doc.Dataset.Points != 4 || doc.Dataset.Dims != 2 {
+		t.Errorf("report fields: %+v", doc)
 	}
 }

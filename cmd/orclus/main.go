@@ -6,6 +6,7 @@
 //
 //	orclus -in data.bin -k 3 -l 2
 //	orclus -in data.csv -labels -k 5 -l 3
+//	orclus -in data.bin -k 3 -l 2 -report run.json -trace trace.jsonl
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
+	"proclus/internal/obs"
+	"proclus/internal/obs/cliflags"
 	"proclus/internal/orclus"
 )
 
@@ -27,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("orclus", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -37,6 +40,10 @@ func run(args []string, out io.Writer) error {
 		l         = fs.Int("l", 0, "subspace dimensionality per cluster; required")
 		seed      = fs.Uint64("seed", 1, "random seed")
 	)
+	// The ORCLUS baseline runs uninstrumented internally, so the live
+	// monitoring server is not offered; the CLI emits run-level events
+	// and a run-level report itself.
+	obsFlags := cliflags.Register(fs, cliflags.WithoutServe())
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,16 +51,33 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-in and -l are required")
 	}
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := sess.Close(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	ds, err := dataset.LoadFile(*in, *hasLabels)
 	if err != nil {
 		return err
 	}
+	sess.Observe(obs.Event{
+		Type: obs.EvRunStart, Algorithm: "orclus", Points: ds.Len(), Dims: ds.Dims(),
+	})
+	cfg := orclus.Config{K: *k, L: *l, Seed: *seed}
 	start := time.Now()
-	res, err := orclus.Run(ds, orclus.Config{K: *k, L: *l, Seed: *seed})
+	res, err := orclus.Run(ds, cfg)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	sess.Observe(obs.Event{
+		Type: obs.EvRunEnd, Algorithm: "orclus",
+		Objective: res.TotalEnergy, Seconds: elapsed.Seconds(),
+	})
 
 	fmt.Fprintf(out, "ORCLUS: %d points × %d dims, k=%d l=%d — %s\n",
 		ds.Len(), ds.Dims(), *k, *l, elapsed.Round(time.Millisecond))
@@ -69,6 +93,26 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "   NMI: %.3f", nmi)
 		}
 		fmt.Fprintln(out)
+	}
+	if obsFlags.Report != "" {
+		rep := obs.RunReport{
+			Algorithm: "orclus",
+			Dataset: obs.DatasetInfo{
+				Points: ds.Len(), Dims: ds.Dims(), Labeled: ds.Labeled(), Source: *in,
+			},
+			Seed:         *seed,
+			Config:       cfg,
+			Objective:    res.TotalEnergy,
+			TotalSeconds: elapsed.Seconds(),
+		}
+		for i, cl := range res.Clusters {
+			rep.Clusters = append(rep.Clusters, obs.ClusterReport{
+				ID: i, Size: len(cl.Members), Medoid: -1,
+			})
+		}
+		if err := rep.WriteFile(obsFlags.Report); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,5 +50,42 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", path, "-k", "2", "-l", "99"}, &sb); err == nil {
 		t.Error("l > dims accepted")
+	}
+}
+
+func TestRunReportAndTrace(t *testing.T) {
+	path := writeOrientedData(t)
+	dir := t.TempDir()
+	report := filepath.Join(dir, "run.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-k", "2", "-l", "2",
+		"-report", report, "-trace", trace}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Algorithm string  `json:"algorithm"`
+		Objective float64 `json:"objective"`
+		Clusters  []struct {
+			Size int `json:"size"`
+		} `json:"clusters"`
+	}
+	if err := json.Unmarshal(rep, &doc); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if doc.Algorithm != "orclus" || len(doc.Clusters) != 2 || doc.Objective == 0 {
+		t.Errorf("report fields: %+v", doc)
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"run_end"`) {
+		t.Errorf("trace missing run_end:\n%s", tr)
 	}
 }

@@ -9,6 +9,8 @@
 //	proclus-bench -experiment table3
 //	proclus-bench -experiment fig7 -full   # paper-scale sizes (slow)
 //	proclus-bench -experiment table1 -n 5000
+//	proclus-bench -experiment table1 -bench-json bench/
+//	proclus-bench -experiment all -progress -metrics-addr 127.0.0.1:9187
 package main
 
 import (
@@ -17,12 +19,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
+	"proclus/internal/benchcmp"
 	"proclus/internal/experiments"
-	"proclus/internal/obs"
+	"proclus/internal/obs/cliflags"
+	"proclus/internal/obs/metrics"
 )
 
 func main() {
@@ -43,18 +49,20 @@ func run(args []string, out io.Writer) (retErr error) {
 		seed       = fs.Uint64("seed", 3, "random seed")
 		workers    = fs.Int("workers", 0, "goroutine budget per PROCLUS/CLIQUE run (0 = GOMAXPROCS); results are identical for any value")
 		reportPath = fs.String("report", "", "write per-experiment timing records as a JSON array to this path")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
+		benchJSON  = fs.String("bench-json", "", "write schema-versioned benchmark telemetry to this path (a directory gets BENCH_<timestamp>.json); diff two captures with benchcmp")
 	)
+	// -report here keeps its historical timing-array semantics, so the
+	// shared flag set skips its own -report.
+	obsFlags := cliflags.Register(fs, cliflags.WithoutReport())
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := stopProfiles(); err != nil && retErr == nil {
+		if err := sess.Close(); err != nil && retErr == nil {
 			retErr = err
 		}
 	}()
@@ -76,9 +84,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		return f.Close()
 	}
 
+	// Each runner receives a fresh metric registry so one experiment's
+	// histograms never blur into another's telemetry record.
 	type runner struct {
 		id  string
-		run func() (*experiments.Report, csvWriter, error)
+		run func(reg *metrics.Registry) (*experiments.Report, csvWriter, error)
 	}
 	caseN := 20000
 	figN := 10000
@@ -93,27 +103,35 @@ func run(args []string, out io.Writer) (retErr error) {
 		figN = *override
 		fig7Ns = []int{*override, 2 * *override}
 	}
-	caseParams := experiments.CaseParams{N: caseN, Seed: *seed, Workers: *workers}
+	caseParams := experiments.CaseParams{N: caseN, Seed: *seed, Workers: *workers, Observer: sess.Observer}
 
 	runners := []runner{
-		{"table1", func() (*experiments.Report, csvWriter, error) {
-			d, r, err := experiments.Table1(caseParams)
+		{"table1", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := caseParams
+			p.Metrics = reg
+			d, r, err := experiments.Table1(p)
 			return r, d, err
 		}},
-		{"table2", func() (*experiments.Report, csvWriter, error) {
-			d, r, err := experiments.Table2(caseParams)
+		{"table2", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := caseParams
+			p.Metrics = reg
+			d, r, err := experiments.Table2(p)
 			return r, d, err
 		}},
-		{"table3", func() (*experiments.Report, csvWriter, error) {
-			d, r, err := experiments.Table3(caseParams)
+		{"table3", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := caseParams
+			p.Metrics = reg
+			d, r, err := experiments.Table3(p)
 			return r, d, err
 		}},
-		{"table4", func() (*experiments.Report, csvWriter, error) {
-			d, r, err := experiments.Table4(caseParams)
+		{"table4", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := caseParams
+			p.Metrics = reg
+			d, r, err := experiments.Table4(p)
 			return r, d, err
 		}},
-		{"table5", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.Table5Params{Seed: *seed, Workers: *workers}
+		{"table5", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := experiments.Table5Params{Seed: *seed, Workers: *workers, Metrics: reg, Observer: sess.Observer}
 			if *full {
 				p.N = 100000
 				p.Dims = 20
@@ -129,14 +147,18 @@ func run(args []string, out io.Writer) (retErr error) {
 			d, r, err := experiments.Table5(p)
 			return r, d, err
 		}},
-		{"fig7", func() (*experiments.Report, csvWriter, error) {
+		{"fig7", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
 			d, r, err := experiments.Figure7(experiments.Figure7Params{
 				Ns: fig7Ns, WithClique: true, Seed: *seed, Workers: *workers,
+				Metrics: reg, Observer: sess.Observer,
 			})
 			return r, d, err
 		}},
-		{"fig8", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.Figure8Params{N: figN, WithClique: true, Seed: *seed, Workers: *workers}
+		{"fig8", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := experiments.Figure8Params{
+				N: figN, WithClique: true, Seed: *seed, Workers: *workers,
+				Metrics: reg, Observer: sess.Observer,
+			}
 			if *full {
 				p.Dims = 20
 			}
@@ -146,8 +168,8 @@ func run(args []string, out io.Writer) (retErr error) {
 			d, r, err := experiments.Figure8(p)
 			return r, d, err
 		}},
-		{"fig9", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.Figure9Params{N: figN, Seed: *seed, Workers: *workers}
+		{"fig9", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := experiments.Figure9Params{N: figN, Seed: *seed, Workers: *workers, Metrics: reg, Observer: sess.Observer}
 			if *override > 0 {
 				p.Ds = []int{10, 20}
 				p.Repeats = 1
@@ -155,8 +177,8 @@ func run(args []string, out io.Writer) (retErr error) {
 			d, r, err := experiments.Figure9(p)
 			return r, d, err
 		}},
-		{"lsweep", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.LSweepParams{N: figN, Seed: *seed, Workers: *workers}
+		{"lsweep", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := experiments.LSweepParams{N: figN, Seed: *seed, Workers: *workers, Metrics: reg, Observer: sess.Observer}
 			if *override > 0 {
 				p.Dims = 10
 				p.TrueL = 4
@@ -164,8 +186,8 @@ func run(args []string, out io.Writer) (retErr error) {
 			d, r, err := experiments.LSweep(p)
 			return r, d, err
 		}},
-		{"oriented", func() (*experiments.Report, csvWriter, error) {
-			p := experiments.OrientedParams{Seed: *seed, Workers: *workers}
+		{"oriented", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := experiments.OrientedParams{Seed: *seed, Workers: *workers, Metrics: reg, Observer: sess.Observer}
 			if *override > 0 {
 				p.N = *override
 			}
@@ -177,13 +199,21 @@ func run(args []string, out io.Writer) (retErr error) {
 	want := strings.ToLower(*exp)
 	matched := false
 	var records []benchRecord
+	var benchRecords []benchcmp.Record
 	for _, r := range runners {
 		if want != "all" && want != r.id {
 			continue
 		}
 		matched = true
+		// A live monitoring server watches one shared registry across the
+		// whole invocation; otherwise each experiment gets a fresh one so
+		// histograms never blur across telemetry records.
+		reg := sess.Metrics
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
 		start := time.Now()
-		rep, data, err := r.run()
+		rep, data, err := r.run(reg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.id, err)
 		}
@@ -209,6 +239,9 @@ func run(args []string, out io.Writer) (retErr error) {
 			RefineSeconds:  rep.Timing.Refine.Seconds(),
 			PhaseSeconds:   rep.Timing.Total().Seconds(),
 		})
+		if *benchJSON != "" {
+			benchRecords = append(benchRecords, telemetryRecord(r.id, wall, rep, reg))
+		}
 		if err := exportCSV(r.id, data); err != nil {
 			return fmt.Errorf("%s: exporting CSV: %w", r.id, err)
 		}
@@ -221,7 +254,82 @@ func run(args []string, out io.Writer) (retErr error) {
 			return err
 		}
 	}
+	if *benchJSON != "" {
+		file := &benchcmp.File{
+			Schema:    benchcmp.SchemaVersion,
+			CreatedAt: time.Now().UTC(),
+			GitRev:    gitRev(),
+			GoVersion: runtime.Version(),
+			MaxProcs:  runtime.GOMAXPROCS(0),
+			Config: benchcmp.Config{
+				Experiment: want, N: *override, Full: *full, Seed: *seed, Workers: *workers,
+			},
+			Records: benchRecords,
+		}
+		path, err := writeBenchJSON(*benchJSON, file)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchmark telemetry written to %s\n", path)
+	}
 	return nil
+}
+
+// telemetryRecord folds one experiment's outcome into the benchcmp
+// schema: wall and per-phase seconds, deterministic work counters,
+// ns per PROCLUS run, and the metric-registry snapshot.
+func telemetryRecord(id string, wall time.Duration, rep *experiments.Report, reg *metrics.Registry) benchcmp.Record {
+	rec := benchcmp.Record{
+		Experiment:  id,
+		WallSeconds: wall.Seconds(),
+		Runs:        rep.Timing.Runs,
+		Counters:    rep.Timing.Counters,
+		Metrics:     reg.Snapshot(),
+	}
+	if t := rep.Timing; t.Runs > 0 {
+		rec.PhaseSeconds = map[string]float64{
+			"init":    t.Init.Seconds(),
+			"iterate": t.Iterate.Seconds(),
+			"refine":  t.Refine.Seconds(),
+		}
+		rec.NsPerOp = float64(t.Total().Nanoseconds()) / float64(t.Runs)
+	}
+	return rec
+}
+
+// writeBenchJSON writes the telemetry file; a directory target (or a
+// trailing separator) selects the canonical BENCH_<timestamp>.json
+// name inside it.
+func writeBenchJSON(target string, file *benchcmp.File) (string, error) {
+	path := target
+	if info, err := os.Stat(target); (err == nil && info.IsDir()) ||
+		strings.HasSuffix(target, string(os.PathSeparator)) {
+		path = filepath.Join(target, benchcmp.DefaultFileName(file.CreatedAt))
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := file.WriteJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// gitRev best-effort resolves the current checkout's revision; bench
+// telemetry stays useful without it (e.g. from an exported tarball).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchRecord is one experiment's machine-readable timing summary.

@@ -9,6 +9,8 @@
 //	proclus -in data.bin -k 5 -l 7 -assign out.csv
 //	proclus -in data.bin -k 5 -sweepl 2:9     # try a range of l values
 //	proclus -in data.bin -k 5 -l 7 -report run.json -trace trace.jsonl
+//	proclus -in data.bin -k 5 -l 7 -metrics-addr 127.0.0.1:9187
+//	proclus -in data.bin -k 5 -l 7 -chrometrace trace.json
 //	proclus -in data.bin -k 5 -l 7 -cpuprofile cpu.pprof
 package main
 
@@ -24,7 +26,7 @@ import (
 	"proclus/internal/core"
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
-	"proclus/internal/obs"
+	"proclus/internal/obs/cliflags"
 )
 
 func main() {
@@ -38,22 +40,18 @@ func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("proclus", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		in         = fs.String("in", "", "input dataset (.csv or binary); required")
-		hasLabels  = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
-		k          = fs.Int("k", 5, "number of clusters")
-		l          = fs.Int("l", 0, "average dimensions per cluster; required unless -sweepl is set")
-		sweepL     = fs.String("sweepl", "", "sweep l over a min:max range and report the objective curve")
-		sweepK     = fs.String("sweepk", "", "sweep k over a min:max range and report the objective curve")
-		seed       = fs.Uint64("seed", 1, "random seed")
-		workers    = fs.Int("workers", 0, "goroutine budget: concurrent restarts plus per-pass parallelism (0 = GOMAXPROCS); results are identical for any value")
-		normalize  = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
-		assignOut  = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
-		reportPath = fs.String("report", "", "write a machine-readable JSON run report to this path (sweeps report the suggested run)")
-		tracePath  = fs.String("trace", "", "write a JSON-lines event trace to this path")
-		progress   = fs.Bool("progress", false, "log human-readable progress to stderr")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
+		in        = fs.String("in", "", "input dataset (.csv or binary); required")
+		hasLabels = fs.Bool("labels", false, "CSV input has a trailing ground-truth label column")
+		k         = fs.Int("k", 5, "number of clusters")
+		l         = fs.Int("l", 0, "average dimensions per cluster; required unless -sweepl is set")
+		sweepL    = fs.String("sweepl", "", "sweep l over a min:max range and report the objective curve")
+		sweepK    = fs.String("sweepk", "", "sweep k over a min:max range and report the objective curve")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "goroutine budget: concurrent restarts plus per-pass parallelism (0 = GOMAXPROCS); results are identical for any value")
+		normalize = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
+		assignOut = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
 	)
+	obsFlags := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,21 +63,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		fs.Usage()
 		return fmt.Errorf("one of -l or -sweepl is required")
 	}
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := stopProfiles(); err != nil && retErr == nil {
-			retErr = err
-		}
-	}()
-	observer, closeTrace, err := buildObserver(*tracePath, *progress)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if err := closeTrace(); err != nil && retErr == nil {
+		if err := sess.Close(); err != nil && retErr == nil {
 			retErr = err
 		}
 	}()
@@ -98,9 +87,12 @@ func run(args []string, out io.Writer) (retErr error) {
 	default:
 		return fmt.Errorf("unknown -normalize mode %q (want minmax or zscore)", *normalize)
 	}
-	cfg := core.Config{K: *k, L: *l, Seed: *seed, Workers: *workers, Observer: observer}
+	cfg := core.Config{
+		K: *k, L: *l, Seed: *seed, Workers: *workers,
+		Observer: sess.Observer, Metrics: sess.Metrics,
+	}
 	report := func(res *core.Result) error {
-		return writeReport(*reportPath, res, *in, ds.Labeled())
+		return writeReport(obsFlags.Report, res, *in, ds.Labeled())
 	}
 
 	if *sweepL != "" {
@@ -150,32 +142,6 @@ func run(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintf(out, "\nassignments written to %s\n", *assignOut)
 	}
 	return report(res)
-}
-
-// buildObserver assembles the CLI's observer from the -trace and
-// -progress flags and returns a cleanup that closes the trace file and
-// surfaces any deferred tracer write error.
-func buildObserver(tracePath string, progress bool) (obs.Observer, func() error, error) {
-	var observers []obs.Observer
-	closeTrace := func() error { return nil }
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return nil, nil, err
-		}
-		tracer := obs.NewJSONTracer(f)
-		observers = append(observers, tracer)
-		closeTrace = func() error {
-			if err := f.Close(); err != nil {
-				return err
-			}
-			return tracer.Err()
-		}
-	}
-	if progress {
-		observers = append(observers, obs.NewProgressLogger(os.Stderr))
-	}
-	return obs.Multi(observers...), closeTrace, nil
 }
 
 // writeReport writes res's run report to path, stamping the dataset's

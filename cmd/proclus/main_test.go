@@ -248,3 +248,57 @@ func TestRunProgressLogs(t *testing.T) {
 		t.Fatalf("output missing header:\n%s", sb.String())
 	}
 }
+
+// TestRunMetricsAddrInvariant pins the acceptance property that
+// attaching the live metrics endpoint changes no clustering output.
+func TestRunMetricsAddrInvariant(t *testing.T) {
+	path := writeWorkload(t)
+	var plain, monitored strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", path, "-k", "2", "-l", "3",
+		"-metrics-addr", "127.0.0.1:0"}, &monitored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		lines := strings.Split(s, "\n")
+		out := lines[:0]
+		for _, l := range lines {
+			if strings.HasPrefix(l, "PROCLUS:") {
+				// The header embeds the elapsed wall time.
+				l = l[:strings.LastIndex(l, "—")]
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	if stripTiming(plain.String()) != stripTiming(monitored.String()) {
+		t.Errorf("monitoring changed output:\n--- plain ---\n%s\n--- monitored ---\n%s",
+			plain.String(), monitored.String())
+	}
+}
+
+func TestRunChromeTrace(t *testing.T) {
+	path := writeWorkload(t)
+	chrome := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-k", "2", "-l", "3", "-chrometrace", chrome}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace empty")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"proclus/internal/dataset"
 	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/parallel"
 )
 
@@ -87,6 +88,14 @@ type Config struct {
 	// populated. The observer does not participate in the algorithm:
 	// runs with and without one produce identical Results.
 	Observer obs.Observer
+
+	// Metrics, when non-nil, is the registry the run records its
+	// quantitative telemetry into: per-phase and per-level latency
+	// histograms, per-level dense/candidate ratios, and monotonic
+	// counter series. When nil, the run creates a private registry, so
+	// Stats.Metrics is always populated. Like the Observer, the registry
+	// does not participate in the algorithm.
+	Metrics *metrics.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -206,7 +215,12 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	g := newGrid(ds, cfg.Xi)
 	minCount := int(cfg.Tau * float64(ds.Len()))
 	// "More than Tau·N": strictly greater.
-	r := &searcher{ds: ds, cfg: cfg, grid: g, minCount: minCount, obs: cfg.Observer}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r := &searcher{ds: ds, cfg: cfg, grid: g, minCount: minCount,
+		obs: cfg.Observer, metrics: newSearcherMetrics(reg)}
 	return r.run()
 }
 
@@ -221,6 +235,9 @@ type searcher struct {
 	// counters accumulates hot-path work, batched per pass so it stays
 	// cheap enough to keep always on.
 	counters obs.Counters
+	// metrics records quantitative telemetry at phase/level boundaries;
+	// nil (white-box tests) disables recording.
+	metrics *searcherMetrics
 }
 
 // emit forwards an event to the attached observer. The nil check is the
@@ -273,6 +290,7 @@ func (s *searcher) run() (*Result, error) {
 	s.stats.DatasetDims = s.ds.Dims()
 	runStart := time.Now()
 	s.emit(obs.Event{Type: obs.EvRunStart, Points: s.ds.Len(), Dims: s.ds.Dims()})
+	s.metrics.observeRunStart(s.ds.Len(), s.ds.Dims())
 
 	res := &Result{DenseBySubspaceDim: []int{0}, Xi: s.cfg.Xi}
 	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "histogram"})
@@ -282,6 +300,8 @@ func (s *searcher) run() (*Result, error) {
 	res.DenseBySubspaceDim = append(res.DenseBySubspaceDim, countUnits(cur))
 	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "histogram",
 		Dense: countUnits(cur), Seconds: s.stats.HistogramDuration.Seconds()})
+	s.metrics.observePhase("histogram", s.stats.HistogramDuration.Seconds())
+	s.metrics.fold(&s.counters)
 
 	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "search"})
 	start = time.Now()
@@ -315,6 +335,8 @@ func (s *searcher) run() (*Result, error) {
 		s.stats.LevelDurations = append(s.stats.LevelDurations, levelDur)
 		s.emit(obs.Event{Type: obs.EvLevelEnd, Level: q,
 			Candidates: nCands, Dense: n, Seconds: levelDur.Seconds()})
+		s.metrics.observeLevel(levelDur.Seconds(), nCands, n)
+		s.metrics.fold(&s.counters)
 		if n == 0 {
 			break
 		}
@@ -325,6 +347,7 @@ func (s *searcher) run() (*Result, error) {
 	res.Levels = len(levels)
 	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "search",
 		Level: res.Levels, Seconds: s.stats.SearchDuration.Seconds()})
+	s.metrics.observePhase("search", s.stats.SearchDuration.Seconds())
 
 	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "report"})
 	start = time.Now()
@@ -369,9 +392,12 @@ func (s *searcher) run() (*Result, error) {
 	s.stats.ReportDuration = time.Since(start)
 	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "report",
 		Clusters: len(res.Clusters), Seconds: s.stats.ReportDuration.Seconds()})
+	s.metrics.observePhase("report", s.stats.ReportDuration.Seconds())
 
 	res.Config = s.cfg.reportConfig()
 	s.stats.Counters = s.counters.Snapshot()
+	s.metrics.fold(&s.counters)
+	s.stats.Metrics = s.metrics.snapshot()
 	res.Stats = s.stats
 	s.emit(obs.Event{Type: obs.EvRunEnd, Clusters: len(res.Clusters),
 		Level: res.Levels, Seconds: time.Since(runStart).Seconds()})

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 )
 
 // Stats is the observability record of one CLIQUE run.
@@ -21,6 +22,11 @@ type Stats struct {
 	// Counters snapshots the run's hot-path counters (points scanned,
 	// dense-unit probes).
 	Counters obs.Snapshot
+	// Metrics snapshots the metric registry at run end: phase/level
+	// latency histograms, dense-ratio distributions, and counter series.
+	// When the run was given a shared registry (Config.Metrics), the
+	// snapshot spans every run recorded into it.
+	Metrics metrics.Snapshot
 	// DatasetPoints and DatasetDims record the input's shape, so a
 	// Result can describe its provenance in run reports.
 	DatasetPoints int
@@ -77,6 +83,7 @@ func (r *Result) Report() *obs.RunReport {
 			{Name: "report", Seconds: r.Stats.ReportDuration.Seconds()},
 		},
 		Counters: r.Stats.Counters,
+		Metrics:  r.Stats.Metrics,
 		Levels:   r.Levels,
 		TotalSeconds: (r.Stats.HistogramDuration + r.Stats.SearchDuration +
 			r.Stats.ReportDuration).Seconds(),

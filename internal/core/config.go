@@ -27,6 +27,7 @@ import (
 
 	"proclus/internal/dataset"
 	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 )
 
 // Config holds the PROCLUS parameters. K and L are the two inputs the
@@ -108,6 +109,18 @@ type Config struct {
 	// iteration events interleave in wall-clock order; the run report,
 	// built from Stats, stays in restart order regardless.
 	Observer obs.Observer
+
+	// Metrics, when non-nil, is the registry the run records its
+	// quantitative telemetry into: per-phase and per-restart latency
+	// histograms, hill-climb objective deltas, assignment-pass
+	// throughput, and monotonic counter series mirroring the hot-path
+	// counters. When nil, the run creates a private registry, so
+	// Stats.Metrics is always populated. Pass a shared registry to serve
+	// the run live (internal/obs/serve) or to accumulate across runs —
+	// counter series stay monotonic across runs on a shared registry,
+	// and its snapshots then span every run recorded so far. Like the
+	// Observer, the registry does not participate in the algorithm.
+	Metrics *metrics.Registry
 }
 
 // InitMethod selects the initialization strategy.
@@ -266,6 +279,11 @@ type Stats struct {
 	// Counters snapshots the run's hot-path counters (distance
 	// evaluations, points scanned by assignment passes).
 	Counters obs.Snapshot
+	// Metrics snapshots the metric registry at run end: phase/restart
+	// latency histograms, objective deltas, assignment throughput, and
+	// counter series. When the run was given a shared registry
+	// (Config.Metrics), the snapshot spans every run recorded into it.
+	Metrics metrics.Snapshot
 	// DatasetPoints and DatasetDims record the input's shape, so a
 	// Result can describe its provenance in run reports.
 	DatasetPoints int

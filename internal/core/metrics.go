@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
+)
+
+// PROCLUS metric series names. The *_total counters mirror the exact
+// obs.Counters totals; the histograms and rate capture the
+// distributions the paper's §4 scalability story is made of.
+const (
+	MetricPhaseSeconds    = "proclus_phase_seconds"
+	MetricRestartSeconds  = "proclus_restart_seconds"
+	MetricObjectiveDelta  = "proclus_objective_delta"
+	MetricAssignRate      = "proclus_assign_points_per_second"
+	MetricDistanceEvals   = "proclus_distance_evals_total"
+	MetricPointsScanned   = "proclus_points_scanned_total"
+	MetricDatasetPoints   = "proclus_dataset_points"
+	MetricDatasetDims     = "proclus_dataset_dims"
+	MetricObjectiveLatest = "proclus_objective"
+)
+
+// runnerMetrics caches pre-resolved metric handles so instrumentation
+// sites never take the registry mutex on the hot path. A nil
+// *runnerMetrics (white-box tests construct runners directly) no-ops
+// everywhere, like a nil observer.
+type runnerMetrics struct {
+	reg *metrics.Registry
+
+	phaseSeconds   map[string]*metrics.Histogram
+	restartSeconds *metrics.Histogram
+	objectiveDelta *metrics.Histogram
+	assignRate     *metrics.Rate
+	distanceEvals  *metrics.Gauge
+	pointsScanned  *metrics.Gauge
+	datasetPoints  *metrics.Gauge
+	datasetDims    *metrics.Gauge
+	objective      *metrics.Gauge
+
+	// foldMu guards folded, the counter snapshot already credited to the
+	// registry. Folding deltas (rather than setting totals) keeps the
+	// registry counters monotonic when several runs share one registry —
+	// the live-monitoring and benchmark-accumulation cases.
+	foldMu sync.Mutex
+	folded obs.Snapshot
+}
+
+// newRunnerMetrics resolves every handle up front, which also makes all
+// series (phase histograms included) visible on a live /metrics
+// endpoint from the first moment of the run.
+func newRunnerMetrics(reg *metrics.Registry) *runnerMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &runnerMetrics{reg: reg, phaseSeconds: map[string]*metrics.Histogram{}}
+	for _, phase := range []string{"initialize", "iterate", "refine"} {
+		m.phaseSeconds[phase] = reg.Histogram(MetricPhaseSeconds,
+			"wall time of one algorithm phase in seconds", metrics.L("phase", phase))
+	}
+	m.restartSeconds = reg.Histogram(MetricRestartSeconds,
+		"wall time of one hill-climb restart in seconds")
+	m.objectiveDelta = reg.Histogram(MetricObjectiveDelta,
+		"objective improvement of accepted hill-climb trials")
+	m.assignRate = reg.Rate(MetricAssignRate,
+		"assignment-pass throughput in points per second")
+	m.distanceEvals = reg.Counter(MetricDistanceEvals,
+		"point-to-point distance evaluations")
+	m.pointsScanned = reg.Counter(MetricPointsScanned,
+		"data-point visits by full-dataset passes")
+	m.datasetPoints = reg.Gauge(MetricDatasetPoints, "points in the current input")
+	m.datasetDims = reg.Gauge(MetricDatasetDims, "dimensionality of the current input")
+	m.objective = reg.Gauge(MetricObjectiveLatest, "objective of the latest finished run")
+	return m
+}
+
+func (m *runnerMetrics) observeRunStart(points, dims int) {
+	if m == nil {
+		return
+	}
+	m.datasetPoints.Set(float64(points))
+	m.datasetDims.Set(float64(dims))
+}
+
+func (m *runnerMetrics) observePhase(phase string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.phaseSeconds[phase].Observe(seconds)
+}
+
+func (m *runnerMetrics) observeRestart(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.restartSeconds.Observe(seconds)
+}
+
+func (m *runnerMetrics) observeObjectiveDelta(delta float64) {
+	if m == nil {
+		return
+	}
+	m.objectiveDelta.Observe(delta)
+}
+
+func (m *runnerMetrics) observeAssign(points int64, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.assignRate.Observe(points, seconds)
+}
+
+func (m *runnerMetrics) observeObjective(v float64) {
+	if m == nil {
+		return
+	}
+	m.objective.Set(v)
+}
+
+// fold credits the counter growth since the previous fold to the
+// registry's counter series. Called at phase and restart boundaries, so
+// a live /metrics scrape tracks the run's progress without any per-point
+// cost.
+func (m *runnerMetrics) fold(c *obs.Counters) {
+	if m == nil {
+		return
+	}
+	cur := c.Snapshot()
+	m.foldMu.Lock()
+	d := obs.Snapshot{
+		DistanceEvals: cur.DistanceEvals - m.folded.DistanceEvals,
+		PointsScanned: cur.PointsScanned - m.folded.PointsScanned,
+	}
+	m.folded = cur
+	m.foldMu.Unlock()
+	if d.DistanceEvals != 0 {
+		m.distanceEvals.Add(float64(d.DistanceEvals))
+	}
+	if d.PointsScanned != 0 {
+		m.pointsScanned.Add(float64(d.PointsScanned))
+	}
+}
+
+// snapshot returns the registry's current state for embedding in Stats.
+func (m *runnerMetrics) snapshot() metrics.Snapshot {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Snapshot()
+}

@@ -12,6 +12,7 @@ import (
 	"proclus/internal/dist"
 	"proclus/internal/greedy"
 	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/parallel"
 	"proclus/internal/randx"
 	"proclus/internal/sample"
@@ -34,7 +35,14 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, 
 	if err := cfg.validate(ds); err != nil {
 		return nil, err
 	}
-	r := &runner{ctx: ctx, ds: ds, cfg: cfg, rng: randx.New(cfg.Seed), obs: cfg.Observer}
+	reg := cfg.Metrics
+	if reg == nil {
+		// A private registry keeps Stats.Metrics populated on every run;
+		// callers opt into sharing by passing their own.
+		reg = metrics.NewRegistry()
+	}
+	r := &runner{ctx: ctx, ds: ds, cfg: cfg, rng: randx.New(cfg.Seed),
+		obs: cfg.Observer, metrics: newRunnerMetrics(reg)}
 	return r.run()
 }
 
@@ -58,6 +66,9 @@ type runner struct {
 	// counters accumulates hot-path work, batched per worker chunk so
 	// it stays cheap enough to keep always on.
 	counters obs.Counters
+	// metrics records quantitative telemetry at phase/restart/pass
+	// boundaries; nil (white-box tests) disables recording.
+	metrics *runnerMetrics
 }
 
 // emit forwards an event to the attached observer. The nil check is
@@ -90,6 +101,7 @@ func (r *runner) run() (*Result, error) {
 	r.stats.DatasetDims = r.ds.Dims()
 	runStart := time.Now()
 	r.emit(obs.Event{Type: obs.EvRunStart, Points: r.ds.Len(), Dims: r.ds.Dims()})
+	r.metrics.observeRunStart(r.ds.Len(), r.ds.Dims())
 
 	workers := parallel.Workers(r.cfg.Workers)
 
@@ -103,6 +115,8 @@ func (r *runner) run() (*Result, error) {
 	r.stats.InitDuration = time.Since(start)
 	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "initialize",
 		Candidates: len(candidates), Seconds: r.stats.InitDuration.Seconds()})
+	r.metrics.observePhase("initialize", r.stats.InitDuration.Seconds())
+	r.metrics.fold(&r.counters)
 
 	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "iterate"})
 	start = time.Now()
@@ -142,6 +156,8 @@ func (r *runner) run() (*Result, error) {
 		}
 		r.emit(obs.Event{Type: obs.EvRestartEnd, Restart: i + 1,
 			Iteration: o.iterations, Objective: o.trial.objective, Seconds: o.duration.Seconds()})
+		r.metrics.observeRestart(o.duration.Seconds())
+		r.metrics.fold(&r.counters)
 	})
 	// Merge in restart order so the trace, the per-restart stats and the
 	// best-trial tie-break (strictly-lower objective wins, so equal
@@ -178,6 +194,7 @@ func (r *runner) run() (*Result, error) {
 	r.stats.IterateDuration = time.Since(start)
 	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "iterate",
 		Iteration: totalIterations, Seconds: r.stats.IterateDuration.Seconds()})
+	r.metrics.observePhase("iterate", r.stats.IterateDuration.Seconds())
 
 	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "refine"})
 	start = time.Now()
@@ -191,11 +208,15 @@ func (r *runner) run() (*Result, error) {
 	}
 	r.stats.RefineDuration = time.Since(start)
 	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "refine", Seconds: r.stats.RefineDuration.Seconds()})
+	r.metrics.observePhase("refine", r.stats.RefineDuration.Seconds())
 
 	res.Iterations = totalIterations
 	res.Seed = r.cfg.Seed
 	res.Config = r.cfg.reportConfig()
 	r.stats.Counters = r.counters.Snapshot()
+	r.metrics.observeObjective(res.Objective)
+	r.metrics.fold(&r.counters)
+	r.stats.Metrics = r.metrics.snapshot()
 	res.Stats = r.stats
 	r.emit(obs.Event{Type: obs.EvRunEnd, Objective: res.Objective,
 		Clusters: len(res.Clusters), Outliers: res.NumOutliers(),
@@ -294,6 +315,9 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 		trace = append(trace, trial.objective)
 		improved := trial.objective < bestObjective
 		if improved {
+			if !math.IsInf(bestObjective, 1) {
+				r.metrics.observeObjectiveDelta(bestObjective - trial.objective)
+			}
 			bestObjective = trial.objective
 			best = trial
 			best.badMedoids = r.findBadMedoids(trial)
@@ -424,6 +448,7 @@ func (r *runner) assignPoints(medoids []int, dims [][]int) (assign []int, sizes 
 		medoidPoints[i] = r.ds.Point(m)
 	}
 	metric := r.pointMetric()
+	passStart := time.Now()
 	parallel.For(n, r.innerWorkers, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			pt := r.ds.Point(p)
@@ -439,6 +464,9 @@ func (r *runner) assignPoints(medoids []int, dims [][]int) (assign []int, sizes 
 		r.counters.DistanceEvals.Add(int64(hi-lo) * int64(len(medoidPoints)))
 		r.counters.PointsScanned.Add(int64(hi - lo))
 	})
+	// One Rate observation per pass (two clock reads), far below the
+	// assignment path's ~2% overhead budget.
+	r.metrics.observeAssign(int64(n), time.Since(passStart).Seconds())
 	sizes = make([]int, len(medoids))
 	for _, a := range assign {
 		sizes[a]++

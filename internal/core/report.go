@@ -60,6 +60,7 @@ func (r *Result) Report() *obs.RunReport {
 			{Name: "refine", Seconds: r.Stats.RefineDuration.Seconds()},
 		},
 		Counters:       r.Stats.Counters,
+		Metrics:        r.Stats.Metrics,
 		ObjectiveTrace: r.Stats.ObjectiveTrace,
 		Objective:      r.Objective,
 		Iterations:     r.Iterations,

@@ -18,6 +18,8 @@ import (
 
 	"proclus/internal/core"
 	"proclus/internal/dataset"
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/synth"
 )
 
@@ -42,14 +44,27 @@ type Timing struct {
 	Init    time.Duration
 	Iterate time.Duration
 	Refine  time.Duration
+	// Counters sums hot-path work counters over every clustering run in
+	// the experiment — PROCLUS runs folded by Add, plus any CLIQUE
+	// baseline runs folded by AddCounters. Unlike the durations, the
+	// counts are deterministic for a fixed seed, which lets benchmark
+	// diffing hold them to a much tighter noise threshold.
+	Counters obs.Snapshot
 }
 
-// Add folds one run's phase timings into the aggregate.
+// Add folds one run's phase timings and counters into the aggregate.
 func (t *Timing) Add(s core.Stats) {
 	t.Runs++
 	t.Init += s.InitDuration
 	t.Iterate += s.IterateDuration
 	t.Refine += s.RefineDuration
+	t.Counters.Merge(s.Counters)
+}
+
+// AddCounters folds a run's counters without counting it as a PROCLUS
+// run; used for the CLIQUE baseline runs inside comparison experiments.
+func (t *Timing) AddCounters(c obs.Snapshot) {
+	t.Counters.Merge(c)
 }
 
 // Total is the summed time PROCLUS spent across all phases and runs.
@@ -81,6 +96,13 @@ type CaseParams struct {
 	// (core.Config.Workers); values below 1 select GOMAXPROCS. Results
 	// are identical for any value.
 	Workers int
+	// Metrics, when non-nil, is a shared registry every clustering run of
+	// the experiment records into (core.Config.Metrics); it accumulates
+	// phase-latency histograms and counter series across the experiment.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every clustering run's structured
+	// events (core.Config.Observer).
+	Observer obs.Observer
 }
 
 func (p CaseParams) withDefaults() CaseParams {

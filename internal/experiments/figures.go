@@ -6,6 +6,8 @@ import (
 
 	"proclus/internal/clique"
 	"proclus/internal/core"
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/synth"
 )
 
@@ -67,6 +69,11 @@ type Figure7Params struct {
 	// any value, so the sweep measures the same clusterings at every
 	// worker count.
 	Workers int
+	// Metrics, when non-nil, is a shared registry every run of the sweep
+	// records into.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every run's structured events.
+	Observer obs.Observer
 }
 
 func (p Figure7Params) withDefaults() Figure7Params {
@@ -98,7 +105,9 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 		}
 		pt := TimingPoint{X: n}
 		start := time.Now()
-		res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1, Workers: p.Workers})
+		res, err := core.Run(ds, core.Config{
+			K: caseK, L: 5, Seed: p.Seed + 1, Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -106,8 +115,13 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 		pt.Proclus = time.Since(start)
 		if p.WithClique {
 			start = time.Now()
-			if _, err := clique.Run(ds, clique.Config{Xi: 10, Tau: p.CliqueTau, Workers: p.Workers}); err != nil {
+			cres, err := clique.Run(ds, clique.Config{
+				Xi: 10, Tau: p.CliqueTau, Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
+			})
+			if err != nil {
 				pt.CliqueErr = err.Error()
+			} else {
+				timing.AddCounters(cres.Stats.Counters)
 			}
 			pt.Clique = time.Since(start)
 		}
@@ -140,6 +154,11 @@ type Figure8Params struct {
 	// Workers bounds the goroutines each PROCLUS and CLIQUE run may
 	// use; values below 1 select GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, is a shared registry every run of the sweep
+	// records into.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every run's structured events.
+	Observer obs.Observer
 }
 
 func (p Figure8Params) withDefaults() Figure8Params {
@@ -180,7 +199,9 @@ func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 		}
 		pt := TimingPoint{X: l}
 		start := time.Now()
-		res, err := core.Run(ds, core.Config{K: caseK, L: l, Seed: p.Seed + 1, Workers: p.Workers})
+		res, err := core.Run(ds, core.Config{
+			K: caseK, L: l, Seed: p.Seed + 1, Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -192,8 +213,13 @@ func Figure8(p Figure8Params) (*TimingSeries, *Report, error) {
 				tau = p.TauHigh
 			}
 			start = time.Now()
-			if _, err := clique.Run(ds, clique.Config{Xi: 10, Tau: tau, Workers: p.Workers}); err != nil {
+			cres, err := clique.Run(ds, clique.Config{
+				Xi: 10, Tau: tau, Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
+			})
+			if err != nil {
 				pt.CliqueErr = err.Error()
+			} else {
+				timing.AddCounters(cres.Stats.Counters)
 			}
 			pt.Clique = time.Since(start)
 		}
@@ -222,6 +248,11 @@ type Figure9Params struct {
 	// Workers bounds the goroutines each PROCLUS run may use; values
 	// below 1 select GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, is a shared registry every run of the sweep
+	// records into.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every run's structured events.
+	Observer obs.Observer
 }
 
 func (p Figure9Params) withDefaults() Figure9Params {
@@ -253,7 +284,10 @@ func Figure9(p Figure9Params) (*TimingSeries, *Report, error) {
 				return nil, nil, err
 			}
 			start := time.Now()
-			res, err := core.Run(ds, core.Config{K: caseK, L: 5, Seed: p.Seed + 1 + uint64(rep), Workers: p.Workers})
+			res, err := core.Run(ds, core.Config{
+				K: caseK, L: 5, Seed: p.Seed + 1 + uint64(rep), Workers: p.Workers,
+				Metrics: p.Metrics, Observer: p.Observer,
+			})
 			if err != nil {
 				return nil, nil, err
 			}

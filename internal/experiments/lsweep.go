@@ -5,6 +5,8 @@ import (
 
 	"proclus/internal/core"
 	"proclus/internal/eval"
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/synth"
 )
 
@@ -25,6 +27,11 @@ type LSweepParams struct {
 	// Workers bounds the goroutines each PROCLUS run may use; values
 	// below 1 select GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, is a shared registry every run of the sweep
+	// records into.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every run's structured events.
+	Observer obs.Observer
 }
 
 func (p LSweepParams) withDefaults() LSweepParams {
@@ -74,7 +81,10 @@ func LSweep(p LSweepParams) (*LSweepResult, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	points, err := core.SweepL(ds, core.Config{K: caseK, Seed: p.Seed + 1, Workers: p.Workers}, p.MinL, p.MaxL)
+	points, err := core.SweepL(ds, core.Config{
+		K: caseK, Seed: p.Seed + 1, Workers: p.Workers,
+		Metrics: p.Metrics, Observer: p.Observer,
+	}, p.MinL, p.MaxL)
 	if err != nil {
 		return nil, nil, err
 	}

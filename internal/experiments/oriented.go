@@ -9,6 +9,8 @@ import (
 
 	"proclus/internal/core"
 	"proclus/internal/eval"
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/orclus"
 	"proclus/internal/synth"
 )
@@ -30,6 +32,11 @@ type OrientedParams struct {
 	// Workers bounds the goroutines the PROCLUS run may use; values
 	// below 1 select GOMAXPROCS. The ORCLUS baseline is serial.
 	Workers int
+	// Metrics, when non-nil, is a shared registry the PROCLUS run records
+	// into (the ORCLUS baseline is not instrumented).
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every run's structured events.
+	Observer obs.Observer
 }
 
 func (p OrientedParams) withDefaults() OrientedParams {
@@ -104,7 +111,10 @@ func Oriented(p OrientedParams) (*OrientedResult, *Report, error) {
 	}
 
 	start := time.Now()
-	pr, err := core.Run(ds, core.Config{K: p.K, L: p.L, Seed: p.Seed + 1, Workers: p.Workers})
+	pr, err := core.Run(ds, core.Config{
+		K: p.K, L: p.L, Seed: p.Seed + 1, Workers: p.Workers,
+		Metrics: p.Metrics, Observer: p.Observer,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

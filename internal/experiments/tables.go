@@ -8,6 +8,8 @@ import (
 	"proclus/internal/core"
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/synth"
 )
 
@@ -36,8 +38,11 @@ type DimsTable struct {
 
 // runCase executes PROCLUS on a generated case input with the matching
 // paper parameters (k = 5; l = 7 for Case 1, l = 4 for Case 2).
-func runCase(ds *dataset.Dataset, l int, seed uint64, workers int) (*core.Result, error) {
-	return core.Run(ds, core.Config{K: caseK, L: l, Seed: seed, Workers: workers})
+func runCase(ds *dataset.Dataset, l int, p CaseParams) (*core.Result, error) {
+	return core.Run(ds, core.Config{
+		K: caseK, L: l, Seed: p.Seed + 1, Workers: p.Workers,
+		Metrics: p.Metrics, Observer: p.Observer,
+	})
 }
 
 func buildDimsTable(ds *dataset.Dataset, gt *synth.GroundTruth, res *core.Result) (*DimsTable, error) {
@@ -95,7 +100,7 @@ func Table1(p CaseParams) (*DimsTable, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := runCase(ds, 7, p.Seed+1, p.Workers)
+	res, err := runCase(ds, 7, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,7 +120,7 @@ func Table2(p CaseParams) (*DimsTable, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := runCase(ds, 4, p.Seed+1, p.Workers)
+	res, err := runCase(ds, 4, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -134,8 +139,8 @@ type ConfusionExperiment struct {
 	Purity float64
 }
 
-func confusionFor(ds *dataset.Dataset, gt *synth.GroundTruth, l int, seed uint64, workers int) (*ConfusionExperiment, *core.Result, error) {
-	res, err := runCase(ds, l, seed, workers)
+func confusionFor(ds *dataset.Dataset, gt *synth.GroundTruth, l int, p CaseParams) (*ConfusionExperiment, *core.Result, error) {
+	res, err := runCase(ds, l, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,7 +166,7 @@ func Table3(p CaseParams) (*ConfusionExperiment, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	c, res, err := confusionFor(ds, gt, 7, p.Seed+1, p.Workers)
+	c, res, err := confusionFor(ds, gt, 7, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -176,7 +181,7 @@ func Table4(p CaseParams) (*ConfusionExperiment, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	c, res, err := confusionFor(ds, gt, 4, p.Seed+1, p.Workers)
+	c, res, err := confusionFor(ds, gt, 4, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -211,6 +216,12 @@ type Table5Params struct {
 	// Workers bounds the goroutines each CLIQUE run may use
 	// (clique.Config.Workers); values below 1 select GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, is a shared registry every CLIQUE run of the
+	// sweep records into (clique.Config.Metrics).
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every CLIQUE run's structured
+	// events (clique.Config.Observer).
+	Observer obs.Observer
 }
 
 func (p Table5Params) withDefaults() Table5Params {
@@ -267,6 +278,7 @@ func Table5(p Table5Params) (*Table5Result, *Report, error) {
 	}
 	labels := eval.LabelsFromDataset(ds)
 	out := &Table5Result{}
+	var timing Timing
 
 	// Unrestricted runs report the highest-dimensionality subspaces,
 	// matching the paper's coverage/overlap bookkeeping (see
@@ -275,12 +287,13 @@ func Table5(p Table5Params) (*Table5Result, *Report, error) {
 		row := Table5Row{Tau: tau, FixedDims: fixed}
 		res, err := clique.Run(ds, clique.Config{
 			Xi: 10, Tau: tau, FixedDims: fixed, ReportHighest: fixed == 0,
-			Workers: p.Workers,
+			Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
 		})
 		if err != nil {
 			row.Err = err.Error()
 			return row
 		}
+		timing.AddCounters(res.Stats.Counters)
 		row.Clusters = len(res.Clusters)
 		row.MaxLevel = res.Levels
 		members := clique.Membership(ds, res)
@@ -333,6 +346,7 @@ func Table5(p Table5Params) (*Table5Result, *Report, error) {
 			r.addf("  … %d more output clusters", len(out.Snapshot)-limit)
 		}
 	}
+	r.Timing = timing
 	return out, r, nil
 }
 

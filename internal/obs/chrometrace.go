@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ChromeTracer is an Observer that converts the run event stream into a
+// Chrome trace_event file loadable by chrome://tracing and Perfetto
+// (ui.perfetto.dev). Spans that run concurrently — the hill-climb
+// restarts — are assigned one virtual thread (tid) per restart index so
+// their B/E pairs nest correctly; the serial run, phase and lattice
+// level spans share tid 0. Events are buffered in memory and written,
+// sorted by timestamp, when Close is called. Safe for concurrent use.
+type ChromeTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	start  time.Time
+	now    func() time.Time // test hook; defaults to time.Now
+	events []chromeEvent
+	tids   map[int]bool
+	closed bool
+}
+
+// chromeEvent is one record of the trace_event JSON format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds since trace start
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"` // instant event scope
+	Args  map[string]any `json:"args,omitempty"`
+
+	seq int // insertion order; tie-break for equal timestamps
+}
+
+// NewChromeTracer returns a tracer that will write a Chrome trace to w
+// on Close.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	return &ChromeTracer{w: w, start: time.Now(), now: time.Now, tids: map[int]bool{}}
+}
+
+// chromeTID maps an event to its virtual thread: restart-scoped events
+// get tid = restart index (1-based, so they never collide with the main
+// timeline), everything else tid 0.
+func chromeTID(e Event) int {
+	switch e.Type {
+	case EvRestartStart, EvRestartEnd, EvIteration, EvMedoidSwap:
+		return e.Restart
+	}
+	return 0
+}
+
+// chromeSpan returns the span name and kind ("B", "E" or "i") for an
+// event, or ok=false for event types the trace omits.
+func chromeSpan(e Event) (name, ph string, ok bool) {
+	switch e.Type {
+	case EvRunStart:
+		return "run", "B", true
+	case EvRunEnd:
+		return "run", "E", true
+	case EvPhaseStart:
+		return "phase:" + e.Phase, "B", true
+	case EvPhaseEnd:
+		return "phase:" + e.Phase, "E", true
+	case EvRestartStart:
+		return fmt.Sprintf("restart %d", e.Restart), "B", true
+	case EvRestartEnd:
+		return fmt.Sprintf("restart %d", e.Restart), "E", true
+	case EvLevelStart:
+		return fmt.Sprintf("level %d", e.Level), "B", true
+	case EvLevelEnd:
+		return fmt.Sprintf("level %d", e.Level), "E", true
+	case EvIteration:
+		return "iteration", "i", true
+	case EvMedoidSwap:
+		return "medoid_swap", "i", true
+	}
+	return "", "", false
+}
+
+// chromeArgs collects the event's informative fields as span arguments.
+func chromeArgs(e Event) map[string]any {
+	args := map[string]any{}
+	if e.Points > 0 {
+		args["points"] = e.Points
+	}
+	if e.Dims > 0 {
+		args["dims"] = e.Dims
+	}
+	if e.Objective != 0 {
+		args["objective"] = e.Objective
+	}
+	if e.Best != 0 {
+		args["best"] = e.Best
+	}
+	if e.Improved {
+		args["improved"] = true
+	}
+	if e.Iteration > 0 {
+		args["iteration"] = e.Iteration
+	}
+	if e.Candidates > 0 {
+		args["candidates"] = e.Candidates
+	}
+	if e.Dense > 0 {
+		args["dense"] = e.Dense
+	}
+	if e.Clusters > 0 {
+		args["clusters"] = e.Clusters
+	}
+	if e.Outliers > 0 {
+		args["outliers"] = e.Outliers
+	}
+	if len(e.Replaced) > 0 {
+		args["replaced"] = e.Replaced
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// Observe implements Observer.
+func (t *ChromeTracer) Observe(e Event) {
+	name, ph, ok := chromeSpan(e)
+	if !ok {
+		return
+	}
+	ce := chromeEvent{
+		Name:  name,
+		Phase: ph,
+		PID:   1,
+		TID:   chromeTID(e),
+		Cat:   e.Algorithm,
+		Args:  chromeArgs(e),
+	}
+	if ph == "i" {
+		ce.Scope = "t" // thread-scoped instant
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	ce.TS = float64(t.now().Sub(t.start).Nanoseconds()) / 1e3
+	ce.seq = len(t.events)
+	t.events = append(t.events, ce)
+	t.tids[ce.TID] = true
+}
+
+// Close sorts the buffered events by timestamp (insertion order breaks
+// ties, preserving B-before-E on equal stamps), prepends thread_name
+// metadata for each virtual thread, and writes the trace JSON. The
+// tracer drops subsequent events after Close.
+func (t *ChromeTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+
+	sort.SliceStable(t.events, func(i, j int) bool {
+		if t.events[i].TS != t.events[j].TS {
+			return t.events[i].TS < t.events[j].TS
+		}
+		return t.events[i].seq < t.events[j].seq
+	})
+
+	tids := make([]int, 0, len(t.tids))
+	for tid := range t.tids {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	meta := make([]chromeEvent, 0, len(tids))
+	for _, tid := range tids {
+		name := "main"
+		if tid != 0 {
+			name = fmt.Sprintf("restart %d", tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": name},
+		})
+	}
+
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: append(meta, t.events...), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(t.w)
+	return enc.Encode(out)
+}

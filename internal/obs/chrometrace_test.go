@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGoldenTrace = flag.Bool("update", false, "rewrite golden files")
+
+// chromeFixtureEvents is a miniature but representative run: two phases,
+// two interleaved concurrent restarts with iterations and a medoid swap,
+// and a CLIQUE-style lattice level.
+func chromeFixtureEvents() []Event {
+	return []Event{
+		{Type: EvRunStart, Algorithm: "proclus", Points: 2000, Dims: 10},
+		{Type: EvPhaseStart, Algorithm: "proclus", Phase: "initialize"},
+		{Type: EvPhaseEnd, Algorithm: "proclus", Phase: "initialize", Seconds: 0.001},
+		{Type: EvPhaseStart, Algorithm: "proclus", Phase: "iterate"},
+		{Type: EvRestartStart, Algorithm: "proclus", Restart: 1},
+		{Type: EvRestartStart, Algorithm: "proclus", Restart: 2},
+		{Type: EvIteration, Algorithm: "proclus", Restart: 1, Iteration: 1, Objective: 4.5, Best: 4.5, Improved: true},
+		{Type: EvIteration, Algorithm: "proclus", Restart: 2, Iteration: 1, Objective: 5.25, Best: 5.25, Improved: true},
+		{Type: EvMedoidSwap, Algorithm: "proclus", Restart: 1, Iteration: 2, Replaced: []int{0, 2}},
+		{Type: EvRestartEnd, Algorithm: "proclus", Restart: 2, Iteration: 1, Objective: 5.25, Seconds: 0.002},
+		{Type: EvRestartEnd, Algorithm: "proclus", Restart: 1, Iteration: 2, Objective: 4.5, Seconds: 0.003},
+		{Type: EvPhaseEnd, Algorithm: "proclus", Phase: "iterate", Seconds: 0.004},
+		{Type: EvLevelStart, Algorithm: "clique", Level: 1},
+		{Type: EvLevelEnd, Algorithm: "clique", Level: 1, Candidates: 10, Dense: 4, Seconds: 0.001},
+		{Type: EvRunEnd, Algorithm: "proclus", Objective: 4.5, Clusters: 3, Outliers: 12, Seconds: 0.01},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	// Pin the clock: each observation lands exactly 1ms after the last.
+	base := time.Unix(0, 0)
+	tick := 0
+	tr.start = base
+	tr.now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	}
+	for _, e := range chromeFixtureEvents() {
+		tr.Observe(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrometrace_golden.json")
+	if *updateGoldenTrace {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTracerDropsAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	tr.Observe(Event{Type: EvRunStart, Algorithm: "proclus"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	tr.Observe(Event{Type: EvRunEnd, Algorithm: "proclus"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Error("tracer accepted events or rewrote output after Close")
+	}
+}

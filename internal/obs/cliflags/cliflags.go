@@ -1,0 +1,208 @@
+// Package cliflags registers the shared observability flag set on a
+// CLI's flag.FlagSet and assembles the runtime attachments they select
+// — trace observers, progress logging, a Chrome-trace exporter, the
+// live monitoring server, CPU/heap profiles — so every command in this
+// repository exposes the same observability surface with one helper
+// instead of five hand-rolled copies.
+//
+// Usage:
+//
+//	flags := cliflags.Register(fs)          // add -report, -trace, …
+//	fs.Parse(args)
+//	sess, err := flags.Start(os.Stderr)     // open files, start server
+//	defer sess.Close()
+//	cfg.Observer = sess.Observer
+//	cfg.Metrics = sess.Metrics
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/serve"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	// Report is the -report path: a machine-readable JSON run report.
+	// Empty when the owning CLI registered WithoutReport.
+	Report string
+	// Trace is the -trace path: a JSON-lines event trace.
+	Trace string
+	// Progress is -progress: human-readable progress lines on stderr.
+	Progress bool
+	// ChromeTrace is the -chrometrace path: a Chrome trace_event file
+	// loadable in chrome://tracing or Perfetto.
+	ChromeTrace string
+	// MetricsAddr is the -metrics-addr listen address for the live
+	// monitoring endpoint (/metrics, /run, /debug/pprof). Empty when the
+	// owning CLI registered WithoutServe.
+	MetricsAddr string
+	// CPUProfile and MemProfile are the -cpuprofile/-memprofile paths.
+	CPUProfile string
+	MemProfile string
+}
+
+type options struct {
+	report bool
+	serve  bool
+}
+
+// Option adjusts which flags Register installs.
+type Option func(*options)
+
+// WithoutReport suppresses the -report flag, for CLIs that define their
+// own -report with different semantics (proclus-bench's timing array).
+func WithoutReport() Option { return func(o *options) { o.report = false } }
+
+// WithoutServe suppresses -metrics-addr, for short-lived CLIs where a
+// monitoring server has nothing to watch.
+func WithoutServe() Option { return func(o *options) { o.serve = false } }
+
+// Register installs the observability flags on fs and returns the
+// destination values, to be read after fs.Parse.
+func Register(fs *flag.FlagSet, opts ...Option) *Flags {
+	o := options{report: true, serve: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f := &Flags{}
+	if o.report {
+		fs.StringVar(&f.Report, "report", "", "write a machine-readable JSON run report to this path")
+	}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSON-lines event trace to this path")
+	fs.BoolVar(&f.Progress, "progress", false, "log human-readable progress to stderr")
+	fs.StringVar(&f.ChromeTrace, "chrometrace", "", "write a Chrome trace_event file to this path (open in chrome://tracing or Perfetto)")
+	if o.serve {
+		fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /run JSON snapshot, /debug/pprof)")
+	}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path on exit")
+	return f
+}
+
+// Session is the live state behind one CLI invocation's observability
+// flags. Zero-valued fields mean the corresponding flag was unset.
+type Session struct {
+	// Observer fans out to every observer the flags selected (JSON
+	// tracer, progress logger, Chrome tracer, live accumulator); nil when
+	// none were, preserving the algorithms' nil fast path.
+	Observer obs.Observer
+	// Metrics is the shared registry runs should record into. Non-nil
+	// whenever the session needs one (-metrics-addr); attach it via the
+	// algorithm Config's Metrics field.
+	Metrics *metrics.Registry
+	// Addr is the monitoring server's bound address, for tests and logs
+	// (empty without -metrics-addr).
+	Addr string
+
+	server  *serve.Server
+	closers []func() error
+}
+
+// Start opens the files, tracers and server the flags ask for. Progress
+// and server-address announcements go to errw (typically os.Stderr).
+// On error, anything already opened is closed.
+func (f *Flags) Start(errw io.Writer) (*Session, error) {
+	s := &Session{}
+	fail := func(err error) (*Session, error) {
+		s.Close()
+		return nil, err
+	}
+
+	stopProfiles, err := obs.StartProfiles(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		return fail(err)
+	}
+	s.closers = append(s.closers, stopProfiles)
+
+	var observers []obs.Observer
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return fail(err)
+		}
+		tracer := obs.NewJSONTracer(file)
+		observers = append(observers, tracer)
+		s.closers = append(s.closers, func() error {
+			if err := file.Close(); err != nil {
+				return err
+			}
+			return tracer.Err()
+		})
+	}
+	if f.ChromeTrace != "" {
+		file, err := os.Create(f.ChromeTrace)
+		if err != nil {
+			return fail(err)
+		}
+		tracer := obs.NewChromeTracer(file)
+		observers = append(observers, tracer)
+		s.closers = append(s.closers, func() error {
+			if err := tracer.Close(); err != nil {
+				file.Close()
+				return err
+			}
+			return file.Close()
+		})
+	}
+	if f.Progress {
+		observers = append(observers, obs.NewProgressLogger(errw))
+	}
+	if f.MetricsAddr != "" {
+		s.Metrics = metrics.NewRegistry()
+		live := serve.NewLive()
+		observers = append(observers, live)
+		server, err := serve.Start(serve.Options{
+			Addr:     f.MetricsAddr,
+			Registry: s.Metrics,
+			Live:     live,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.server = server
+		s.Addr = server.Addr()
+		fmt.Fprintf(errw, "serving metrics on http://%s/metrics\n", s.Addr)
+	}
+	s.Observer = obs.Multi(observers...)
+	return s, nil
+}
+
+// Observe forwards an event to the session's observer. Safe with no
+// observers attached (Observer nil) and on a nil session, so CLIs can
+// emit their own run events unconditionally.
+func (s *Session) Observe(e obs.Event) {
+	if s == nil || s.Observer == nil {
+		return
+	}
+	s.Observer.Observe(e)
+}
+
+// Close stops the monitoring server and runs every cleanup (trace file
+// closes, Chrome-trace serialization, profile stops), returning the
+// first error.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.server != nil {
+		if err := s.server.Close(); err != nil {
+			first = err
+		}
+		s.server = nil
+	}
+	// Close in reverse creation order, profiles last.
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		if err := s.closers[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
+}

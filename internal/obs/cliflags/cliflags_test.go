@@ -1,0 +1,152 @@
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/obs"
+)
+
+func parse(t *testing.T, args []string, opts ...Option) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs, opts...)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	f := parse(t, nil)
+	if f.Report != "" || f.Trace != "" || f.Progress || f.ChromeTrace != "" ||
+		f.MetricsAddr != "" || f.CPUProfile != "" || f.MemProfile != "" {
+		t.Errorf("zero flags not zero: %+v", f)
+	}
+	sess, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Observer != nil {
+		t.Error("no flags should yield a nil observer (fast path)")
+	}
+	if sess.Metrics != nil {
+		t.Error("no -metrics-addr should yield no registry")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterOptions(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	Register(fs, WithoutReport(), WithoutServe())
+	for _, name := range []string{"report", "metrics-addr"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("-%s registered despite Without option", name)
+		}
+	}
+	for _, name := range []string{"trace", "progress", "chrometrace", "cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("-%s missing", name)
+		}
+	}
+}
+
+func TestSessionTraceAndChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	chromePath := filepath.Join(dir, "chrome.json")
+	f := parse(t, []string{"-trace", tracePath, "-chrometrace", chromePath})
+	sess, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Observer == nil {
+		t.Fatal("observer not assembled")
+	}
+	sess.Observer.Observe(obs.Event{Type: obs.EvRunStart, Algorithm: "proclus", Points: 10, Dims: 2})
+	sess.Observer.Observe(obs.Event{Type: obs.EvRunEnd, Algorithm: "proclus", Seconds: 0.1})
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(trace)), "\n") + 1; lines != 2 {
+		t.Errorf("trace lines = %d:\n%s", lines, trace)
+	}
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace empty")
+	}
+}
+
+func TestSessionMetricsServer(t *testing.T) {
+	f := parse(t, []string{"-metrics-addr", "127.0.0.1:0"})
+	var announce strings.Builder
+	sess, err := f.Start(&announce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Metrics == nil || sess.Addr == "" || sess.Observer == nil {
+		t.Fatalf("server session incomplete: %+v", sess)
+	}
+	if !strings.Contains(announce.String(), sess.Addr) {
+		t.Errorf("address not announced: %q", announce.String())
+	}
+	sess.Metrics.Counter("proclus_distance_evals_total", "").Add(5)
+	resp, err := http.Get("http://" + sess.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "proclus_distance_evals_total 5") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + sess.Addr + "/metrics"); err == nil {
+		t.Error("server still up after Close")
+	}
+}
+
+func TestStartFailureCleansUp(t *testing.T) {
+	f := parse(t, []string{"-trace", filepath.Join(t.TempDir(), "nodir", "x", "trace.jsonl")})
+	if _, err := f.Start(io.Discard); err == nil {
+		t.Fatal("unwritable trace path accepted")
+	}
+	f = parse(t, []string{"-metrics-addr", "256.256.256.256:99999"})
+	if _, err := f.Start(io.Discard); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestSessionNilClose(t *testing.T) {
+	var s *Session
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

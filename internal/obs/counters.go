@@ -41,3 +41,11 @@ type Snapshot struct {
 	PointsScanned   int64 `json:"points_scanned"`
 	DenseUnitProbes int64 `json:"dense_unit_probes"`
 }
+
+// Merge adds o's counts into s, for aggregating several runs into one
+// total (e.g. across an experiment's repeats).
+func (s *Snapshot) Merge(o Snapshot) {
+	s.DistanceEvals += o.DistanceEvals
+	s.PointsScanned += o.PointsScanned
+	s.DenseUnitProbes += o.DenseUnitProbes
+}

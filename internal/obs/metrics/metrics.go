@@ -1,0 +1,253 @@
+// Package metrics is the quantitative layer of the observability
+// substrate: dependency-free (standard library only) Histogram, Gauge
+// and Rate types plus a Registry that names them, snapshots them
+// deterministically, and renders them in Prometheus text format.
+//
+// The package follows the same discipline as obs.Counters: every type
+// is safe for concurrent use through atomics (no locks on the record
+// path), and every method is nil-safe — recording into a nil metric or
+// a nil registry is a no-op — so instrumentation sites never need to
+// guard on whether metrics are attached. The algorithms record at
+// batched boundaries (per pass, per phase, per restart, per lattice
+// level), never per point, which keeps the always-on cost far below
+// the ~2% hot-path overhead budget the repository enforces.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: HistBuckets log-spaced buckets with
+// boundaries histSmallest·2^i, plus an implicit +Inf bucket. The span
+// covers 1µs to ~1100s when observing seconds, and equally well the
+// objective deltas (~1e-4..1e2) and ratios (0..1) the algorithms
+// record; values at or below the smallest boundary land in bucket 0,
+// values beyond the largest in the overflow bucket.
+const (
+	// HistBuckets is the number of finite log-spaced buckets.
+	HistBuckets = 40
+	// histSmallest is the upper boundary of bucket 0.
+	histSmallest = 1e-6
+)
+
+// histBound returns the upper boundary of bucket i.
+func histBound(i int) float64 {
+	return histSmallest * math.Pow(2, float64(i))
+}
+
+// histBucket returns the bucket index of value v.
+func histBucket(v float64) int {
+	if v <= histSmallest {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(v / histSmallest)))
+	if i >= HistBuckets {
+		return HistBuckets // overflow (+Inf) bucket
+	}
+	return i
+}
+
+// Histogram is a log-bucketed distribution of observed values. Create
+// one with NewHistogram (or through a Registry); all methods are safe
+// for concurrent use and nil-safe. A Histogram must not be copied
+// after first use.
+type Histogram struct {
+	buckets [HistBuckets + 1]atomic.Int64 // last entry is the +Inf bucket
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicFloat // seeded to +Inf so the CAS min is race-free
+	max     atomicFloat // seeded to -Inf
+}
+
+// NewHistogram returns an empty histogram ready for concurrent
+// observation.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value. Non-finite values are dropped so a NaN
+// can never poison the sum.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Snapshot returns a plain-value copy of the histogram. A nil receiver
+// yields the zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.load()
+		s.Max = h.max.load()
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if i < HistBuckets {
+			le = histBound(i)
+		}
+		s.Buckets = append(s.Buckets, Bucket{LE: le, Count: c})
+	}
+	return s
+}
+
+// HistogramSnapshot is the immutable, JSON-ready copy of a Histogram.
+// Buckets holds only non-empty buckets in ascending boundary order,
+// with per-bucket (not cumulative) counts; an infinite LE marks the
+// overflow bucket and marshals as "+Inf".
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min,omitempty"`
+	Max     float64  `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations, or 0 when
+// empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	// LE is the bucket's inclusive upper boundary.
+	LE float64 `json:"le"`
+	// Count is the number of observations in this bucket alone.
+	Count int64 `json:"count"`
+}
+
+// Gauge is a single instantaneous value. The zero value is ready to
+// use; all methods are safe for concurrent use and nil-safe. A Gauge
+// must not be copied after first use. Registry.Counter returns the
+// same type with counter rendering semantics; use Add only for those.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Add increments the gauge's value.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(delta)
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Rate accumulates an event count over measured elapsed time and
+// reports throughput as events per second. The zero value is ready to
+// use; all methods are safe for concurrent use and nil-safe. A Rate
+// must not be copied after first use.
+type Rate struct {
+	count   atomic.Int64
+	seconds atomicFloat
+}
+
+// Observe folds one measured interval into the rate: n events
+// processed in the given wall seconds.
+func (r *Rate) Observe(n int64, seconds float64) {
+	if r == nil || seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	r.count.Add(n)
+	r.seconds.add(seconds)
+}
+
+// Snapshot returns a plain-value copy of the rate. A nil receiver
+// yields the zero snapshot.
+func (r *Rate) Snapshot() RateSnapshot {
+	if r == nil {
+		return RateSnapshot{}
+	}
+	s := RateSnapshot{Count: r.count.Load(), Seconds: r.seconds.load()}
+	if s.Seconds > 0 {
+		s.PerSecond = float64(s.Count) / s.Seconds
+	}
+	return s
+}
+
+// RateSnapshot is the immutable, JSON-ready copy of a Rate.
+type RateSnapshot struct {
+	Count     int64   `json:"count"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"per_second"`
+}
+
+// atomicFloat is a float64 updated through CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

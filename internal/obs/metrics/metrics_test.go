@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0, 1e-7, 1e-6, 0.5e-5, 1, 3, 1e9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1e9 {
+		t.Errorf("min/max = %v/%v, want 0/1e9", s.Min, s.Max)
+	}
+	if got, want := s.Sum, 0+1e-7+1e-6+0.5e-5+1+3+1e9; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	// 0, 1e-7 and 1e-6 all land in bucket 0 (boundary 1e-6).
+	if len(s.Buckets) == 0 || s.Buckets[0].LE != 1e-6 || s.Buckets[0].Count != 3 {
+		t.Errorf("bucket 0 = %+v", s.Buckets)
+	}
+	// 1e9 exceeds the largest finite boundary: overflow bucket.
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v", last)
+	}
+	// Bucket counts must sum to the observation count.
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramBoundariesMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 2000; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	s := h.Snapshot()
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].LE <= s.Buckets[i-1].LE {
+			t.Fatalf("boundaries not ascending: %v", s.Buckets)
+		}
+	}
+}
+
+func TestHistogramDropsNonFinite(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("non-finite observations were recorded: %+v", s)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var h *Histogram
+	var g *Gauge
+	var r *Rate
+	var reg *Registry
+	h.Observe(1)
+	g.Set(1)
+	g.Add(1)
+	r.Observe(1, 1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram snapshot not zero")
+	}
+	if g.Value() != 0 {
+		t.Error("nil gauge value not zero")
+	}
+	if s := r.Snapshot(); s.Count != 0 {
+		t.Error("nil rate snapshot not zero")
+	}
+	// A nil registry hands out nil handles and renders nothing.
+	reg.Histogram("x", "").Observe(1)
+	reg.Gauge("x", "").Set(1)
+	reg.Counter("x", "").Add(1)
+	reg.Rate("x", "").Observe(1, 1)
+	if snap := reg.Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry rendered %q, err %v", buf.String(), err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	r.Observe(500, 0.25)
+	r.Observe(500, 0.25)
+	s := r.Snapshot()
+	if s.Count != 1000 || s.Seconds != 0.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.PerSecond != 2000 {
+		t.Errorf("per-second = %v, want 2000", s.PerSecond)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("h", "help", L("phase", "iterate"))
+	b := reg.Histogram("h", "help", L("phase", "iterate"))
+	if a != b {
+		t.Error("same series returned distinct handles")
+	}
+	c := reg.Histogram("h", "help", L("phase", "refine"))
+	if a == c {
+		t.Error("distinct label values shared a handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("h", "help", L("phase", "iterate"))
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func() Snapshot {
+		reg := NewRegistry()
+		reg.Gauge("z_last", "").Set(3)
+		reg.Histogram("a_first", "", L("phase", "b")).Observe(1)
+		reg.Histogram("a_first", "", L("phase", "a")).Observe(2)
+		reg.Rate("m_rate", "").Observe(10, 1)
+		reg.Counter("c_count", "").Add(5)
+		return reg.Snapshot()
+	}
+	s1, s2 := build(), build()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	names := make([]string, len(s1))
+	for i, m := range s1 {
+		names[i] = m.Name
+	}
+	want := []string{"a_first", "a_first", "c_count", "m_rate", "z_last"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("order = %v, want %v", names, want)
+	}
+	if s1[0].Labels[0].Value != "a" || s1[1].Labels[0].Value != "b" {
+		t.Errorf("label order not canonical: %+v", s1[:2])
+	}
+	// Marshal must be byte-stable.
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(s2)
+	if !bytes.Equal(j1, j2) {
+		t.Error("snapshot JSON not byte-stable")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h", "a histogram", L("phase", "iterate")).Observe(0.125)
+	reg.Histogram("h", "a histogram", L("phase", "iterate")).Observe(5e9) // overflow bucket
+	reg.Gauge("g", "a gauge").Set(42)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"+Inf"`) {
+		t.Errorf("overflow boundary not rendered as +Inf: %s", data)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	h := back.Find("h")
+	if h == nil || h.Histogram.Count != 2 {
+		t.Fatalf("round-trip lost histogram: %+v", back)
+	}
+	if !math.IsInf(h.Histogram.Buckets[len(h.Histogram.Buckets)-1].LE, 1) {
+		t.Errorf("round-trip lost +Inf boundary: %+v", h.Histogram.Buckets)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("proclus_phase_seconds", "wall time per phase", L("phase", "iterate"))
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(3)
+	reg.Counter("proclus_distance_evals_total", "distance evaluations").Add(1234)
+	reg.Rate("proclus_assign_points_per_second", "assignment throughput").Observe(1000, 0.5)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE proclus_phase_seconds histogram",
+		`proclus_phase_seconds_bucket{phase="iterate",le="+Inf"} 3`,
+		`proclus_phase_seconds_count{phase="iterate"} 3`,
+		`proclus_phase_seconds_sum{phase="iterate"} 3.5`,
+		"# TYPE proclus_distance_evals_total counter",
+		"proclus_distance_evals_total 1234",
+		"# TYPE proclus_assign_points_per_second gauge",
+		"proclus_assign_points_per_second 2000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	cum := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "proclus_phase_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscanLast(line, &v); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if v < cum {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, cum)
+		}
+		cum = v
+	}
+}
+
+// fmtSscanLast parses the trailing integer of a sample line.
+func fmtSscanLast(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n, err := json.Number(line[i+1:]).Int64()
+	*v = n
+	return 1, err
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Histogram("h", "").Observe(float64(i%7) + 0.5)
+				reg.Counter("c", "").Add(1)
+				reg.Rate("r", "").Observe(2, 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if h := s.Find("h"); h.Histogram.Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Histogram.Count)
+	}
+	if c := s.Find("c"); *c.Value != 8000 {
+		t.Errorf("counter = %v, want 8000", *c.Value)
+	}
+	r := s.Find("r").Rate
+	if r.Count != 16000 || math.Abs(r.Seconds-8.0) > 1e-9 {
+		t.Errorf("rate = %+v", r)
+	}
+	if h := s.Find("h"); h.Histogram.Min != 0.5 || h.Histogram.Max != 6.5 {
+		t.Errorf("min/max = %v/%v", h.Histogram.Min, h.Histogram.Max)
+	}
+}

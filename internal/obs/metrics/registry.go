@@ -1,0 +1,350 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the metric types a Registry holds.
+type Kind string
+
+// Metric kinds. KindCounter is a Gauge rendered with Prometheus
+// counter semantics: callers must only ever Add non-negative deltas.
+const (
+	KindHistogram Kind = "histogram"
+	KindGauge     Kind = "gauge"
+	KindCounter   Kind = "counter"
+	KindRate      Kind = "rate"
+)
+
+// Label is one name=value dimension of a metric series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry is a named collection of metrics. Get-or-create lookups,
+// snapshots and rendering are guarded by a mutex; the returned metric
+// handles themselves are lock-free, so instrumentation sites should
+// look handles up once and record through them. All methods are
+// nil-safe: a nil registry hands out nil handles, whose methods no-op.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	name   string
+	help   string
+	labels []Label
+	kind   Kind
+	hist   *Histogram
+	gauge  *Gauge
+	rate   *Rate
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// seriesKey identifies one metric series: name plus sorted labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the entry for (name, labels), creating it with the
+// given kind when absent. Registering the same series under two
+// different kinds is a programming error and panics.
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *entry {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: series %q registered as %s and %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, labels: labels, kind: kind}
+	switch kind {
+	case KindHistogram:
+		e.hist = NewHistogram()
+	case KindGauge, KindCounter:
+		e.gauge = &Gauge{}
+	case KindRate:
+		e.rate = &Rate{}
+	}
+	r.entries[key] = e
+	return e
+}
+
+// Histogram returns the named histogram series, creating it when
+// absent. Nil receivers return a nil (no-op) handle.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindHistogram, labels).hist
+}
+
+// Gauge returns the named gauge series, creating it when absent. Nil
+// receivers return a nil (no-op) handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindGauge, labels).gauge
+}
+
+// Counter returns the named counter series, creating it when absent.
+// The handle is a Gauge rendered with counter semantics; callers must
+// only Add non-negative deltas so the value stays monotonic. Nil
+// receivers return a nil (no-op) handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindCounter, labels).gauge
+}
+
+// Rate returns the named rate series, creating it when absent. Nil
+// receivers return a nil (no-op) handle.
+func (r *Registry) Rate(name, help string, labels ...Label) *Rate {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindRate, labels).rate
+}
+
+// sortedEntries returns the registry's entries ordered by name then
+// labels, the canonical order of snapshots and rendering.
+func (r *Registry) sortedEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].name != es[j].name {
+			return es[i].name < es[j].name
+		}
+		return seriesKey(es[i].name, es[i].labels) < seriesKey(es[j].name, es[j].labels)
+	})
+	return es
+}
+
+// MetricSnapshot is the immutable, JSON-ready copy of one metric
+// series. Exactly one of Histogram, Value and Rate is populated,
+// according to Kind.
+type MetricSnapshot struct {
+	Name      string             `json:"name"`
+	Kind      Kind               `json:"kind"`
+	Help      string             `json:"help,omitempty"`
+	Labels    []Label            `json:"labels,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+	Value     *float64           `json:"value,omitempty"`
+	Rate      *RateSnapshot      `json:"rate,omitempty"`
+}
+
+// Snapshot is the deterministic (sorted by name, then labels) copy of
+// a registry's series, ready to embed in run reports and benchmark
+// telemetry files.
+type Snapshot []MetricSnapshot
+
+// Find returns the first series with the given name, or nil.
+func (s Snapshot) Find(name string) *MetricSnapshot {
+	for i := range s {
+		if s[i].Name == name {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot copies every series in canonical order. A nil registry
+// yields a nil snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	es := r.sortedEntries()
+	out := make(Snapshot, 0, len(es))
+	for _, e := range es {
+		m := MetricSnapshot{Name: e.name, Kind: e.kind, Help: e.help, Labels: e.labels}
+		switch e.kind {
+		case KindHistogram:
+			h := e.hist.Snapshot()
+			m.Histogram = &h
+		case KindGauge, KindCounter:
+			v := e.gauge.Value()
+			m.Value = &v
+		case KindRate:
+			rs := e.rate.Snapshot()
+			m.Rate = &rs
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// promFloat renders a float64 the way Prometheus text format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders {k="v",...} with extra appended last; empty when
+// there is nothing to render.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every series in Prometheus text exposition
+// format (version 0.0.4): one # HELP/# TYPE header per metric name,
+// cumulative le buckets plus _sum and _count for histograms, a single
+// sample for gauges and counters, and a gauge sample of events per
+// second for rates. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastName := ""
+	for _, e := range r.sortedEntries() {
+		if e.name != lastName {
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+					return err
+				}
+			}
+			typ := e.kind
+			if typ == KindRate {
+				typ = KindGauge
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
+				return err
+			}
+			lastName = e.name
+		}
+		var err error
+		switch e.kind {
+		case KindHistogram:
+			err = writePromHistogram(w, e)
+		case KindGauge, KindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(e.labels), promFloat(e.gauge.Value()))
+		case KindRate:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(e.labels), promFloat(e.rate.Snapshot().PerSecond))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, e *entry) error {
+	s := e.hist.Snapshot()
+	cum := int64(0)
+	sawInf := false
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if math.IsInf(b.LE, 1) {
+			sawInf = true
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			e.name, promLabels(e.labels, L("le", promFloat(b.LE))), cum)
+		if err != nil {
+			return err
+		}
+	}
+	if !sawInf {
+		_, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			e.name, promLabels(e.labels, L("le", "+Inf")), s.Count)
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, promLabels(e.labels), promFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels), s.Count)
+	return err
+}
+
+// MarshalJSON renders an infinite bucket boundary as the string
+// "+Inf", which encoding/json cannot represent as a number.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type plain Bucket
+	if !math.IsInf(b.LE, 0) {
+		return json.Marshal(plain(b))
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{LE: promFloat(b.LE), Count: b.Count})
+}
+
+// UnmarshalJSON accepts both numeric and "+Inf" boundaries.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.LE, &s); err == nil {
+		switch s {
+		case "+Inf":
+			b.LE = math.Inf(1)
+			return nil
+		case "-Inf":
+			b.LE = math.Inf(-1)
+			return nil
+		}
+		return fmt.Errorf("metrics: bucket boundary %q", s)
+	}
+	return json.Unmarshal(raw.LE, &b.LE)
+}

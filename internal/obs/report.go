@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+
+	"proclus/internal/obs/metrics"
 )
 
 // RunReport is the machine-readable record of one run: the effective
@@ -31,6 +33,12 @@ type RunReport struct {
 	Restarts []RestartReport `json:"restarts,omitempty"`
 	// Counters snapshots the run's hot-path counters.
 	Counters Snapshot `json:"counters"`
+	// Metrics snapshots the metric registry the run recorded into:
+	// phase/restart latency histograms, objective deltas, throughput
+	// rates. Sorted by name then labels, so marshaling is deterministic.
+	// Omitted when no registry was attached or when zeroed for golden
+	// comparisons (histogram buckets depend on wall time).
+	Metrics metrics.Snapshot `json:"metrics,omitempty"`
 	// ObjectiveTrace holds the objective of every evaluated trial in
 	// order, across restarts (PROCLUS only).
 	ObjectiveTrace []float64 `json:"objective_trace,omitempty"`

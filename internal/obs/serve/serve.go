@@ -1,0 +1,188 @@
+// Package serve is the opt-in live monitoring endpoint of the
+// observability layer: a small HTTP server (enabled by -metrics-addr on
+// the CLIs) that exposes the metric registry in Prometheus text format,
+// a JSON snapshot of the in-flight run, expvar, and the net/http/pprof
+// profiling handlers. Everything is standard library only, and nothing
+// here touches the algorithms' hot paths: handlers read atomic
+// snapshots on demand.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
+)
+
+// Options configures a monitoring server.
+type Options struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9187" or ":0" for an
+	// ephemeral port.
+	Addr string
+	// Registry backs /metrics; nil renders an empty exposition.
+	Registry *metrics.Registry
+	// Counters backs the counter section of /run; may be nil.
+	Counters *obs.Counters
+	// Live backs /run; nil makes /run serve an empty snapshot.
+	Live *Live
+}
+
+// Server is a running monitoring endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start listens on opts.Addr and serves the monitoring endpoints in a
+// background goroutine. Close shuts the server down.
+func Start(opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "proclus monitoring endpoint\n\n"+
+			"/metrics      Prometheus text format\n"+
+			"/run          JSON snapshot of the in-flight run\n"+
+			"/debug/vars   expvar\n"+
+			"/debug/pprof  profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, _ *http.Request) {
+		snap := opts.Live.Snapshot()
+		if opts.Counters != nil {
+			snap.Report.Counters = opts.Counters.Snapshot()
+		}
+		snap.Report.Metrics = opts.Registry.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and waits for the serve goroutine.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Live is an obs.Observer that folds the event stream into an
+// incrementally updated RunReport, so /run can serve a meaningful
+// snapshot while the run is still in flight. Safe for concurrent use;
+// attach it with obs.Multi alongside any other observers.
+type Live struct {
+	mu      sync.Mutex
+	rep     obs.RunReport
+	running bool
+	events  int64
+}
+
+// NewLive returns an empty live-run accumulator.
+func NewLive() *Live { return &Live{} }
+
+// Observe implements obs.Observer.
+func (l *Live) Observe(e obs.Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events++
+	switch e.Type {
+	case obs.EvRunStart:
+		l.rep = obs.RunReport{
+			Algorithm: e.Algorithm,
+			Dataset:   obs.DatasetInfo{Points: e.Points, Dims: e.Dims},
+		}
+		l.running = true
+	case obs.EvPhaseEnd:
+		l.rep.Phases = append(l.rep.Phases, obs.PhaseReport{Name: e.Phase, Seconds: e.Seconds})
+	case obs.EvRestartEnd:
+		l.rep.Restarts = append(l.rep.Restarts, obs.RestartReport{
+			Restart: e.Restart, Iterations: e.Iteration,
+			BestObjective: e.Objective, Seconds: e.Seconds,
+		})
+	case obs.EvIteration:
+		l.rep.Iterations++
+		if e.Improved || l.rep.Objective == 0 {
+			l.rep.Objective = e.Best
+		}
+	case obs.EvLevelEnd:
+		if e.Level > l.rep.Levels {
+			l.rep.Levels = e.Level
+		}
+	case obs.EvRunEnd:
+		l.rep.Objective = e.Objective
+		l.rep.Outliers = e.Outliers
+		l.rep.TotalSeconds = e.Seconds
+		l.running = false
+	}
+}
+
+// LiveSnapshot is the JSON document /run serves.
+type LiveSnapshot struct {
+	// Running reports whether a run is currently in flight.
+	Running bool `json:"running"`
+	// Events counts the observations folded in so far.
+	Events int64 `json:"events"`
+	// Report is the in-flight (or, once Running is false, final) run
+	// report assembled from the event stream.
+	Report obs.RunReport `json:"report"`
+}
+
+// Snapshot returns a copy of the live state. Restart records are sorted
+// by restart index so concurrent completion order never leaks into the
+// serialization. A nil receiver yields the zero snapshot.
+func (l *Live) Snapshot() LiveSnapshot {
+	if l == nil {
+		return LiveSnapshot{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	snap := LiveSnapshot{Running: l.running, Events: l.events, Report: l.rep}
+	snap.Report.Phases = append([]obs.PhaseReport(nil), l.rep.Phases...)
+	snap.Report.Restarts = append([]obs.RestartReport(nil), l.rep.Restarts...)
+	sort.Slice(snap.Report.Restarts, func(i, j int) bool {
+		return snap.Report.Restarts[i].Restart < snap.Report.Restarts[j].Restart
+	})
+	return snap
+}

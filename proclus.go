@@ -33,6 +33,7 @@ import (
 	"proclus/internal/eval"
 	"proclus/internal/medoid"
 	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
 	"proclus/internal/orclus"
 	"proclus/internal/synth"
 )
@@ -93,6 +94,19 @@ type RunReport = obs.RunReport
 // evaluations, points scanned, dense-unit probes).
 type CounterSnapshot = obs.Snapshot
 
+// ChromeTracer is an Observer serializing the event stream as a Chrome
+// trace_event file, loadable in chrome://tracing or Perfetto.
+type ChromeTracer = obs.ChromeTracer
+
+// MetricsRegistry collects metric series — log-bucketed latency
+// histograms, gauges, counters and throughput rates — when attached via
+// Config.Metrics (or CliqueConfig.Metrics). Nil disables recording.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a deterministic (name-then-label sorted) copy of a
+// registry's series, as embedded in RunReport.Metrics.
+type MetricsSnapshot = metrics.Snapshot
+
 // NewJSONTracer returns an Observer writing one JSON line per event to
 // w. Safe for concurrent use; check Err after the run.
 func NewJSONTracer(w io.Writer) *JSONTracer { return obs.NewJSONTracer(w) }
@@ -104,6 +118,14 @@ func NewProgressLogger(w io.Writer) *ProgressLogger { return obs.NewProgressLogg
 // MultiObserver fans events out to several observers; nils are
 // dropped, and zero observers yield nil (emission disabled).
 func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// NewChromeTracer returns an Observer buffering the event stream as
+// Chrome trace_event spans; Close serializes the document to w.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return obs.NewChromeTracer(w) }
+
+// NewMetricsRegistry returns an empty metric registry to attach via
+// Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // StartProfiles begins a CPU profile (cpuPath non-empty) and returns a
 // stop function that finishes it and writes a heap profile (memPath
