@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-obs bench-record bench-baseline bench-check
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check
 
 check: vet build test-race
 
@@ -41,6 +41,16 @@ bench:
 # run without spending minutes on stable timings (the CI smoke job).
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkAssign' -benchtime 1x ./internal/core/
+
+# Allocation smoke: every distance kernel must report 0 allocs/op, and
+# the assignment-pass benchmarks surface their per-pass allocation
+# counts (a 1x run shows only one-time buffer setup). The steady-state
+# zero-alloc guarantee itself is enforced by
+# TestIncrementalSteadyStateAllocs; this target keeps -benchmem data in
+# the CI logs so allocation creep is visible at a glance.
+bench-allocs:
+	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./internal/dist/
+	$(GO) test -run xxx -bench 'BenchmarkAssign' -benchtime 1x -benchmem ./internal/core/
 
 # Observability overhead: instrumented assignment pass (counters on,
 # observer nil) vs an uninstrumented replica. Compare medians; the

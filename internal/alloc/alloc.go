@@ -17,6 +17,15 @@ type candidate struct {
 	score    float64
 }
 
+// candidates orders cells by (score, row, column); the pointer receiver
+// keeps sort.Sort free of per-call interface allocations when the
+// sorter lives in a reused Picker.
+type candidates []candidate
+
+func (c *candidates) Len() int           { return len(*c) }
+func (c *candidates) Swap(a, b int)      { (*c)[a], (*c)[b] = (*c)[b], (*c)[a] }
+func (c *candidates) Less(a, b int) bool { return less((*c)[a], (*c)[b]) }
+
 // PickSmallest selects exactly total cells from the scores matrix with
 // the minimum possible score sum, subject to choosing at least minPerRow
 // cells in every row. It returns, for each row, the chosen column
@@ -28,6 +37,27 @@ type candidate struct {
 // (score, row, column) so that identical inputs always produce identical
 // selections.
 func PickSmallest(scores [][]float64, total, minPerRow int) ([][]int, error) {
+	return new(Picker).PickSmallest(scores, total, minPerRow)
+}
+
+// Picker runs PickSmallest with reusable internal buffers. Repeated
+// calls of the same shape allocate nothing; the PROCLUS hill climb
+// holds one per restart so its per-trial dimension allocation stays
+// off the garbage collector. The returned rows alias the Picker and
+// are overwritten by the next call — callers that retain a selection
+// must copy it. A Picker is not safe for concurrent use; the zero
+// value is ready.
+type Picker struct {
+	chosen []bool // rows×cols, row-major
+	row    candidates
+	rest   candidates
+	out    [][]int
+	flat   []int // backing store for out's rows
+}
+
+// PickSmallest is the allocation-reusing form of the package-level
+// PickSmallest; see Picker for the aliasing contract.
+func (p *Picker) PickSmallest(scores [][]float64, total, minPerRow int) ([][]int, error) {
 	rows := len(scores)
 	if rows == 0 {
 		return nil, fmt.Errorf("alloc: empty score matrix")
@@ -51,41 +81,53 @@ func PickSmallest(scores [][]float64, total, minPerRow int) ([][]int, error) {
 		return nil, fmt.Errorf("alloc: budget %d exceeds matrix size %d×%d", total, rows, cols)
 	}
 
-	chosen := make([][]bool, rows)
-	for i := range chosen {
-		chosen[i] = make([]bool, cols)
+	p.chosen = resize(p.chosen, rows*cols)
+	for i := range p.chosen {
+		p.chosen[i] = false
 	}
 
 	// Phase 1: per-row preallocation of the minPerRow smallest cells.
-	var rest []candidate
+	p.rest = p.rest[:0]
 	for i := range scores {
-		rowCands := make([]candidate, cols)
+		p.row = resize(p.row, cols)
 		for j, v := range scores[i] {
-			rowCands[j] = candidate{row: i, col: j, score: v}
+			p.row[j] = candidate{row: i, col: j, score: v}
 		}
-		sort.Slice(rowCands, func(a, b int) bool { return less(rowCands[a], rowCands[b]) })
-		for _, c := range rowCands[:minPerRow] {
-			chosen[c.row][c.col] = true
+		sort.Sort(&p.row)
+		for _, c := range p.row[:minPerRow] {
+			p.chosen[c.row*cols+c.col] = true
 		}
-		rest = append(rest, rowCands[minPerRow:]...)
+		p.rest = append(p.rest, p.row[minPerRow:]...)
 	}
 
 	// Phase 2: global greedy over the remaining cells.
 	remaining := total - rows*minPerRow
-	sort.Slice(rest, func(a, b int) bool { return less(rest[a], rest[b]) })
-	for _, c := range rest[:remaining] {
-		chosen[c.row][c.col] = true
+	sort.Sort(&p.rest)
+	for _, c := range p.rest[:remaining] {
+		p.chosen[c.row*cols+c.col] = true
 	}
 
-	out := make([][]int, rows)
-	for i := range chosen {
-		for j, ok := range chosen[i] {
-			if ok {
-				out[i] = append(out[i], j)
+	p.out = resize(p.out, rows)
+	p.flat = resize(p.flat, total)[:0]
+	for i := 0; i < rows; i++ {
+		start := len(p.flat)
+		for j := 0; j < cols; j++ {
+			if p.chosen[i*cols+j] {
+				p.flat = append(p.flat, j)
 			}
 		}
+		p.out[i] = p.flat[start:len(p.flat):len(p.flat)]
 	}
-	return out, nil
+	return p.out, nil
+}
+
+// resize returns s with length n, growing the backing array only when
+// the capacity is insufficient.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func less(a, b candidate) bool {

@@ -133,9 +133,11 @@ type Options struct {
 	// be integer factors.
 	TimeThreshold float64
 	// WorkThreshold is the relative tolerance for the deterministic work
-	// counters. Default 0.1: counters reproduce exactly for a fixed
+	// counters. Default 0.02: counters reproduce exactly for a fixed
 	// seed, so any drift means the algorithm changed; the slack only
-	// absorbs intentional small reworks.
+	// absorbs intentional small reworks. (It was 0.1 before the
+	// incremental-evaluation engine made the counter pipeline
+	// worker-count exact end to end.)
 	WorkThreshold float64
 	// MinSeconds is the noise floor for time metrics: when both sides
 	// measure below it, the pair is skipped (a 3 ms phase doubling to
@@ -148,7 +150,7 @@ func (o Options) withDefaults() Options {
 		o.TimeThreshold = 0.5
 	}
 	if o.WorkThreshold == 0 {
-		o.WorkThreshold = 0.1
+		o.WorkThreshold = 0.02
 	}
 	if o.MinSeconds == 0 {
 		o.MinSeconds = 0.01
@@ -288,6 +290,10 @@ func compareRecord(rep *Report, base, cand Record, opts Options) {
 		float64(base.Counters.PointsScanned), float64(cand.Counters.PointsScanned), opts.WorkThreshold)
 	classify("counters/dense_unit_probes", "work",
 		float64(base.Counters.DenseUnitProbes), float64(cand.Counters.DenseUnitProbes), opts.WorkThreshold)
+	classify("counters/distcache_hits", "work",
+		float64(base.Counters.DistCacheHits), float64(cand.Counters.DistCacheHits), opts.WorkThreshold)
+	classify("counters/distcache_recomputes", "work",
+		float64(base.Counters.DistCacheRecomputes), float64(cand.Counters.DistCacheRecomputes), opts.WorkThreshold)
 }
 
 func sortedKeys(maps ...map[string]float64) []string {

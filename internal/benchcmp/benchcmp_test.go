@@ -36,11 +36,11 @@ func fixtureFile() *File {
 func TestCompareWithinNoise(t *testing.T) {
 	base := fixtureFile()
 	cand := fixtureFile()
-	// 20% time drift and 5% counter drift: both inside the default
-	// thresholds (0.5 and 0.1).
+	// 20% time drift and 1% counter drift: both inside the default
+	// thresholds (0.5 and 0.02).
 	cand.Records[0].WallSeconds *= 1.2
 	cand.Records[0].PhaseSeconds["iterate"] *= 1.2
-	cand.Records[0].Counters.DistanceEvals = 105000
+	cand.Records[0].Counters.DistanceEvals = 101000
 	rep, err := Compare(base, cand, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -94,9 +94,9 @@ func TestCompareFlagsTimeRegression(t *testing.T) {
 func TestCompareFlagsWorkRegression(t *testing.T) {
 	base := fixtureFile()
 	cand := fixtureFile()
-	// Deterministic counters use the tight threshold: +20% distance
+	// Deterministic counters use the tight threshold: +5% distance
 	// evaluations is a regression even though +20% wall time is noise.
-	cand.Records[0].Counters.DistanceEvals = 120000
+	cand.Records[0].Counters.DistanceEvals = 105000
 	rep, err := Compare(base, cand, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +106,29 @@ func TestCompareFlagsWorkRegression(t *testing.T) {
 	}
 	if rep.Regressions[0].Kind != "work" {
 		t.Errorf("kind = %q, want work", rep.Regressions[0].Kind)
+	}
+}
+
+// TestCompareFlagsDistCacheCounters pins the incremental engine's cache
+// series into the work comparison: recompute growth past the tight
+// threshold is a regression (the cache is doing more distance work),
+// and hit-count drift is reported so it cannot move silently.
+func TestCompareFlagsDistCacheCounters(t *testing.T) {
+	base := fixtureFile()
+	cand := fixtureFile()
+	base.Records[0].Counters.DistCacheHits = 300000
+	base.Records[0].Counters.DistCacheRecomputes = 150000
+	cand.Records[0].Counters.DistCacheHits = 280000
+	cand.Records[0].Counters.DistCacheRecomputes = 170000
+	rep, err := Compare(base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "counters/distcache_recomputes" {
+		t.Fatalf("regressions: %+v", rep.Regressions)
+	}
+	if len(rep.Improvements) != 1 || rep.Improvements[0].Metric != "counters/distcache_hits" {
+		t.Fatalf("improvements: %+v", rep.Improvements)
 	}
 }
 

@@ -47,7 +47,21 @@ func (r *runner) findDimensions(medoids []int, groups [][]int) [][]int {
 // preferable and the allocator's deterministic tie-breaking applies.
 func (r *runner) zRow(medoid int, group []int) []float64 {
 	d := r.ds.Dims()
-	x := make([]float64, d)
+	return r.zRowInto(medoid, group, make([]float64, d), make([]float64, d))
+}
+
+// zRowInto is zRow writing into caller-owned buffers: x accumulates the
+// per-dimension mean absolute differences and z receives the
+// standardized row. Both must have length ds.Dims(); the incremental
+// engine reuses them across hill-climb iterations.
+func (r *runner) zRowInto(medoid int, group []int, x, z []float64) []float64 {
+	d := r.ds.Dims()
+	for j := range x {
+		x[j] = 0
+	}
+	for j := range z {
+		z[j] = 0
+	}
 	m := r.ds.Point(medoid)
 	count := 0
 	for _, p := range group {
@@ -57,7 +71,6 @@ func (r *runner) zRow(medoid int, group []int) []float64 {
 		}
 		count++
 	}
-	z := make([]float64, d)
 	if count == 0 {
 		return z
 	}

@@ -11,15 +11,21 @@ import (
 // obs.Counters totals; the histograms and rate capture the
 // distributions the paper's §4 scalability story is made of.
 const (
-	MetricPhaseSeconds    = "proclus_phase_seconds"
-	MetricRestartSeconds  = "proclus_restart_seconds"
-	MetricObjectiveDelta  = "proclus_objective_delta"
-	MetricAssignRate      = "proclus_assign_points_per_second"
-	MetricDistanceEvals   = "proclus_distance_evals_total"
-	MetricPointsScanned   = "proclus_points_scanned_total"
-	MetricDatasetPoints   = "proclus_dataset_points"
-	MetricDatasetDims     = "proclus_dataset_dims"
-	MetricObjectiveLatest = "proclus_objective"
+	MetricPhaseSeconds   = "proclus_phase_seconds"
+	MetricRestartSeconds = "proclus_restart_seconds"
+	MetricObjectiveDelta = "proclus_objective_delta"
+	MetricAssignRate     = "proclus_assign_points_per_second"
+	MetricDistanceEvals  = "proclus_distance_evals_total"
+	MetricPointsScanned  = "proclus_points_scanned_total"
+	// The cache series quantify the incremental engine's savings:
+	// hits are distance evaluations avoided relative to naive
+	// evaluation, recomputes are cache-column refills actually
+	// performed (each also counted in proclus_distance_evals_total).
+	MetricDistCacheHits       = "proclus_distcache_hits_total"
+	MetricDistCacheRecomputes = "proclus_distcache_recomputes_total"
+	MetricDatasetPoints       = "proclus_dataset_points"
+	MetricDatasetDims         = "proclus_dataset_dims"
+	MetricObjectiveLatest     = "proclus_objective"
 )
 
 // runnerMetrics caches pre-resolved metric handles so instrumentation
@@ -29,15 +35,17 @@ const (
 type runnerMetrics struct {
 	reg *metrics.Registry
 
-	phaseSeconds   map[string]*metrics.Histogram
-	restartSeconds *metrics.Histogram
-	objectiveDelta *metrics.Histogram
-	assignRate     *metrics.Rate
-	distanceEvals  *metrics.Gauge
-	pointsScanned  *metrics.Gauge
-	datasetPoints  *metrics.Gauge
-	datasetDims    *metrics.Gauge
-	objective      *metrics.Gauge
+	phaseSeconds        map[string]*metrics.Histogram
+	restartSeconds      *metrics.Histogram
+	objectiveDelta      *metrics.Histogram
+	assignRate          *metrics.Rate
+	distanceEvals       *metrics.Gauge
+	pointsScanned       *metrics.Gauge
+	distCacheHits       *metrics.Gauge
+	distCacheRecomputes *metrics.Gauge
+	datasetPoints       *metrics.Gauge
+	datasetDims         *metrics.Gauge
+	objective           *metrics.Gauge
 
 	// foldMu guards folded, the counter snapshot already credited to the
 	// registry. Folding deltas (rather than setting totals) keeps the
@@ -69,6 +77,10 @@ func newRunnerMetrics(reg *metrics.Registry) *runnerMetrics {
 		"point-to-point distance evaluations")
 	m.pointsScanned = reg.Counter(MetricPointsScanned,
 		"data-point visits by full-dataset passes")
+	m.distCacheHits = reg.Counter(MetricDistCacheHits,
+		"distance evaluations avoided by the incremental hill-climb cache")
+	m.distCacheRecomputes = reg.Counter(MetricDistCacheRecomputes,
+		"distance-cache column entries recomputed after medoid swaps")
 	m.datasetPoints = reg.Gauge(MetricDatasetPoints, "points in the current input")
 	m.datasetDims = reg.Gauge(MetricDatasetDims, "dimensionality of the current input")
 	m.objective = reg.Gauge(MetricObjectiveLatest, "objective of the latest finished run")
@@ -129,8 +141,10 @@ func (m *runnerMetrics) fold(c *obs.Counters) {
 	cur := c.Snapshot()
 	m.foldMu.Lock()
 	d := obs.Snapshot{
-		DistanceEvals: cur.DistanceEvals - m.folded.DistanceEvals,
-		PointsScanned: cur.PointsScanned - m.folded.PointsScanned,
+		DistanceEvals:       cur.DistanceEvals - m.folded.DistanceEvals,
+		PointsScanned:       cur.PointsScanned - m.folded.PointsScanned,
+		DistCacheHits:       cur.DistCacheHits - m.folded.DistCacheHits,
+		DistCacheRecomputes: cur.DistCacheRecomputes - m.folded.DistCacheRecomputes,
 	}
 	m.folded = cur
 	m.foldMu.Unlock()
@@ -139,6 +153,12 @@ func (m *runnerMetrics) fold(c *obs.Counters) {
 	}
 	if d.PointsScanned != 0 {
 		m.pointsScanned.Add(float64(d.PointsScanned))
+	}
+	if d.DistCacheHits != 0 {
+		m.distCacheHits.Add(float64(d.DistCacheHits))
+	}
+	if d.DistCacheRecomputes != 0 {
+		m.distCacheRecomputes.Add(float64(d.DistCacheRecomputes))
 	}
 }
 

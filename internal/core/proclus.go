@@ -252,10 +252,11 @@ func (r *runner) initialize() ([]int, error) {
 	if medoidCount > len(s) {
 		medoidCount = len(s)
 	}
-	segAll := dist.Counted(dist.SegmentalAll, &r.counters.DistanceEvals)
-	picks, err := greedy.FarthestFirstParallel(r.rng, len(s), medoidCount, r.innerWorkers, func(i, j int) float64 {
-		return segAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
-	})
+	// The traversal batches its own evaluation accounting per chunk, so
+	// the distance closure stays free of per-call atomics.
+	picks, err := greedy.FarthestFirstCounted(r.rng, len(s), medoidCount, r.innerWorkers, func(i, j int) float64 {
+		return dist.SegmentalAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
+	}, &r.counters.DistanceEvals)
 	if err != nil {
 		return nil, fmt.Errorf("proclus: greedy medoid selection: %w", err)
 	}
@@ -304,6 +305,11 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 		current[i] = candidates[perm[i]]
 	}
 
+	// The evaluator is restart-private: the incremental engine's
+	// distance cache and trial scratch are owned by this goroutine, so
+	// concurrent restarts share nothing and the worker-determinism
+	// guarantee is untouched.
+	ev := r.newEvaluator()
 	var best *trialState
 	var trace []float64
 	bestObjective := math.Inf(1)
@@ -311,7 +317,7 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 	iterations := 0
 	for {
 		iterations++
-		trial := r.evaluateMedoids(current)
+		trial := ev.evaluate(current)
 		trace = append(trace, trial.objective)
 		improved := trial.objective < bestObjective
 		if improved {
@@ -319,8 +325,8 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 				r.metrics.observeObjectiveDelta(bestObjective - trial.objective)
 			}
 			bestObjective = trial.objective
-			best = trial
-			best.badMedoids = r.findBadMedoids(trial)
+			best = ev.adopt(trial)
+			best.badMedoids = r.findBadMedoids(best)
 			noImprove = 0
 		} else {
 			noImprove++
@@ -441,37 +447,62 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 // deterministic. It returns the per-point cluster index and the cluster
 // sizes.
 func (r *runner) assignPoints(medoids []int, dims [][]int) (assign []int, sizes []int) {
-	n := r.ds.Len()
-	assign = make([]int, n)
 	medoidPoints := make([][]float64, len(medoids))
 	for i, m := range medoids {
 		medoidPoints[i] = r.ds.Point(m)
 	}
-	metric := r.pointMetric()
+	assign = make([]int, r.ds.Len())
+	sizes = make([]int, len(medoids))
+	r.assignPointsInto(medoidPoints, dims, r.pointMetric(), assign, sizes)
+	return assign, sizes
+}
+
+// assignPointsInto is assignPoints writing into caller-owned buffers
+// (len(assign) = N, len(sizes) = k); the incremental engine reuses
+// them — and a pre-built metric closure — across hill-climb
+// iterations.
+func (r *runner) assignPointsInto(medoidPoints [][]float64, dims [][]int,
+	metric func(pt, medoid []float64, dims []int) float64, assign, sizes []int) {
+	n := r.ds.Len()
 	passStart := time.Now()
 	parallel.For(n, r.innerWorkers, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			pt := r.ds.Point(p)
-			bestIdx, bestDist := 0, math.Inf(1)
-			for i := range medoidPoints {
-				d := metric(pt, medoidPoints[i], dims[i])
-				if d < bestDist {
-					bestIdx, bestDist = i, d
-				}
-			}
-			assign[p] = bestIdx
-		}
-		r.counters.DistanceEvals.Add(int64(hi-lo) * int64(len(medoidPoints)))
-		r.counters.PointsScanned.Add(int64(hi - lo))
+		r.assignChunk(medoidPoints, dims, metric, assign, lo, hi)
 	})
 	// One Rate observation per pass (two clock reads), far below the
 	// assignment path's ~2% overhead budget.
 	r.metrics.observeAssign(int64(n), time.Since(passStart).Seconds())
-	sizes = make([]int, len(medoids))
+	tallySizes(assign, sizes)
+}
+
+// assignChunk is one worker's share of the assignment pass: nearest
+// medoid for points [lo, hi), counters batched per chunk. It is shared
+// by the naive pass above and the incremental engine's prebuilt chunk
+// closure so the two can never drift.
+func (r *runner) assignChunk(medoidPoints [][]float64, dims [][]int,
+	metric func(pt, medoid []float64, dims []int) float64, assign []int, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		pt := r.ds.Point(p)
+		bestIdx, bestDist := 0, math.Inf(1)
+		for i := range medoidPoints {
+			d := metric(pt, medoidPoints[i], dims[i])
+			if d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		assign[p] = bestIdx
+	}
+	r.counters.DistanceEvals.Add(int64(hi-lo) * int64(len(medoidPoints)))
+	r.counters.PointsScanned.Add(int64(hi - lo))
+}
+
+// tallySizes recounts cluster sizes from an assignment vector.
+func tallySizes(assign, sizes []int) {
+	for i := range sizes {
+		sizes[i] = 0
+	}
 	for _, a := range assign {
 		sizes[a]++
 	}
-	return assign, sizes
 }
 
 // pointMetric returns the configured point-to-medoid distance over a
@@ -491,24 +522,40 @@ func (r *runner) pointMetric() func(pt, medoid []float64, dims []int) float64 {
 // over all points, of the average distance along each cluster dimension
 // between the point and its cluster centroid.
 func (r *runner) evaluateClusters(assign []int, sizes []int, dims [][]int) float64 {
-	// This pass stays serial: floating-point accumulation order must not
-	// depend on the worker count, or the hill climb's accept/reject
-	// decisions (and hence the whole result) could differ between runs
-	// configured with different Workers values. The locality and
-	// assignment passes, whose outputs are integers, carry the
-	// parallelism instead.
 	k := len(sizes)
 	d := r.ds.Dims()
 	centroids := make([][]float64, k)
 	for i := range centroids {
 		centroids[i] = make([]float64, d)
 	}
-	r.ds.Each(func(p int, pt []float64) {
+	return r.evaluateClustersInto(assign, sizes, dims, centroids, make([]float64, k))
+}
+
+// evaluateClustersInto is evaluateClusters accumulating into
+// caller-owned buffers (k centroid rows of ds.Dims() each, k deviation
+// slots), which the incremental engine reuses across iterations.
+func (r *runner) evaluateClustersInto(assign []int, sizes []int, dims [][]int,
+	centroids [][]float64, devs []float64) float64 {
+	// This pass stays serial: floating-point accumulation order must not
+	// depend on the worker count, or the hill climb's accept/reject
+	// decisions (and hence the whole result) could differ between runs
+	// configured with different Workers values. The locality and
+	// assignment passes, whose outputs are integers, carry the
+	// parallelism instead.
+	n := r.ds.Len()
+	for i := range centroids {
+		c := centroids[i]
+		for j := range c {
+			c[j] = 0
+		}
+	}
+	for p := 0; p < n; p++ {
+		pt := r.ds.Point(p)
 		c := centroids[assign[p]]
 		for j, v := range pt {
 			c[j] += v
 		}
-	})
+	}
 	for i, c := range centroids {
 		if sizes[i] == 0 {
 			continue
@@ -520,8 +567,11 @@ func (r *runner) evaluateClusters(assign []int, sizes []int, dims [][]int) float
 	}
 	// Sum of per-dimension absolute deviations to the centroid,
 	// restricted to each cluster's dimensions.
-	devs := make([]float64, k)
-	r.ds.Each(func(p int, pt []float64) {
+	for i := range devs {
+		devs[i] = 0
+	}
+	for p := 0; p < n; p++ {
+		pt := r.ds.Point(p)
 		i := assign[p]
 		c := centroids[i]
 		var s float64
@@ -529,7 +579,7 @@ func (r *runner) evaluateClusters(assign []int, sizes []int, dims [][]int) float
 			s += math.Abs(pt[j] - c[j])
 		}
 		devs[i] += s / float64(len(dims[i]))
-	})
+	}
 	var total float64
 	for i := range devs {
 		total += devs[i] // devs already sums w_i contributions per point

@@ -19,6 +19,7 @@ type ConfigReport struct {
 	Workers        int     `json:"workers"`
 	InitMethod     string  `json:"init_method"`
 	AssignMetric   string  `json:"assign_metric"`
+	EvalMode       string  `json:"eval_mode"`
 	SkipRefinement bool    `json:"skip_refinement,omitempty"`
 }
 
@@ -37,6 +38,7 @@ func (cfg Config) reportConfig() ConfigReport {
 		Workers:        cfg.Workers,
 		InitMethod:     cfg.InitMethod.String(),
 		AssignMetric:   cfg.AssignMetric.String(),
+		EvalMode:       cfg.IncrementalEval.String(),
 		SkipRefinement: cfg.SkipRefinement,
 	}
 }

@@ -44,16 +44,44 @@ func SquaredEuclidean(x, y []float64) float64 {
 }
 
 // Lp returns the Lp-norm distance between x and y for p >= 1. Lp(1, …)
-// equals Manhattan and Lp(2, …) equals Euclidean up to floating-point
-// rounding. It panics if p < 1.
+// equals Manhattan exactly and Lp(2, …) equals Euclidean; integer p
+// dispatches to multiplication-based kernels, so no path pays the
+// per-coordinate math.Pow the general fractional form needs. It panics
+// if p < 1.
 func Lp(p float64, x, y []float64) float64 {
 	if p < 1 {
 		panic(fmt.Sprintf("dist: Lp called with p = %v < 1", p))
 	}
+	switch p {
+	case 1:
+		return Manhattan(x, y)
+	case 2:
+		return math.Sqrt(SquaredEuclidean(x, y))
+	}
 	checkLen(x, y)
+	if ip := int(p); float64(ip) == p {
+		return lpInt(ip, p, x, y)
+	}
 	var s float64
 	for i := range x {
 		s += math.Pow(math.Abs(x[i]-y[i]), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// lpInt is the integer-exponent Lp kernel: |x−y|^p by repeated
+// multiplication (p is small in practice — the paper's norms are p ≤ 3
+// — so the O(p) multiply chain beats math.Pow's exp/log round trip).
+// Only the final 1/p root needs math.Pow.
+func lpInt(ip int, p float64, x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := math.Abs(x[i] - y[i])
+		pw := d
+		for e := 1; e < ip; e++ {
+			pw *= d
+		}
+		s += pw
 	}
 	return math.Pow(s, 1/p)
 }

@@ -201,21 +201,31 @@ func TestCounted(t *testing.T) {
 	}
 }
 
-func BenchmarkManhattan20(b *testing.B) {
-	r := randx.New(1)
-	x, y := randVec(r, 20), randVec(r, 20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = Manhattan(x, y)
+// TestLpIntegerFastPath checks the multiplication-based integer kernel
+// against the general math.Pow form for p = 1..5, and pins the exact
+// dispatches: Lp(1) must be bit-identical to Manhattan.
+func TestLpIntegerFastPath(t *testing.T) {
+	powLp := func(p float64, x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			s += math.Pow(math.Abs(x[i]-y[i]), p)
+		}
+		return math.Pow(s, 1/p)
 	}
-}
-
-func BenchmarkSegmental7of20(b *testing.B) {
-	r := randx.New(1)
-	x, y := randVec(r, 20), randVec(r, 20)
-	dims := []int{1, 3, 5, 7, 11, 13, 17}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = Segmental(x, y, dims)
+	r := randx.New(17)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(16)
+		x, y := randVec(r, n), randVec(r, n)
+		for p := 1; p <= 5; p++ {
+			if got, want := Lp(float64(p), x, y), powLp(float64(p), x, y); !almostEqual(got, want) {
+				t.Fatalf("Lp(%d) = %v, pow form = %v", p, got, want)
+			}
+		}
+		if got, want := Lp(1, x, y), Manhattan(x, y); got != want {
+			t.Fatalf("Lp(1) = %v not bit-identical to Manhattan %v", got, want)
+		}
+		if got, want := Lp(2.5, x, y), powLp(2.5, x, y); got != want {
+			t.Fatalf("fractional Lp(2.5) changed: %v vs %v", got, want)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"proclus/internal/parallel"
 	"proclus/internal/randx"
@@ -40,6 +41,18 @@ func FarthestFirst(r *randx.Rand, n, k int, d DistanceTo) ([]int, error) {
 // lower index exactly as the serial scan does. workers < 1 selects
 // GOMAXPROCS.
 func FarthestFirstParallel(r *randx.Rand, n, k, workers int, d DistanceTo) ([]int, error) {
+	return FarthestFirstCounted(r, n, k, workers, d, nil)
+}
+
+// FarthestFirstCounted is FarthestFirstParallel with batched
+// distance-evaluation accounting: each shard tallies its evaluations
+// locally and credits evals once per chunk, so the traversal pays one
+// atomic add per O(n/workers) distances instead of one per distance.
+// The totals are chunking-independent — which items get folded depends
+// only on the picks, and the picks are worker-count invariant — so the
+// recorded count is identical to per-call counting. A nil evals
+// disables accounting.
+func FarthestFirstCounted(r *randx.Rand, n, k, workers int, d DistanceTo, evals *atomic.Int64) ([]int, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("greedy: k = %d must be positive", k)
 	}
@@ -54,6 +67,9 @@ func FarthestFirstParallel(r *randx.Rand, n, k, workers int, d DistanceTo) ([]in
 	parallel.For(n, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			minDist[i] = d(i, first)
+		}
+		if evals != nil {
+			evals.Add(int64(hi - lo))
 		}
 	})
 	chosen := make([]bool, n)
@@ -96,12 +112,17 @@ func FarthestFirstParallel(r *randx.Rand, n, k, workers int, d DistanceTo) ([]in
 		chosen[best] = true
 		pick := best
 		parallel.For(n, workers, func(lo, hi int) {
+			var folded int64
 			for i := lo; i < hi; i++ {
 				if !chosen[i] {
 					if nd := d(i, pick); nd < minDist[i] {
 						minDist[i] = nd
 					}
+					folded++
 				}
+			}
+			if evals != nil {
+				evals.Add(folded)
 			}
 		})
 	}

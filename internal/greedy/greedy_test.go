@@ -2,6 +2,8 @@ package greedy
 
 import (
 	"math"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"proclus/internal/dist"
@@ -143,5 +145,58 @@ func TestFarthestFirstDuplicatePoints(t *testing.T) {
 			t.Fatalf("duplicate index on degenerate input: %v", picks)
 		}
 		seen[p] = true
+	}
+}
+
+// TestFarthestFirstCountedTotals checks the batched accounting against
+// per-call counting: for every worker count the picks and the recorded
+// evaluation total must match a serial traversal whose distance
+// function counts each invocation itself.
+func TestFarthestFirstCountedTotals(t *testing.T) {
+	rng := randx.New(21)
+	pts := make([][]float64, 80)
+	for i := range pts {
+		pts[i] = []float64{rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)}
+	}
+	d := pointsDistance(pts)
+	const k = 9
+
+	var perCall atomic.Int64
+	counting := func(i, j int) float64 {
+		perCall.Add(1)
+		return d(i, j)
+	}
+	refPicks, err := FarthestFirst(randx.New(5), len(pts), k, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perCall.Load()
+	// Figure 3 folds every not-yet-chosen item after each pick: n for
+	// the first pass, then n-m once m picks are chosen.
+	explicit := int64(len(pts))
+	for m := 2; m <= k; m++ {
+		explicit += int64(len(pts) - m)
+	}
+	if want != explicit {
+		t.Fatalf("per-call count %d does not match the closed form %d", want, explicit)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		var batched atomic.Int64
+		picks, err := FarthestFirstCounted(randx.New(5), len(pts), k, workers, d, &batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(picks, refPicks) {
+			t.Fatalf("workers=%d: picks %v differ from serial %v", workers, picks, refPicks)
+		}
+		if got := batched.Load(); got != want {
+			t.Fatalf("workers=%d: batched count %d, per-call count %d", workers, got, want)
+		}
+	}
+
+	// nil counter must be accepted.
+	if _, err := FarthestFirstCounted(randx.New(5), len(pts), k, 2, d, nil); err != nil {
+		t.Fatal(err)
 	}
 }

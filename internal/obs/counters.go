@@ -19,6 +19,14 @@ type Counters struct {
 	// DenseUnitProbes counts unit-membership lookups performed by
 	// CLIQUE's counting passes.
 	DenseUnitProbes atomic.Int64
+	// DistCacheHits counts point×medoid distance lookups served from
+	// the incremental hill-climb engine's per-restart cache — work the
+	// naive evaluation would have recomputed.
+	DistCacheHits atomic.Int64
+	// DistCacheRecomputes counts point×medoid distances recomputed into
+	// the cache after a medoid swap invalidated their column. Every
+	// recompute is also a DistanceEvals evaluation.
+	DistCacheRecomputes atomic.Int64
 }
 
 // Snapshot returns a plain-integer copy of the counters. A nil
@@ -28,9 +36,11 @@ func (c *Counters) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		DistanceEvals:   c.DistanceEvals.Load(),
-		PointsScanned:   c.PointsScanned.Load(),
-		DenseUnitProbes: c.DenseUnitProbes.Load(),
+		DistanceEvals:       c.DistanceEvals.Load(),
+		PointsScanned:       c.PointsScanned.Load(),
+		DenseUnitProbes:     c.DenseUnitProbes.Load(),
+		DistCacheHits:       c.DistCacheHits.Load(),
+		DistCacheRecomputes: c.DistCacheRecomputes.Load(),
 	}
 }
 
@@ -40,6 +50,10 @@ type Snapshot struct {
 	DistanceEvals   int64 `json:"distance_evals"`
 	PointsScanned   int64 `json:"points_scanned"`
 	DenseUnitProbes int64 `json:"dense_unit_probes"`
+	// DistCacheHits and DistCacheRecomputes stay zero under naive
+	// evaluation; omitempty keeps pre-cache reports byte-stable.
+	DistCacheHits       int64 `json:"distcache_hits,omitempty"`
+	DistCacheRecomputes int64 `json:"distcache_recomputes,omitempty"`
 }
 
 // Merge adds o's counts into s, for aggregating several runs into one
@@ -48,4 +62,6 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.DistanceEvals += o.DistanceEvals
 	s.PointsScanned += o.PointsScanned
 	s.DenseUnitProbes += o.DenseUnitProbes
+	s.DistCacheHits += o.DistCacheHits
+	s.DistCacheRecomputes += o.DistCacheRecomputes
 }
