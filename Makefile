@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke
 
-check: vet build test-race
+check: vet build test-race fuzz-smoke
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
 # race-enabled tests, coverage, the benchmark smoke run, and the
@@ -36,6 +36,18 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short coverage-guided fuzz runs over the binary reader and the block
+# scanner. The checked-in corpus under internal/dataset/testdata/fuzz
+# replays on every plain `go test`; this target additionally mutates
+# for FUZZTIME per target to catch fresh parser regressions. Each
+# -fuzz invocation must name exactly one target, hence three runs.
+FUZZTIME ?= 5s
+
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run xxx -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run xxx -fuzz '^FuzzBlockScanner$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 
 # One iteration per benchmark: proves the benchmarks still compile and
 # run without spending minutes on stable timings (the CI smoke job).

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"proclus/internal/clique"
@@ -47,6 +49,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		mdl       = fs.Bool("mdl", false, "enable MDL subspace pruning (CLIQUE §3.2)")
 		workers   = fs.Int("workers", 0, "goroutine budget for the histogram and counting passes (0 = GOMAXPROCS); results are identical for any value")
 		verbose   = fs.Bool("v", false, "list every cluster with its region description")
+		stream    = fs.Bool("stream", false, "run out of core: binary input only, every pass streams the file in blocks; results are bit-identical to the in-memory run")
+		blockPts  = fs.Int("block-points", 0, "points per streamed block (0 = default); only with -stream")
 	)
 	obsFlags := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -65,34 +69,67 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = err
 		}
 	}()
-	ds, err := dataset.LoadFile(*in, *hasLabels)
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	res, err := clique.Run(ds, clique.Config{
+	cfg := clique.Config{
 		Xi: *xi, Tau: *tau, MaxDims: *maxDims, FixedDims: *fixedDims,
 		ReportMaximal: *maximal, ReportHighest: *highest, MDLPruning: *mdl,
 		Workers: *workers, Observer: sess.Observer, Metrics: sess.Metrics,
-	})
-	if err != nil {
-		return err
 	}
-	elapsed := time.Since(start)
+	var (
+		res     *clique.Result
+		ds      *dataset.Dataset
+		n, d    int
+		labeled bool
+		elapsed time.Duration
+		mode    string
+	)
+	if *stream {
+		if strings.HasSuffix(strings.ToLower(*in), ".csv") {
+			return fmt.Errorf("-stream requires the binary dataset format (convert with datagen or dsstat)")
+		}
+		src, err := dataset.OpenFileSource(*in, *blockPts)
+		if err != nil {
+			return err
+		}
+		n, d, labeled = src.Len(), src.Dims(), src.Labeled()
+		mode = fmt.Sprintf(" (streamed, %d-point blocks)", src.BlockPoints())
+		start := time.Now()
+		res, err = clique.RunStream(context.Background(), src, cfg)
+		if err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+	} else {
+		var err error
+		ds, err = dataset.LoadFile(*in, *hasLabels)
+		if err != nil {
+			return err
+		}
+		n, d, labeled = ds.Len(), ds.Dims(), ds.Labeled()
+		start := time.Now()
+		res, err = clique.Run(ds, cfg)
+		if err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+	}
 
-	fmt.Fprintf(out, "CLIQUE: %d points × %d dims, ξ=%d τ=%.4f — %s\n",
-		ds.Len(), ds.Dims(), *xi, *tau, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "CLIQUE%s: %d points × %d dims, ξ=%d τ=%.4f — %s\n",
+		mode, n, d, *xi, *tau, elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "dense units per subspace dimensionality: %v (levels reached: %d)\n",
 		res.DenseBySubspaceDim[1:], res.Levels)
 	fmt.Fprintf(out, "clusters reported: %d\n", len(res.Clusters))
 
-	members := clique.Membership(ds, res)
-	if ov, err := eval.AverageOverlap(members); err == nil {
-		fmt.Fprintf(out, "average overlap: %.2f\n", ov)
-	}
-	if ds.Labeled() {
-		cov := eval.Coverage(eval.LabelsFromDataset(ds), members)
-		fmt.Fprintf(out, "cluster-point coverage: %.1f%%\n", 100*cov)
+	if ds != nil {
+		members := clique.Membership(ds, res)
+		if ov, err := eval.AverageOverlap(members); err == nil {
+			fmt.Fprintf(out, "average overlap: %.2f\n", ov)
+		}
+		if ds.Labeled() {
+			cov := eval.Coverage(eval.LabelsFromDataset(ds), members)
+			fmt.Fprintf(out, "cluster-point coverage: %.1f%%\n", 100*cov)
+		}
+	} else {
+		fmt.Fprintln(out, "overlap/coverage: skipped (membership needs the in-memory dataset; rerun without -stream to compute them)")
 	}
 	if *verbose {
 		fmt.Fprintln(out)
@@ -107,7 +144,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	if obsFlags.Report != "" {
 		rep := res.Report()
 		rep.Dataset.Source = *in
-		rep.Dataset.Labeled = ds.Labeled()
+		rep.Dataset.Labeled = labeled
 		if err := rep.WriteFile(obsFlags.Report); err != nil {
 			return err
 		}

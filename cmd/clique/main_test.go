@@ -146,3 +146,78 @@ func TestRunWritesReportAndTrace(t *testing.T) {
 		}
 	}
 }
+
+func TestRunStreamed(t *testing.T) {
+	path := writeBlobData(t)
+	var mem, str strings.Builder
+	if err := run([]string{"-in", path, "-xi", "10", "-tau", "0.05"}, &mem); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", path, "-xi", "10", "-tau", "0.05",
+		"-stream", "-block-points", "128"}, &str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := str.String()
+	for _, want := range []string{
+		"CLIQUE (streamed, 128-point blocks):",
+		"overlap/coverage: skipped",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("streamed output missing %q:\n%s", want, got)
+		}
+	}
+	// The lattice summary is bit-identical to the in-memory run.
+	for _, line := range strings.Split(mem.String(), "\n") {
+		if strings.HasPrefix(line, "dense units") || strings.HasPrefix(line, "clusters reported:") {
+			if !strings.Contains(got, line) {
+				t.Fatalf("streamed run diverged from in-memory: missing %q\n%s", line, got)
+			}
+		}
+	}
+}
+
+func TestRunStreamedWritesReport(t *testing.T) {
+	path := writeBlobData(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-xi", "10", "-tau", "0.05",
+		"-stream", "-block-points", "200", "-report", reportPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Config struct {
+			Stream      bool `json:"stream"`
+			BlockPoints int  `json:"block_points"`
+		} `json:"config"`
+		Counters struct {
+			StreamBlocks int64 `json:"stream_blocks"`
+			StreamBytes  int64 `json:"stream_bytes"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Config.Stream || rep.Config.BlockPoints != 200 {
+		t.Errorf("config echo = %+v, want stream=true block_points=200", rep.Config)
+	}
+	if rep.Counters.StreamBlocks <= 0 || rep.Counters.StreamBytes <= 0 {
+		t.Errorf("stream counters not recorded: %+v", rep.Counters)
+	}
+}
+
+func TestRunStreamedRejectsCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(csvPath, []byte("1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", csvPath, "-stream"}, &sb); err == nil {
+		t.Fatal("-stream accepted a CSV input")
+	}
+}

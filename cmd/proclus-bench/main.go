@@ -50,6 +50,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		workers    = fs.Int("workers", 0, "goroutine budget per PROCLUS/CLIQUE run (0 = GOMAXPROCS); results are identical for any value")
 		reportPath = fs.String("report", "", "write per-experiment timing records as a JSON array to this path")
 		benchJSON  = fs.String("bench-json", "", "write schema-versioned benchmark telemetry to this path (a directory gets BENCH_<timestamp>.json); diff two captures with benchcmp")
+		stream     = fs.Bool("stream", false, "run the accuracy tables and fig7 out of core: inputs spill to temporary binary files and the streamed engines cluster them in bounded memory")
+		blockPts   = fs.Int("block-points", 0, "points per streamed block (0 = default); only with -stream")
 	)
 	// -report here keeps its historical timing-array semantics, so the
 	// shared flag set skips its own -report.
@@ -103,7 +105,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		figN = *override
 		fig7Ns = []int{*override, 2 * *override}
 	}
-	caseParams := experiments.CaseParams{N: caseN, Seed: *seed, Workers: *workers, Observer: sess.Observer}
+	caseParams := experiments.CaseParams{
+		N: caseN, Seed: *seed, Workers: *workers, Observer: sess.Observer,
+		Stream: *stream, BlockPoints: *blockPts,
+	}
 
 	runners := []runner{
 		{"table1", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
@@ -151,6 +156,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			d, r, err := experiments.Figure7(experiments.Figure7Params{
 				Ns: fig7Ns, WithClique: true, Seed: *seed, Workers: *workers,
 				Metrics: reg, Observer: sess.Observer,
+				Stream: *stream, BlockPoints: *blockPts,
 			})
 			return r, d, err
 		}},

@@ -176,3 +176,30 @@ func TestRunBenchJSONExplicitPath(t *testing.T) {
 		t.Errorf("output:\n%s", sb.String())
 	}
 }
+
+func TestRunStreamedTable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "table1", "-n", "3000",
+		"-stream", "-block-points", "256"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"table1", "Dimensions", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStreamedFigure7(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "fig7", "-n", "1500",
+		"-stream", "-block-points", "256"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PROCLUS") {
+		t.Fatalf("missing series:\n%s", sb.String())
+	}
+}

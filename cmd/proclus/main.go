@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +52,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		workers   = fs.Int("workers", 0, "goroutine budget: concurrent restarts plus per-pass parallelism (0 = GOMAXPROCS); results are identical for any value")
 		normalize = fs.String("normalize", "", "rescale dimensions before clustering: minmax or zscore")
 		assignOut = fs.String("assign", "", "optional path for a point→cluster assignment CSV")
+		stream    = fs.Bool("stream", false, "cluster the input out of core: binary input only, full-data passes stream in blocks so resident memory is O(sample + block) instead of O(N·d)")
+		blockPts  = fs.Int("block-points", 0, "points per streamed block (0 = default); only with -stream")
 	)
 	obsFlags := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +67,16 @@ func run(args []string, out io.Writer) (retErr error) {
 		fs.Usage()
 		return fmt.Errorf("one of -l or -sweepl is required")
 	}
+	if *stream {
+		switch {
+		case *normalize != "":
+			return fmt.Errorf("-stream is incompatible with -normalize: rescaling needs the matrix in memory")
+		case *sweepL != "" || *sweepK != "":
+			return fmt.Errorf("-stream is incompatible with -sweepl/-sweepk: sweeps rerun over the in-memory dataset")
+		case strings.HasSuffix(strings.ToLower(*in), ".csv"):
+			return fmt.Errorf("-stream requires the binary dataset format (convert with datagen or dsstat)")
+		}
+	}
 	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		return err
@@ -72,6 +86,15 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = err
 		}
 	}()
+	cfgFor := func() core.Config {
+		return core.Config{
+			K: *k, L: *l, Seed: *seed, Workers: *workers,
+			Observer: sess.Observer, Metrics: sess.Metrics,
+		}
+	}
+	if *stream {
+		return runStreamed(out, *in, *blockPts, cfgFor(), obsFlags.Report, *assignOut)
+	}
 	ds, err := dataset.LoadFile(*in, *hasLabels)
 	if err != nil {
 		return err
@@ -87,10 +110,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	default:
 		return fmt.Errorf("unknown -normalize mode %q (want minmax or zscore)", *normalize)
 	}
-	cfg := core.Config{
-		K: *k, L: *l, Seed: *seed, Workers: *workers,
-		Observer: sess.Observer, Metrics: sess.Metrics,
-	}
+	cfg := cfgFor()
 	report := func(res *core.Result) error {
 		return writeReport(obsFlags.Report, res, *in, ds.Labeled())
 	}
@@ -142,6 +162,68 @@ func run(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintf(out, "\nassignments written to %s\n", *assignOut)
 	}
 	return report(res)
+}
+
+// runStreamed clusters a binary dataset file out of core via
+// core.RunStream: the hill climb works on the resident medoid sample
+// and every full-data stage streams the file in blocks, so resident
+// memory stays O(sample + block) however large the file is. Labeled
+// inputs still get the confusion matrix and external indices — the
+// label column is scanned separately without loading the points.
+func runStreamed(out io.Writer, in string, blockPoints int, cfg core.Config, reportPath, assignOut string) error {
+	src, err := dataset.OpenFileSource(in, blockPoints)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := core.RunStream(context.Background(), src, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "PROCLUS (streamed, %d-point blocks): %d points × %d dims, k=%d l=%d — %s (%d trials)\n",
+		src.BlockPoints(), src.Len(), src.Dims(), cfg.K, cfg.L, elapsed.Round(time.Millisecond), res.Iterations)
+	fmt.Fprintf(out, "objective (avg segmental distance to centroid): %.4f\n\n", res.Objective)
+	fmt.Fprintf(out, "%-8s %-40s %10s\n", "Cluster", "Dimensions (1-based)", "Points")
+	for i, cl := range res.Clusters {
+		fmt.Fprintf(out, "%-8d %-40s %10d\n", i+1, fmt.Sprint(oneBased(cl.Dimensions)), len(cl.Members))
+	}
+	fmt.Fprintf(out, "%-8s %-40s %10d\n", "Outliers", "-", res.NumOutliers())
+
+	if src.Labeled() {
+		labels, err := dataset.ScanLabels(in)
+		if err != nil {
+			return err
+		}
+		numLabels := 0
+		for _, l := range labels {
+			if l+1 > numLabels {
+				numLabels = l + 1
+			}
+		}
+		cm, err := eval.NewConfusion(labels, res.Assignments, len(res.Clusters), numLabels)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nconfusion matrix (output rows × input columns):\n%s", cm)
+		fmt.Fprintf(out, "purity: %.3f", cm.Purity())
+		if ari, err := eval.AdjustedRandIndex(labels, res.Assignments); err == nil {
+			fmt.Fprintf(out, "   ARI: %.3f", ari)
+		}
+		if nmi, err := eval.NormalizedMutualInfo(labels, res.Assignments); err == nil {
+			fmt.Fprintf(out, "   NMI: %.3f", nmi)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if assignOut != "" {
+		if err := writeAssignments(assignOut, res.Assignments); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nassignments written to %s\n", assignOut)
+	}
+	return writeReport(reportPath, res, in, src.Labeled())
 }
 
 // writeReport writes res's run report to path, stamping the dataset's
@@ -226,12 +308,21 @@ func parseRange(spec string) (lo, hi int, err error) {
 	return lo, hi, nil
 }
 
-func writeAssignments(path string, assignments []int) error {
-	f, err := os.Create(path)
+// writeAssignments writes the assignment CSV atomically: the rows go to
+// a temporary file in the destination directory, which replaces path
+// only after a complete, synced write. An interrupted or failed run
+// never leaves a partial file at path.
+func writeAssignments(path string, assignments []int) (retErr error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if retErr != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
 	if _, err := f.WriteString("point,cluster\n"); err != nil {
 		return err
 	}
@@ -240,7 +331,10 @@ func writeAssignments(path string, assignments []int) error {
 			return err
 		}
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func oneBased(dims []int) []int {

@@ -302,3 +302,70 @@ func TestRunChromeTrace(t *testing.T) {
 		t.Error("chrome trace empty")
 	}
 }
+
+func TestRunStreamed(t *testing.T) {
+	path := writeWorkload(t)
+	assignPath := filepath.Join(t.TempDir(), "a.csv")
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-k", "2", "-l", "3",
+		"-stream", "-block-points", "256", "-assign", assignPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"PROCLUS (streamed, 256-point blocks):", "objective",
+		"Cluster", "Outliers", "confusion matrix", "purity:", "ARI:", "NMI:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	data, err := os.ReadFile(assignPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1501 {
+		t.Fatalf("%d assignment lines, want 1501", len(lines))
+	}
+}
+
+func TestRunStreamedWritesReport(t *testing.T) {
+	path := writeWorkload(t)
+	repPath := filepath.Join(t.TempDir(), "run.json")
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3", "-stream", "-report", repPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Config struct {
+			Stream      bool `json:"stream"`
+			BlockPoints int  `json:"block_points"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Config.Stream || rep.Config.BlockPoints == 0 {
+		t.Fatalf("report config echo = %+v, want stream=true with a block size", rep.Config)
+	}
+}
+
+func TestRunStreamedRejectsIncompatibleFlags(t *testing.T) {
+	path := writeWorkload(t)
+	cases := [][]string{
+		{"-in", path, "-k", "2", "-l", "3", "-stream", "-normalize", "minmax"},
+		{"-in", path, "-k", "2", "-stream", "-sweepl", "2:5"},
+		{"-in", path, "-k", "2", "-stream", "-sweepk", "2:4"},
+		{"-in", "data.csv", "-k", "2", "-l", "3", "-stream"},
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d: %v accepted with -stream", i, args)
+		}
+	}
+}

@@ -20,7 +20,9 @@
 package clique
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -111,7 +113,7 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-func (cfg Config) validate(ds *dataset.Dataset) error {
+func (cfg Config) validate(dims int) error {
 	switch {
 	case cfg.Xi < 2:
 		return fmt.Errorf("clique: Xi = %d must be at least 2", cfg.Xi)
@@ -121,8 +123,8 @@ func (cfg Config) validate(ds *dataset.Dataset) error {
 		return fmt.Errorf("clique: negative MaxDims %d", cfg.MaxDims)
 	case cfg.FixedDims < 0:
 		return fmt.Errorf("clique: negative FixedDims %d", cfg.FixedDims)
-	case cfg.FixedDims > ds.Dims():
-		return fmt.Errorf("clique: FixedDims %d exceeds space dimensionality %d", cfg.FixedDims, ds.Dims())
+	case cfg.FixedDims > dims:
+		return fmt.Errorf("clique: FixedDims %d exceeds space dimensionality %d", cfg.FixedDims, dims)
 	case cfg.MaxDims > 0 && cfg.FixedDims > cfg.MaxDims:
 		return fmt.Errorf("clique: FixedDims %d exceeds MaxDims %d", cfg.FixedDims, cfg.MaxDims)
 	}
@@ -176,6 +178,10 @@ type grid struct {
 
 func newGrid(ds *dataset.Dataset, xi int) *grid {
 	min, max := ds.Bounds()
+	return newGridBounds(min, max, xi)
+}
+
+func newGridBounds(min, max []float64, xi int) *grid {
 	width := make([]float64, len(min))
 	for j := range width {
 		w := (max[j] - min[j]) / float64(xi)
@@ -200,36 +206,85 @@ func (g *grid) interval(j int, v float64) int {
 	return iv
 }
 
-// Run executes CLIQUE on ds.
+// Run executes CLIQUE on ds. It routes through the same block-pass
+// engine as RunStream, over a single zero-copy block covering the whole
+// dataset, so the in-memory pass structure (and performance) of the
+// direct implementation is preserved and the two entry points cannot
+// drift apart.
 func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
+	return run(context.Background(), dataset.NewMemorySource(ds, ds.Len()), cfg, false)
+}
+
+// RunStream executes CLIQUE over an arbitrary point source in bounded
+// memory: every full-data stage — grid bounds, the 1-d histogram, the
+// per-level candidate counting and the cluster-size pass — is a block
+// pass, so resident point storage is the source's block buffers
+// regardless of n. All per-unit accumulation is integer counting
+// sharded so each counter belongs to one worker, making the Result
+// bit-identical to Run on the same points for every block size and
+// worker count. Unlike Run, the point data is not pre-validated for
+// NaN/Inf (the whole matrix is never resident); garbage values land in
+// clamped boundary intervals instead of failing fast.
+func RunStream(ctx context.Context, src PointSource, cfg Config) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("clique: nil point source")
+	}
+	return run(ctx, src, cfg, true)
+}
+
+func run(ctx context.Context, src PointSource, cfg Config, stream bool) (*Result, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.validate(ds); err != nil {
+	if err := cfg.validate(src.Dims()); err != nil {
 		return nil, err
 	}
-	if ds.Len() == 0 {
+	if src.Len() == 0 {
 		return nil, fmt.Errorf("clique: empty dataset")
 	}
-	g := newGrid(ds, cfg.Xi)
-	minCount := int(cfg.Tau * float64(ds.Len()))
+	minCount := int(cfg.Tau * float64(src.Len()))
 	// "More than Tau·N": strictly greater.
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	r := &searcher{ds: ds, cfg: cfg, grid: g, minCount: minCount,
-		obs: cfg.Observer, metrics: newSearcherMetrics(reg)}
-	return r.run()
+	m := newSearcherMetrics(reg)
+	if stream {
+		m.enableStream()
+	}
+	s := &searcher{ctx: ctx, src: src, n: src.Len(), d: src.Dims(), cfg: cfg,
+		minCount: minCount, stream: stream, obs: cfg.Observer, metrics: m}
+	res, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	if stream {
+		res.Config.Stream = true
+		if bp, ok := src.(interface{ BlockPoints() int }); ok {
+			res.Config.BlockPoints = bp.BlockPoints()
+		}
+	}
+	return res, nil
 }
 
 type searcher struct {
-	ds       *dataset.Dataset
+	ctx context.Context
+	src PointSource
+	// n and d cache the source's shape.
+	n, d     int
 	cfg      Config
 	grid     *grid
 	minCount int
 	stats    Stats
+	// stream marks an out-of-core run: block-delivery counters are
+	// credited and the resident-peak gauge recorded. In-memory runs keep
+	// their counters, reports and goldens byte-identical to the
+	// pre-streaming engine.
+	stream bool
+	// maxBlockLen tracks the largest block any pass delivered, the basis
+	// of the resident-peak gauge.
+	maxBlockLen int
 	// obs receives structured events; nil disables emission.
 	obs obs.Observer
 	// counters accumulates hot-path work, batched per pass so it stays
@@ -282,20 +337,71 @@ type subspaceUnits struct {
 	units map[string]int // unitKey -> count
 }
 
+// eachBlock sweeps the source once, crediting stream telemetry on
+// out-of-core runs and tracking the largest delivered block.
+func (s *searcher) eachBlock(fn func(b *dataset.Block) error) error {
+	return s.src.Blocks(s.ctx, func(b *dataset.Block) error {
+		if s.stream {
+			s.counters.StreamBlocks.Add(1)
+			s.counters.StreamBytes.Add(b.Bytes())
+		}
+		if l := b.Len(); l > s.maxBlockLen {
+			s.maxBlockLen = l
+		}
+		return fn(b)
+	})
+}
+
+// computeGrid finds per-dimension bounds with one block pass and builds
+// the interval grid. Min and max are order-independent, so the grid is
+// identical for every block size and source kind.
+func (s *searcher) computeGrid() error {
+	min := make([]float64, s.d)
+	max := make([]float64, s.d)
+	for j := range min {
+		min[j] = math.Inf(1)
+		max[j] = math.Inf(-1)
+	}
+	err := s.eachBlock(func(b *dataset.Block) error {
+		for i := 0; i < b.Len(); i++ {
+			for j, v := range b.Point(i) {
+				if v < min[j] {
+					min[j] = v
+				}
+				if v > max[j] {
+					max[j] = v
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.grid = newGridBounds(min, max, s.cfg.Xi)
+	return nil
+}
+
 func (s *searcher) run() (*Result, error) {
 	if s.cfg.Xi > 255 {
 		return nil, fmt.Errorf("clique: Xi = %d exceeds the supported maximum 255", s.cfg.Xi)
 	}
-	s.stats.DatasetPoints = s.ds.Len()
-	s.stats.DatasetDims = s.ds.Dims()
+	if err := s.computeGrid(); err != nil {
+		return nil, err
+	}
+	s.stats.DatasetPoints = s.n
+	s.stats.DatasetDims = s.d
 	runStart := time.Now()
-	s.emit(obs.Event{Type: obs.EvRunStart, Points: s.ds.Len(), Dims: s.ds.Dims()})
-	s.metrics.observeRunStart(s.ds.Len(), s.ds.Dims())
+	s.emit(obs.Event{Type: obs.EvRunStart, Points: s.n, Dims: s.d})
+	s.metrics.observeRunStart(s.n, s.d)
 
 	res := &Result{DenseBySubspaceDim: []int{0}, Xi: s.cfg.Xi}
 	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "histogram"})
 	start := time.Now()
-	cur := s.denseOneDim()
+	cur, err := s.denseOneDim()
+	if err != nil {
+		return nil, err
+	}
 	s.stats.HistogramDuration = time.Since(start)
 	res.DenseBySubspaceDim = append(res.DenseBySubspaceDim, countUnits(cur))
 	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "histogram",
@@ -324,7 +430,9 @@ func (s *searcher) run() (*Result, error) {
 				Seconds: time.Since(levelStart).Seconds()})
 			break
 		}
-		s.countPass(cands)
+		if err := s.countPass(cands); err != nil {
+			return nil, err
+		}
 		next := pruneSparse(cands, s.minCount)
 		if s.cfg.MDLPruning {
 			next = mdlPrune(next)
@@ -379,7 +487,7 @@ func (s *searcher) run() (*Result, error) {
 			// at all.
 			filtered := &level{q: lv.q, subspaces: map[string]*subspaceUnits{}}
 			for skey, su := range lv.subspaces {
-				if isMaximal(su.dims, s.ds.Dims(), dense) {
+				if isMaximal(su.dims, s.d, dense) {
 					filtered.subspaces[skey] = su
 				}
 			}
@@ -387,7 +495,9 @@ func (s *searcher) run() (*Result, error) {
 		}
 		res.Clusters = append(res.Clusters, s.connect(lv)...)
 	}
-	s.countClusterSizes(res.Clusters)
+	if err := s.countClusterSizes(res.Clusters); err != nil {
+		return nil, err
+	}
 	sortClusters(res.Clusters)
 	s.stats.ReportDuration = time.Since(start)
 	s.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "report",
@@ -395,6 +505,11 @@ func (s *searcher) run() (*Result, error) {
 	s.metrics.observePhase("report", s.stats.ReportDuration.Seconds())
 
 	res.Config = s.cfg.reportConfig()
+	if s.stream {
+		// CLIQUE keeps no sample resident; the peak point storage is the
+		// source's double-buffered block pair.
+		s.metrics.observeStreamResidentPeak(2 * s.maxBlockLen)
+	}
 	s.stats.Counters = s.counters.Snapshot()
 	s.metrics.fold(&s.counters)
 	s.stats.Metrics = s.metrics.snapshot()
@@ -404,38 +519,45 @@ func (s *searcher) run() (*Result, error) {
 	return res, nil
 }
 
-// denseOneDim performs the histogram pass for 1-dimensional units.
-// Points shard across workers, each accumulating a private histogram;
-// the merge adds integers, which commute, so the totals are identical
-// for every worker count.
-func (s *searcher) denseOneDim() *level {
-	d := s.ds.Dims()
+// denseOneDim performs the histogram pass for 1-dimensional units as a
+// block pass. Within each block, points shard across workers, each
+// accumulating a private histogram; the merges add integers, which
+// commute, so the totals are identical for every block size and worker
+// count.
+func (s *searcher) denseOneDim() (*level, error) {
+	d := s.d
 	// Each point lands in one 1-dimensional unit per dimension.
-	s.counters.PointsScanned.Add(int64(s.ds.Len()))
-	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(d))
+	s.counters.PointsScanned.Add(int64(s.n))
+	s.counters.DenseUnitProbes.Add(int64(s.n) * int64(d))
 	counts := make([][]int, d)
 	for j := range counts {
 		counts[j] = make([]int, s.cfg.Xi)
 	}
 	var mu sync.Mutex
-	parallel.For(s.ds.Len(), s.cfg.Workers, func(lo, hi int) {
-		local := make([][]int, d)
-		for j := range local {
-			local[j] = make([]int, s.cfg.Xi)
-		}
-		for pi := lo; pi < hi; pi++ {
-			for j, v := range s.ds.Point(pi) {
-				local[j][s.grid.interval(j, v)]++
+	err := s.eachBlock(func(b *dataset.Block) error {
+		parallel.For(b.Len(), s.cfg.Workers, func(lo, hi int) {
+			local := make([][]int, d)
+			for j := range local {
+				local[j] = make([]int, s.cfg.Xi)
 			}
-		}
-		mu.Lock()
-		for j := range counts {
-			for iv, c := range local[j] {
-				counts[j][iv] += c
+			for pi := lo; pi < hi; pi++ {
+				for j, v := range b.Point(pi) {
+					local[j][s.grid.interval(j, v)]++
+				}
 			}
-		}
-		mu.Unlock()
+			mu.Lock()
+			for j := range counts {
+				for iv, c := range local[j] {
+					counts[j][iv] += c
+				}
+			}
+			mu.Unlock()
+		})
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	lv := &level{q: 1, subspaces: map[string]*subspaceUnits{}}
 	for j := 0; j < d; j++ {
 		su := &subspaceUnits{dims: []int{j}, units: map[string]int{}}
@@ -448,7 +570,7 @@ func (s *searcher) denseOneDim() *level {
 			lv.subspaces[subspaceKey(su.dims)] = su
 		}
 	}
-	return lv
+	return lv, nil
 }
 
 // candidates generates the level-q candidate units from the dense
@@ -547,41 +669,46 @@ func (s *searcher) allProjectionsDense(prev *level, dims, intervals []int) bool 
 	return true
 }
 
-// countPass fills in candidate unit counts. Work shards by subspace:
-// each worker scans the dataset once and updates only its own
-// subspaces' counters, so no locking is needed and results are
-// identical for every worker count.
-func (s *searcher) countPass(cands *level) {
+// countPass fills in candidate unit counts as a block pass. Within each
+// block, work shards by subspace: each worker scans the block's points
+// and updates only its own subspaces' counters, so no locking is needed
+// and the integer totals are identical for every block size and worker
+// count.
+func (s *searcher) countPass(cands *level) error {
 	// Stable iteration order is unnecessary for counting; determinism of
 	// the final result comes from sorting when reporting.
 	subspaces := make([]*subspaceUnits, 0, len(cands.subspaces))
 	for _, su := range cands.subspaces {
 		subspaces = append(subspaces, su)
 	}
-	// Counted once per logical pass, not per shard: every point is
-	// probed against every subspace exactly once regardless of how the
-	// subspaces shard across workers, so the totals stay independent of
-	// the Workers setting.
-	s.counters.PointsScanned.Add(int64(s.ds.Len()))
-	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(len(subspaces)))
-	parallel.For(len(subspaces), s.cfg.Workers, func(lo, hi int) {
-		shard := subspaces[lo:hi]
-		buf := make([]int, 16)
-		s.ds.Each(func(_ int, p []float64) {
-			for _, su := range shard {
-				if cap(buf) < len(su.dims) {
-					buf = make([]int, len(su.dims))
-				}
-				ivs := buf[:len(su.dims)]
-				for i, d := range su.dims {
-					ivs[i] = s.grid.interval(d, p[d])
-				}
-				key := unitKey(ivs)
-				if c, ok := su.units[key]; ok {
-					su.units[key] = c + 1
+	// Counted once per logical pass, not per shard or block: every point
+	// is probed against every subspace exactly once regardless of how the
+	// work shards, so the totals stay independent of Workers and block
+	// size.
+	s.counters.PointsScanned.Add(int64(s.n))
+	s.counters.DenseUnitProbes.Add(int64(s.n) * int64(len(subspaces)))
+	return s.eachBlock(func(b *dataset.Block) error {
+		parallel.For(len(subspaces), s.cfg.Workers, func(lo, hi int) {
+			shard := subspaces[lo:hi]
+			buf := make([]int, 16)
+			for pi := 0; pi < b.Len(); pi++ {
+				p := b.Point(pi)
+				for _, su := range shard {
+					if cap(buf) < len(su.dims) {
+						buf = make([]int, len(su.dims))
+					}
+					ivs := buf[:len(su.dims)]
+					for i, d := range su.dims {
+						ivs[i] = s.grid.interval(d, p[d])
+					}
+					key := unitKey(ivs)
+					if c, ok := su.units[key]; ok {
+						su.units[key] = c + 1
+					}
 				}
 			}
 		})
+		return nil
 	})
 }
 
@@ -662,7 +789,7 @@ func (s *searcher) connect(lv *level) []Cluster {
 // the cluster's units are projections of it, which cannot happen within
 // a single subspace anyway: a point lies in exactly one unit per
 // subspace).
-func (s *searcher) countClusterSizes(clusters []Cluster) {
+func (s *searcher) countClusterSizes(clusters []Cluster) error {
 	type clusterRef struct {
 		dims  []int
 		units map[string]int // unitKey -> cluster index
@@ -685,26 +812,31 @@ func (s *searcher) countClusterSizes(clusters []Cluster) {
 	for _, ref := range bySub {
 		refs = append(refs, ref)
 	}
-	s.counters.PointsScanned.Add(int64(s.ds.Len()))
-	s.counters.DenseUnitProbes.Add(int64(s.ds.Len()) * int64(len(refs)))
-	// Shard by subspace: every cluster lives in exactly one subspace, so
-	// each worker increments a disjoint set of Size fields.
-	parallel.For(len(refs), s.cfg.Workers, func(lo, hi int) {
-		buf := make([]int, 16)
-		s.ds.Each(func(_ int, p []float64) {
-			for _, ref := range refs[lo:hi] {
-				if cap(buf) < len(ref.dims) {
-					buf = make([]int, len(ref.dims))
-				}
-				ivs := buf[:len(ref.dims)]
-				for i, d := range ref.dims {
-					ivs[i] = s.grid.interval(d, p[d])
-				}
-				if ci, ok := ref.units[unitKey(ivs)]; ok {
-					clusters[ci].Size++
+	s.counters.PointsScanned.Add(int64(s.n))
+	s.counters.DenseUnitProbes.Add(int64(s.n) * int64(len(refs)))
+	// Shard by subspace within each block: every cluster lives in exactly
+	// one subspace, so each worker increments a disjoint set of Size
+	// fields.
+	return s.eachBlock(func(b *dataset.Block) error {
+		parallel.For(len(refs), s.cfg.Workers, func(lo, hi int) {
+			buf := make([]int, 16)
+			for pi := 0; pi < b.Len(); pi++ {
+				p := b.Point(pi)
+				for _, ref := range refs[lo:hi] {
+					if cap(buf) < len(ref.dims) {
+						buf = make([]int, len(ref.dims))
+					}
+					ivs := buf[:len(ref.dims)]
+					for i, d := range ref.dims {
+						ivs[i] = s.grid.interval(d, p[d])
+					}
+					if ci, ok := ref.units[unitKey(ivs)]; ok {
+						clusters[ci].Size++
+					}
 				}
 			}
 		})
+		return nil
 	})
 }
 

@@ -16,6 +16,13 @@ const (
 	MetricDenseUnitProbes = "clique_dense_unit_probes_total"
 	MetricDatasetPoints   = "clique_dataset_points"
 	MetricDatasetDims     = "clique_dataset_dims"
+	// The stream series exist only on out-of-core runs (RunStream):
+	// blocks and bytes delivered by the block passes, and the peak
+	// number of points held resident at once (the source's block
+	// buffers — CLIQUE keeps no sample).
+	MetricStreamBlocks       = "clique_stream_blocks_total"
+	MetricStreamBytes        = "clique_stream_bytes_total"
+	MetricStreamResidentPeak = "clique_stream_resident_points_peak"
 )
 
 // searcherMetrics caches pre-resolved metric handles, mirroring the
@@ -31,6 +38,14 @@ type searcherMetrics struct {
 	denseUnitProbes *metrics.Gauge
 	datasetPoints   *metrics.Gauge
 	datasetDims     *metrics.Gauge
+
+	// Stream handles are registered lazily by enableStream: only
+	// out-of-core runs carry the series, so in-memory runs' registries
+	// (and their golden snapshots) are untouched. All three are nil —
+	// and their observation sites no-ops — otherwise.
+	streamBlocks       *metrics.Gauge
+	streamBytes        *metrics.Gauge
+	streamResidentPeak *metrics.Gauge
 
 	foldMu sync.Mutex
 	folded obs.Snapshot
@@ -56,6 +71,27 @@ func newSearcherMetrics(reg *metrics.Registry) *searcherMetrics {
 	m.datasetPoints = reg.Gauge(MetricDatasetPoints, "points in the current input")
 	m.datasetDims = reg.Gauge(MetricDatasetDims, "dimensionality of the current input")
 	return m
+}
+
+// enableStream registers the out-of-core series. RunStream enables it
+// before the first block pass.
+func (m *searcherMetrics) enableStream() {
+	if m == nil {
+		return
+	}
+	m.streamBlocks = m.reg.Counter(MetricStreamBlocks,
+		"blocks delivered by out-of-core point-source passes")
+	m.streamBytes = m.reg.Counter(MetricStreamBytes,
+		"encoded point bytes delivered by out-of-core passes")
+	m.streamResidentPeak = m.reg.Gauge(MetricStreamResidentPeak,
+		"peak resident point storage of the streamed passes (block buffers)")
+}
+
+func (m *searcherMetrics) observeStreamResidentPeak(points int) {
+	if m == nil || m.streamResidentPeak == nil {
+		return
+	}
+	m.streamResidentPeak.Set(float64(points))
 }
 
 func (m *searcherMetrics) observeRunStart(points, dims int) {
@@ -96,6 +132,8 @@ func (m *searcherMetrics) fold(c *obs.Counters) {
 	d := obs.Snapshot{
 		PointsScanned:   cur.PointsScanned - m.folded.PointsScanned,
 		DenseUnitProbes: cur.DenseUnitProbes - m.folded.DenseUnitProbes,
+		StreamBlocks:    cur.StreamBlocks - m.folded.StreamBlocks,
+		StreamBytes:     cur.StreamBytes - m.folded.StreamBytes,
 	}
 	m.folded = cur
 	m.foldMu.Unlock()
@@ -104,6 +142,12 @@ func (m *searcherMetrics) fold(c *obs.Counters) {
 	}
 	if d.DenseUnitProbes != 0 {
 		m.denseUnitProbes.Add(float64(d.DenseUnitProbes))
+	}
+	if d.StreamBlocks != 0 && m.streamBlocks != nil {
+		m.streamBlocks.Add(float64(d.StreamBlocks))
+	}
+	if d.StreamBytes != 0 && m.streamBytes != nil {
+		m.streamBytes.Add(float64(d.StreamBytes))
 	}
 }
 

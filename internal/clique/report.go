@@ -47,6 +47,12 @@ type ConfigReport struct {
 	ReportHighest    bool    `json:"report_highest,omitempty"`
 	MDLPruning       bool    `json:"mdl_pruning,omitempty"`
 	Workers          int     `json:"workers"`
+	// Stream and BlockPoints are stamped by RunStream, not reportConfig:
+	// they describe the delivery mechanism of an out-of-core run. Both
+	// stay zero (and absent from JSON) on in-memory runs, keeping
+	// existing reports byte-stable.
+	Stream      bool `json:"stream,omitempty"`
+	BlockPoints int  `json:"block_points,omitempty"`
 }
 
 // reportConfig builds the JSON-safe echo of cfg.

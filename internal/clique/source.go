@@ -1,0 +1,31 @@
+package clique
+
+import (
+	"context"
+
+	"proclus/internal/dataset"
+)
+
+// PointSource is the data abstraction the CLIQUE passes consume: a
+// point set of known shape sweepable in contiguous blocks any number of
+// times. It is declared locally (rather than importing the PROCLUS
+// core) so the two algorithms stay independent; dataset.MemorySource
+// and dataset.FileSource satisfy both interfaces. Every CLIQUE pass
+// accumulates integer counts sharded so each counter belongs to exactly
+// one worker, so Run and RunStream produce bit-identical Results over
+// the same points for any source kind, block size and worker count.
+type PointSource interface {
+	// Len returns the number of points.
+	Len() int
+	// Dims returns the dimensionality of the points.
+	Dims() int
+	// Blocks calls fn for consecutive blocks covering the points in
+	// index order; the *dataset.Block passed to fn is only valid during
+	// the call. A non-nil ctx cancels the pass between blocks.
+	Blocks(ctx context.Context, fn func(*dataset.Block) error) error
+}
+
+var (
+	_ PointSource = (*dataset.MemorySource)(nil)
+	_ PointSource = (*dataset.FileSource)(nil)
+)

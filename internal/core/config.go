@@ -228,13 +228,20 @@ func (cfg Config) withDefaults() Config {
 }
 
 func (cfg Config) validate(ds *dataset.Dataset) error {
+	return cfg.validateShape(ds.Len(), ds.Dims())
+}
+
+// validateShape checks the configuration against a dataset shape. The
+// streamed entry point shares it with validate: a PointSource exposes
+// only its shape, not a *Dataset.
+func (cfg Config) validateShape(n, dims int) error {
 	switch {
 	case cfg.K <= 0:
 		return fmt.Errorf("proclus: K = %d must be positive", cfg.K)
 	case cfg.L < 2:
 		return fmt.Errorf("proclus: L = %d must be at least 2 (every cluster needs ≥2 dimensions)", cfg.L)
-	case cfg.L > ds.Dims():
-		return fmt.Errorf("proclus: L = %d exceeds the %d-dimensional space", cfg.L, ds.Dims())
+	case cfg.L > dims:
+		return fmt.Errorf("proclus: L = %d exceeds the %d-dimensional space", cfg.L, dims)
 	case cfg.SampleFactor < 1:
 		return fmt.Errorf("proclus: SampleFactor = %d must be positive", cfg.SampleFactor)
 	case cfg.MedoidFactor < 1:
@@ -245,10 +252,10 @@ func (cfg Config) validate(ds *dataset.Dataset) error {
 		return fmt.Errorf("proclus: negative Restarts %d", cfg.Restarts)
 	case cfg.MinDeviation < 0 || cfg.MinDeviation >= 1:
 		return fmt.Errorf("proclus: MinDeviation = %v outside [0, 1)", cfg.MinDeviation)
-	case ds.Len() < cfg.K:
-		return fmt.Errorf("proclus: %d points cannot form %d clusters", ds.Len(), cfg.K)
-	case cfg.K*cfg.L > cfg.K*ds.Dims():
-		return fmt.Errorf("proclus: dimension budget %d exceeds available %d", cfg.K*cfg.L, cfg.K*ds.Dims())
+	case n < cfg.K:
+		return fmt.Errorf("proclus: %d points cannot form %d clusters", n, cfg.K)
+	case cfg.K*cfg.L > cfg.K*dims:
+		return fmt.Errorf("proclus: dimension budget %d exceeds available %d", cfg.K*cfg.L, cfg.K*dims)
 	}
 	return nil
 }

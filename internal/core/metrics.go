@@ -26,6 +26,13 @@ const (
 	MetricDatasetPoints       = "proclus_dataset_points"
 	MetricDatasetDims         = "proclus_dataset_dims"
 	MetricObjectiveLatest     = "proclus_objective"
+	// The stream series exist only on out-of-core runs (RunStream):
+	// blocks and bytes delivered by the block passes, and the peak
+	// number of points the engine held resident at once — the
+	// O(sample + block) bound the streamed memory model promises.
+	MetricStreamBlocks       = "proclus_stream_blocks_total"
+	MetricStreamBytes        = "proclus_stream_bytes_total"
+	MetricStreamResidentPeak = "proclus_stream_resident_points_peak"
 )
 
 // runnerMetrics caches pre-resolved metric handles so instrumentation
@@ -46,6 +53,14 @@ type runnerMetrics struct {
 	datasetPoints       *metrics.Gauge
 	datasetDims         *metrics.Gauge
 	objective           *metrics.Gauge
+
+	// Stream handles are registered lazily by enableStream: only
+	// out-of-core runs carry the series, so in-memory runs' registries
+	// (and their golden snapshots) are untouched. All three are nil —
+	// and their observation sites no-ops — otherwise.
+	streamBlocks       *metrics.Gauge
+	streamBytes        *metrics.Gauge
+	streamResidentPeak *metrics.Gauge
 
 	// foldMu guards folded, the counter snapshot already credited to the
 	// registry. Folding deltas (rather than setting totals) keeps the
@@ -85,6 +100,27 @@ func newRunnerMetrics(reg *metrics.Registry) *runnerMetrics {
 	m.datasetDims = reg.Gauge(MetricDatasetDims, "dimensionality of the current input")
 	m.objective = reg.Gauge(MetricObjectiveLatest, "objective of the latest finished run")
 	return m
+}
+
+// enableStream registers the out-of-core series. RunStream calls it
+// once before its first block pass.
+func (m *runnerMetrics) enableStream() {
+	if m == nil {
+		return
+	}
+	m.streamBlocks = m.reg.Counter(MetricStreamBlocks,
+		"blocks delivered by out-of-core point-source passes")
+	m.streamBytes = m.reg.Counter(MetricStreamBytes,
+		"encoded point bytes delivered by out-of-core passes")
+	m.streamResidentPeak = m.reg.Gauge(MetricStreamResidentPeak,
+		"peak resident point storage of the streamed engine (sample + block buffers)")
+}
+
+func (m *runnerMetrics) observeStreamResidentPeak(points int) {
+	if m == nil || m.streamResidentPeak == nil {
+		return
+	}
+	m.streamResidentPeak.Set(float64(points))
 }
 
 func (m *runnerMetrics) observeRunStart(points, dims int) {
@@ -145,6 +181,8 @@ func (m *runnerMetrics) fold(c *obs.Counters) {
 		PointsScanned:       cur.PointsScanned - m.folded.PointsScanned,
 		DistCacheHits:       cur.DistCacheHits - m.folded.DistCacheHits,
 		DistCacheRecomputes: cur.DistCacheRecomputes - m.folded.DistCacheRecomputes,
+		StreamBlocks:        cur.StreamBlocks - m.folded.StreamBlocks,
+		StreamBytes:         cur.StreamBytes - m.folded.StreamBytes,
 	}
 	m.folded = cur
 	m.foldMu.Unlock()
@@ -159,6 +197,12 @@ func (m *runnerMetrics) fold(c *obs.Counters) {
 	}
 	if d.DistCacheRecomputes != 0 {
 		m.distCacheRecomputes.Add(float64(d.DistCacheRecomputes))
+	}
+	if d.StreamBlocks != 0 && m.streamBlocks != nil {
+		m.streamBlocks.Add(float64(d.StreamBlocks))
+	}
+	if d.StreamBytes != 0 && m.streamBytes != nil {
+		m.streamBytes.Add(float64(d.StreamBytes))
 	}
 }
 

@@ -118,8 +118,49 @@ func (r *runner) run() (*Result, error) {
 	r.metrics.observePhase("initialize", r.stats.InitDuration.Seconds())
 	r.metrics.fold(&r.counters)
 
-	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "iterate"})
+	best, totalIterations, err := r.iteratePhase(candidates, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "refine"})
 	start = time.Now()
+	r.innerWorkers = workers
+	var res *Result
+	if r.cfg.SkipRefinement {
+		res = r.packageResult(best.medoids, best.dims, append([]int(nil), best.assign...))
+		res.Objective = best.objective
+	} else {
+		res = r.refine(best)
+	}
+	r.stats.RefineDuration = time.Since(start)
+	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "refine", Seconds: r.stats.RefineDuration.Seconds()})
+	r.metrics.observePhase("refine", r.stats.RefineDuration.Seconds())
+
+	res.Iterations = totalIterations
+	res.Seed = r.cfg.Seed
+	res.Config = r.cfg.reportConfig()
+	r.stats.Counters = r.counters.Snapshot()
+	r.metrics.observeObjective(res.Objective)
+	r.metrics.fold(&r.counters)
+	r.stats.Metrics = r.metrics.snapshot()
+	res.Stats = r.stats
+	r.emit(obs.Event{Type: obs.EvRunEnd, Objective: res.Objective,
+		Clusters: len(res.Clusters), Outliers: res.NumOutliers(),
+		Iteration: totalIterations, Seconds: time.Since(runStart).Seconds()})
+	return res, nil
+}
+
+// iteratePhase runs the hill-climb restarts over r.ds and merges their
+// outcomes, covering the full iterative phase: event emission, restart
+// timing, the worker-budget split, and the deterministic best-trial
+// merge. It is shared by the in-memory engine (r.ds is the full
+// dataset) and the streamed engine (r.ds is the resident sample); in
+// both cases candidates index into r.ds. workers is the run's total
+// goroutine budget; r.innerWorkers is left at each restart's share.
+func (r *runner) iteratePhase(candidates []int, workers int) (*trialState, int, error) {
+	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "iterate"})
+	start := time.Now()
 	restarts := r.cfg.Restarts
 	if restarts < 1 {
 		restarts = 1
@@ -167,15 +208,15 @@ func (r *runner) run() (*Result, error) {
 	for i := range outcomes {
 		o := &outcomes[i]
 		if o.err != nil {
-			return nil, o.err
+			return nil, 0, o.err
 		}
 		if o.trial == nil {
 			// Restart never ran: the context was cancelled before it was
 			// dispatched.
 			if cancelErr != nil {
-				return nil, cancelErr
+				return nil, 0, cancelErr
 			}
-			return nil, fmt.Errorf("proclus: restart %d missing without cancellation", i+1)
+			return nil, 0, fmt.Errorf("proclus: restart %d missing without cancellation", i+1)
 		}
 		r.stats.ObjectiveTrace = append(r.stats.ObjectiveTrace, o.trace...)
 		r.stats.Restarts = append(r.stats.Restarts, RestartStats{
@@ -189,39 +230,13 @@ func (r *runner) run() (*Result, error) {
 		}
 	}
 	if cancelErr != nil {
-		return nil, cancelErr
+		return nil, 0, cancelErr
 	}
 	r.stats.IterateDuration = time.Since(start)
 	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "iterate",
 		Iteration: totalIterations, Seconds: r.stats.IterateDuration.Seconds()})
 	r.metrics.observePhase("iterate", r.stats.IterateDuration.Seconds())
-
-	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "refine"})
-	start = time.Now()
-	r.innerWorkers = workers
-	var res *Result
-	if r.cfg.SkipRefinement {
-		res = r.packageResult(best.medoids, best.dims, append([]int(nil), best.assign...))
-		res.Objective = best.objective
-	} else {
-		res = r.refine(best)
-	}
-	r.stats.RefineDuration = time.Since(start)
-	r.emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "refine", Seconds: r.stats.RefineDuration.Seconds()})
-	r.metrics.observePhase("refine", r.stats.RefineDuration.Seconds())
-
-	res.Iterations = totalIterations
-	res.Seed = r.cfg.Seed
-	res.Config = r.cfg.reportConfig()
-	r.stats.Counters = r.counters.Snapshot()
-	r.metrics.observeObjective(res.Objective)
-	r.metrics.fold(&r.counters)
-	r.stats.Metrics = r.metrics.snapshot()
-	res.Stats = r.stats
-	r.emit(obs.Event{Type: obs.EvRunEnd, Objective: res.Objective,
-		Clusters: len(res.Clusters), Outliers: res.NumOutliers(),
-		Iteration: totalIterations, Seconds: time.Since(runStart).Seconds()})
-	return res, nil
+	return best, totalIterations, nil
 }
 
 // initialize selects the B·k candidate medoids. The paper's method

@@ -21,6 +21,11 @@ type ConfigReport struct {
 	AssignMetric   string  `json:"assign_metric"`
 	EvalMode       string  `json:"eval_mode"`
 	SkipRefinement bool    `json:"skip_refinement,omitempty"`
+	// Stream and BlockPoints echo the out-of-core execution parameters
+	// when the run came through RunStream; both stay zero (and absent
+	// from reports) for in-memory runs.
+	Stream      bool `json:"stream,omitempty"`
+	BlockPoints int  `json:"block_points,omitempty"`
 }
 
 // reportConfig builds the JSON-safe echo of cfg.

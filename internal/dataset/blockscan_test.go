@@ -1,0 +1,363 @@
+package dataset
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the goroutine count drops back to at
+// most base, failing the test if it never does. It is the
+// dependency-free stand-in for a goleak check: the block reader must
+// not outlive Close or a finished pass.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutines never settled to %d (now %d):\n%s",
+		base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+func drainBlocks(t *testing.T, ctx context.Context, sc *BlockScanner, ds *Dataset) {
+	t.Helper()
+	next := 0
+	for {
+		b, err := sc.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Start() != next {
+			t.Fatalf("block starts at %d, want %d", b.Start(), next)
+		}
+		if b.Dims() != ds.Dims() {
+			t.Fatalf("block dims %d, want %d", b.Dims(), ds.Dims())
+		}
+		for i := 0; i < b.Len(); i++ {
+			idx := b.Index(i)
+			p, want := b.Point(i), ds.Point(idx)
+			for j := range p {
+				if p[j] != want[j] {
+					t.Fatalf("point %d dim %d: %v vs %v", idx, j, p[j], want[j])
+				}
+			}
+		}
+		next += b.Len()
+	}
+	if next != ds.Len() {
+		t.Fatalf("streamed %d points, want %d", next, ds.Len())
+	}
+}
+
+func TestBlockScannerStreamsAllPoints(t *testing.T) {
+	ds := randomDataset(31, 137, 5, true)
+	path := writeTempBinary(t, ds)
+	for _, bp := range []int{1, 7, 64, 137, 1000, 0} {
+		base := runtime.NumGoroutine()
+		sc, err := OpenBlockScanner(path, bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Dims() != 5 || sc.Len() != 137 || !sc.Labeled() {
+			t.Fatalf("header: dims=%d len=%d labeled=%v", sc.Dims(), sc.Len(), sc.Labeled())
+		}
+		drainBlocks(t, context.Background(), sc, ds)
+		// Next after exhaustion keeps returning (nil, nil).
+		if b, err := sc.Next(context.Background()); b != nil || err != nil {
+			t.Fatalf("Next after exhaustion: %v, %v", b, err)
+		}
+		sc.Close()
+		settleGoroutines(t, base)
+	}
+}
+
+func TestBlockScannerNilContext(t *testing.T) {
+	ds := randomDataset(32, 10, 3, false)
+	sc, err := OpenBlockScanner(writeTempBinary(t, ds), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	drainBlocks(t, nil, sc, ds)
+}
+
+func TestBlockScannerTruncatedFile(t *testing.T) {
+	ds := randomDataset(33, 50, 4, false)
+	path := writeTempBinary(t, ds)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any truncation of the data section is caught at open by the
+	// declared-size check, before a single block is allocated.
+	for _, cut := range []int{1, 8, 100, len(raw) - binaryHeaderSize - 1} {
+		short := filepath.Join(t.TempDir(), "short.bin")
+		if err := os.WriteFile(short, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenBlockScanner(short, 16); err == nil {
+			t.Fatalf("cut=%d: opened truncated file without error", cut)
+		}
+	}
+}
+
+func TestBlockScannerHeaderLies(t *testing.T) {
+	ds := randomDataset(34, 5, 3, false)
+	path := writeTempBinary(t, ds)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lie := func(mutate func([]byte)) string {
+		b := append([]byte(nil), raw...)
+		mutate(b)
+		p := filepath.Join(t.TempDir(), "lie.bin")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		// Declares 2^39 points: must fail the size cross-check at open
+		// instead of attempting any n-proportional work.
+		"huge n": lie(func(b []byte) { binary.LittleEndian.PutUint64(b[12:], 1<<39) }),
+		// Declares the dims limit: the block buffer is clamped by
+		// maxBlockBytes, and the size check rejects the file first.
+		"huge dims":   lie(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 1<<20) }),
+		"over dims":   lie(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 1<<21) }),
+		"over n":      lie(func(b []byte) { binary.LittleEndian.PutUint64(b[12:], 1<<41) }),
+		"zero dims":   lie(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0) }),
+		"bad magic":   lie(func(b []byte) { b[0] = 'X' }),
+		"bad version": lie(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) }),
+	}
+	for name, p := range cases {
+		if sc, err := OpenBlockScanner(p, 16); err == nil {
+			sc.Close()
+			t.Errorf("%s: opened without error", name)
+		}
+	}
+}
+
+func TestBlockScannerCancellation(t *testing.T) {
+	ds := randomDataset(35, 300, 4, false)
+	path := writeTempBinary(t, ds)
+	base := runtime.NumGoroutine()
+	sc, err := OpenBlockScanner(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := sc.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := sc.Next(ctx); err != context.Canceled {
+		t.Fatalf("Next after cancel: %v, want context.Canceled", err)
+	}
+	sc.Close()
+	settleGoroutines(t, base)
+}
+
+func TestBlockScannerCloseMidStream(t *testing.T) {
+	ds := randomDataset(36, 500, 6, false)
+	path := writeTempBinary(t, ds)
+	base := runtime.NumGoroutine()
+	sc, err := OpenBlockScanner(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Close with most of the file unread, twice (idempotent), then
+	// confirm the reader goroutine is gone.
+	sc.Close()
+	sc.Close()
+	settleGoroutines(t, base)
+}
+
+func TestBlockScannerClampsBlockSize(t *testing.T) {
+	// 1<<18 dims × 8 bytes = 2 MiB per point: the 64 MiB cap allows at
+	// most 32 points per block, whatever the caller asks for.
+	dims := 1 << 18
+	if got := clampBlockPoints(4096, dims, 1<<30); got != 32 {
+		t.Fatalf("clamp(4096, %d): %d, want 32", dims, got)
+	}
+	if got := clampBlockPoints(0, 4, 10); got != 10 {
+		t.Fatalf("clamp(0, 4, 10): %d, want 10", got)
+	}
+	if got := clampBlockPoints(0, 4, 1<<30); got != DefaultBlockPoints {
+		t.Fatalf("clamp default: %d, want %d", got, DefaultBlockPoints)
+	}
+	if got := clampBlockPoints(7, 4, 0); got != 7 {
+		t.Fatalf("clamp(7, 4, 0): %d, want 7", got)
+	}
+}
+
+func TestMemorySourceCoversDataset(t *testing.T) {
+	ds := randomDataset(37, 101, 3, false)
+	for _, bp := range []int{1, 10, 101, 500, 0} {
+		src := NewMemorySource(ds, bp)
+		if src.Len() != 101 || src.Dims() != 3 {
+			t.Fatalf("shape %d×%d", src.Len(), src.Dims())
+		}
+		next := 0
+		err := src.Blocks(context.Background(), func(b *Block) error {
+			if b.Start() != next {
+				t.Fatalf("block starts at %d, want %d", b.Start(), next)
+			}
+			for i := 0; i < b.Len(); i++ {
+				p, want := b.Point(i), ds.Point(b.Index(i))
+				for j := range p {
+					if p[j] != want[j] {
+						t.Fatalf("point %d mismatch", b.Index(i))
+					}
+				}
+			}
+			next += b.Len()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != 101 {
+			t.Fatalf("covered %d points, want 101", next)
+		}
+	}
+}
+
+func TestMemorySourceCancellation(t *testing.T) {
+	ds := randomDataset(38, 50, 2, false)
+	src := NewMemorySource(ds, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	err := src.Blocks(ctx, func(b *Block) error {
+		seen++
+		if seen == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("Blocks after cancel: %v, want context.Canceled", err)
+	}
+	if seen != 2 {
+		t.Fatalf("saw %d blocks after cancel, want 2", seen)
+	}
+}
+
+func TestFileSourceRepeatedPasses(t *testing.T) {
+	ds := randomDataset(39, 90, 4, true)
+	path := writeTempBinary(t, ds)
+	base := runtime.NumGoroutine()
+	src, err := OpenFileSource(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 90 || src.Dims() != 4 || !src.Labeled() {
+		t.Fatalf("shape %d×%d labeled=%v", src.Len(), src.Dims(), src.Labeled())
+	}
+	for pass := 0; pass < 3; pass++ {
+		total := 0
+		err := src.Blocks(context.Background(), func(b *Block) error {
+			for i := 0; i < b.Len(); i++ {
+				p, want := b.Point(i), ds.Point(b.Index(i))
+				for j := range p {
+					if p[j] != want[j] {
+						t.Fatalf("pass %d point %d mismatch", pass, b.Index(i))
+					}
+				}
+			}
+			total += b.Len()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != 90 {
+			t.Fatalf("pass %d covered %d points", pass, total)
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+func TestFileSourceCallbackError(t *testing.T) {
+	ds := randomDataset(40, 60, 3, false)
+	src, err := OpenFileSource(writeTempBinary(t, ds), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	sentinel := os.ErrInvalid
+	if err := src.Blocks(context.Background(), func(*Block) error { return sentinel }); err != sentinel {
+		t.Fatalf("Blocks: %v, want sentinel", err)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestFromFlat(t *testing.T) {
+	flat := []float64{1, 2, 3, 4, 5, 6}
+	ds, err := FromFlat(3, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dims() != 3 || ds.Labeled() {
+		t.Fatalf("shape %d×%d labeled=%v", ds.Len(), ds.Dims(), ds.Labeled())
+	}
+	if p := ds.Point(1); p[0] != 4 || p[2] != 6 {
+		t.Fatalf("point 1 = %v", p)
+	}
+	if _, err := FromFlat(0, flat); err == nil {
+		t.Fatal("FromFlat accepted zero dims")
+	}
+	if _, err := FromFlat(4, flat); err == nil {
+		t.Fatal("FromFlat accepted ragged backing")
+	}
+}
+
+func TestScanLabels(t *testing.T) {
+	ds := randomDataset(41, 77, 3, true)
+	path := writeTempBinary(t, ds)
+	labels, err := ScanLabels(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 77 {
+		t.Fatalf("got %d labels, want 77", len(labels))
+	}
+	for i, l := range labels {
+		if l != ds.Label(i) {
+			t.Fatalf("label %d: %d vs %d", i, l, ds.Label(i))
+		}
+	}
+	unlabeled := writeTempBinary(t, randomDataset(42, 5, 2, false))
+	if _, err := ScanLabels(unlabeled); err == nil {
+		t.Fatal("ScanLabels accepted unlabeled file")
+	}
+}
+
+func TestBlockScannerExactFloats(t *testing.T) {
+	ds := New(2)
+	ds.Append([]float64{math.SmallestNonzeroFloat64, -0.0})
+	ds.Append([]float64{math.MaxFloat64, 1e-308})
+	path := writeTempBinary(t, ds)
+	sc, err := OpenBlockScanner(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	drainBlocks(t, context.Background(), sc, ds)
+}

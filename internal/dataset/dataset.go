@@ -68,6 +68,20 @@ func FromRows(rows [][]float64, labels []int) (*Dataset, error) {
 	return ds, nil
 }
 
+// FromFlat builds an unlabeled dataset around an existing row-major
+// backing slice without copying it. The caller hands over ownership of
+// data. It is the constructor for streamed sample collection, where the
+// flat buffer is filled block by block before the dataset exists.
+func FromFlat(dims int, data []float64) (*Dataset, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive dimensionality %d", dims)
+	}
+	if len(data)%dims != 0 {
+		return nil, fmt.Errorf("dataset: backing length %d not a multiple of dims %d", len(data), dims)
+	}
+	return &Dataset{dims: dims, data: data}, nil
+}
+
 // Dims returns the dimensionality of the space.
 func (ds *Dataset) Dims() int { return ds.dims }
 

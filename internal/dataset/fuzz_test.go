@@ -8,6 +8,10 @@ package dataset
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,6 +37,75 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if ds.Len() == 0 {
 			t.Fatal("parser produced empty dataset without error")
+		}
+	})
+}
+
+// FuzzBlockScanner feeds arbitrary bytes to the out-of-core block
+// reader as a file and differentially checks it against ReadBinary:
+// whenever the in-memory parser accepts the input, the scanner must
+// stream the identical points; and the scanner must never panic, leak
+// its reader goroutine, or stream more points than the header declares,
+// no matter how the header lies (truncations, corrupt magic/version,
+// inflated n or dims).
+func FuzzBlockScanner(f *testing.F) {
+	ds := New(3)
+	ds.AppendLabeled([]float64{1, 2, 3}, 0)
+	ds.AppendLabeled([]float64{4, 5, 6}, -1)
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid, 1)
+	f.Add(valid, 4096)
+	f.Add(valid[:len(valid)-5], 2)
+	f.Add(valid[:binaryHeaderSize], 2)
+	f.Add([]byte("PCDS"), 1)
+	f.Add([]byte{}, 0)
+	corruptDims := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(corruptDims[8:], 1<<19) // header lies: huge dims
+	f.Add(corruptDims, 64)
+	corruptN := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(corruptN[12:], 1<<39) // header lies: huge n
+	f.Add(corruptN, 64)
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[4:], 7)
+	f.Add(badVersion, 16)
+	f.Fuzz(func(t *testing.T, input []byte, blockPoints int) {
+		path := filepath.Join(t.TempDir(), "fuzz.bin")
+		if err := os.WriteFile(path, input, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want, refErr := ReadBinary(bytes.NewReader(input))
+		sc, err := OpenBlockScanner(path, blockPoints)
+		if err != nil {
+			return
+		}
+		defer sc.Close()
+		streamed := 0
+		for {
+			b, err := sc.Next(context.Background())
+			if err != nil {
+				return
+			}
+			if b == nil {
+				break
+			}
+			if want != nil && refErr == nil {
+				for i := 0; i < b.Len(); i++ {
+					p, w := b.Point(i), want.Point(b.Index(i))
+					for j := range p {
+						if p[j] != w[j] && !(p[j] != p[j] && w[j] != w[j]) {
+							t.Fatalf("point %d dim %d: %v vs ReadBinary %v", b.Index(i), j, p[j], w[j])
+						}
+					}
+				}
+			}
+			streamed += b.Len()
+		}
+		if streamed != sc.Len() {
+			t.Fatalf("streamed %d points, header declares %d", streamed, sc.Len())
 		}
 	})
 }

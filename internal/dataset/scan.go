@@ -161,6 +161,36 @@ func ScanLabelHistogram(path string) (map[int]int, error) {
 	return counts, nil
 }
 
+// ScanLabels returns the full ground-truth label slice of a labeled
+// binary dataset file without reading the data section: like
+// ScanLabelHistogram it seeks directly to the label block. Streamed
+// runs use it to evaluate against ground truth without materializing
+// the points. It returns an error for unlabeled files.
+func ScanLabels(path string) ([]int, error) {
+	sc, err := OpenScanner(path)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	if !sc.labeled {
+		return nil, fmt.Errorf("dataset: %s carries no labels", path)
+	}
+	offset := int64(binaryHeaderSize) + int64(sc.n)*int64(sc.dims)*8
+	if _, err := sc.f.Seek(offset, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("dataset: seeking to label block: %w", err)
+	}
+	r := bufio.NewReader(sc.f)
+	labels := make([]int, sc.n)
+	buf := make([]byte, 8)
+	for i := range labels {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading label %d: %w", i, err)
+		}
+		labels[i] = int(int64(binary.LittleEndian.Uint64(buf)))
+	}
+	return labels, nil
+}
+
 // ColumnStats summarizes one dimension of a dataset.
 type ColumnStats struct {
 	Min, Max, Mean, StdDev float64

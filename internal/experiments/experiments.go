@@ -96,6 +96,16 @@ type CaseParams struct {
 	// (core.Config.Workers); values below 1 select GOMAXPROCS. Results
 	// are identical for any value.
 	Workers int
+	// Stream, when set, runs PROCLUS out of core: the generated input is
+	// spilled to a temporary binary file and clustered via core.RunStream
+	// over a block-buffered FileSource, exercising the bounded-memory
+	// path end to end. Streamed results are identical for every
+	// BlockPoints and Workers value, but differ from the in-memory runs
+	// by design (see core.RunStream).
+	Stream bool
+	// BlockPoints sets the streamed block granularity in points; zero
+	// selects dataset.DefaultBlockPoints. Ignored unless Stream is set.
+	BlockPoints int
 	// Metrics, when non-nil, is a shared registry every clustering run of
 	// the experiment records into (core.Config.Metrics); it accumulates
 	// phase-latency histograms and counter series across the experiment.

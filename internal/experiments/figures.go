@@ -69,6 +69,15 @@ type Figure7Params struct {
 	// any value, so the sweep measures the same clusterings at every
 	// worker count.
 	Workers int
+	// Stream, when set, runs every PROCLUS and CLIQUE measurement out of
+	// core: each generated input is spilled to a temporary binary file
+	// and clustered through the streamed engines over a block-buffered
+	// FileSource, so the sweep times the bounded-memory path. The
+	// measured durations then include block I/O, which is the point.
+	Stream bool
+	// BlockPoints sets the streamed block granularity in points; zero
+	// selects dataset.DefaultBlockPoints. Ignored unless Stream is set.
+	BlockPoints int
 	// Metrics, when non-nil, is a shared registry every run of the sweep
 	// records into.
 	Metrics *metrics.Registry
@@ -104,20 +113,32 @@ func Figure7(p Figure7Params) (*TimingSeries, *Report, error) {
 			return nil, nil, err
 		}
 		pt := TimingPoint{X: n}
-		start := time.Now()
-		res, err := core.Run(ds, core.Config{
+		pcfg := core.Config{
 			K: caseK, L: 5, Seed: p.Seed + 1, Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
-		})
+		}
+		start := time.Now()
+		var res *core.Result
+		if p.Stream {
+			res, err = streamProclus(ds, pcfg, p.BlockPoints)
+		} else {
+			res, err = core.Run(ds, pcfg)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
 		timing.Add(res.Stats)
 		pt.Proclus = time.Since(start)
 		if p.WithClique {
-			start = time.Now()
-			cres, err := clique.Run(ds, clique.Config{
+			ccfg := clique.Config{
 				Xi: 10, Tau: p.CliqueTau, Workers: p.Workers, Metrics: p.Metrics, Observer: p.Observer,
-			})
+			}
+			start = time.Now()
+			var cres *clique.Result
+			if p.Stream {
+				cres, err = streamClique(ds, ccfg, p.BlockPoints)
+			} else {
+				cres, err = clique.Run(ds, ccfg)
+			}
 			if err != nil {
 				pt.CliqueErr = err.Error()
 			} else {

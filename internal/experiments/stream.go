@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"proclus/internal/clique"
+	"proclus/internal/core"
+	"proclus/internal/dataset"
+)
+
+// spillToFile writes ds to a temporary binary file and opens a
+// block-buffered source over it, so an experiment can exercise the
+// out-of-core path end to end on generated data. The caller must invoke
+// the returned cleanup even on error.
+func spillToFile(ds *dataset.Dataset, blockPoints int) (*dataset.FileSource, func(), error) {
+	dir, err := os.MkdirTemp("", "proclus-stream-")
+	if err != nil {
+		return nil, func() {}, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	path := filepath.Join(dir, "data.bin")
+	if err := ds.SaveFile(path); err != nil {
+		cleanup()
+		return nil, func() {}, fmt.Errorf("experiments: spill dataset: %w", err)
+	}
+	src, err := dataset.OpenFileSource(path, blockPoints)
+	if err != nil {
+		cleanup()
+		return nil, func() {}, err
+	}
+	return src, cleanup, nil
+}
+
+// streamProclus runs PROCLUS out of core over a temporary spill file of
+// ds. Streamed results are identical for every block size and worker
+// count, but differ from core.Run by design: the streamed hill climb
+// scores trials on the resident medoid sample rather than the full
+// dataset (see core.RunStream).
+func streamProclus(ds *dataset.Dataset, cfg core.Config, blockPoints int) (*core.Result, error) {
+	src, cleanup, err := spillToFile(ds, blockPoints)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return core.RunStream(context.Background(), src, cfg)
+}
+
+// streamClique runs CLIQUE out of core over a temporary spill file of
+// ds; the result is bit-identical to clique.Run on the same points.
+func streamClique(ds *dataset.Dataset, cfg clique.Config, blockPoints int) (*clique.Result, error) {
+	src, cleanup, err := spillToFile(ds, blockPoints)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return clique.RunStream(context.Background(), src, cfg)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTable1Streamed drives the accuracy experiment through the
+// out-of-core engine: the run must complete over a spill file and —
+// the streamed determinism contract — produce the identical table for
+// any block size and worker count.
+func TestTable1Streamed(t *testing.T) {
+	base := CaseParams{N: 4000, Seed: 3, Stream: true, BlockPoints: 512}
+	data, rep, err := Table1(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.OutputDims) != 5 {
+		t.Fatalf("%d output clusters\n%s", len(data.OutputDims), rep)
+	}
+	if data.Purity < 0.5 {
+		t.Fatalf("streamed purity %.3f implausibly low\n%s", data.Purity, rep)
+	}
+	other := base
+	other.BlockPoints = 97
+	other.Workers = 4
+	data2, _, err := Table1(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data, data2) {
+		t.Fatalf("streamed table varies with block size/workers\nfirst: %+v\nsecond: %+v", data, data2)
+	}
+}
+
+// TestFigure7Streamed checks the scalability sweep's out-of-core mode:
+// both series measure the streamed engines over spill files.
+func TestFigure7Streamed(t *testing.T) {
+	ts, rep, err := Figure7(Figure7Params{
+		Ns: []int{1500}, WithClique: true, Stream: true, BlockPoints: 256, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Points) != 1 {
+		t.Fatalf("%d points", len(ts.Points))
+	}
+	pt := ts.Points[0]
+	if pt.CliqueErr != "" {
+		t.Fatalf("clique error: %s", pt.CliqueErr)
+	}
+	if pt.Proclus <= 0 || pt.Clique <= 0 {
+		t.Fatalf("missing durations: %+v", pt)
+	}
+	if rep.Timing.Runs != 1 {
+		t.Fatalf("timing aggregated %d runs, want 1", rep.Timing.Runs)
+	}
+	if rep.Timing.Counters.StreamBlocks == 0 || rep.Timing.Counters.StreamBytes == 0 {
+		t.Fatalf("streamed sweep recorded no stream counters: %+v", rep.Timing.Counters)
+	}
+}

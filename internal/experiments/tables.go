@@ -37,12 +37,17 @@ type DimsTable struct {
 }
 
 // runCase executes PROCLUS on a generated case input with the matching
-// paper parameters (k = 5; l = 7 for Case 1, l = 4 for Case 2).
+// paper parameters (k = 5; l = 7 for Case 1, l = 4 for Case 2). With
+// p.Stream set, the run goes through the out-of-core engine instead.
 func runCase(ds *dataset.Dataset, l int, p CaseParams) (*core.Result, error) {
-	return core.Run(ds, core.Config{
+	cfg := core.Config{
 		K: caseK, L: l, Seed: p.Seed + 1, Workers: p.Workers,
 		Metrics: p.Metrics, Observer: p.Observer,
-	})
+	}
+	if p.Stream {
+		return streamProclus(ds, cfg, p.BlockPoints)
+	}
+	return core.Run(ds, cfg)
 }
 
 func buildDimsTable(ds *dataset.Dataset, gt *synth.GroundTruth, res *core.Result) (*DimsTable, error) {

@@ -27,6 +27,11 @@ type Counters struct {
 	// the cache after a medoid swap invalidated their column. Every
 	// recompute is also a DistanceEvals evaluation.
 	DistCacheRecomputes atomic.Int64
+	// StreamBlocks counts blocks delivered by out-of-core passes over a
+	// PointSource (zero for fully in-memory runs).
+	StreamBlocks atomic.Int64
+	// StreamBytes counts the encoded point bytes those blocks carried.
+	StreamBytes atomic.Int64
 }
 
 // Snapshot returns a plain-integer copy of the counters. A nil
@@ -41,6 +46,8 @@ func (c *Counters) Snapshot() Snapshot {
 		DenseUnitProbes:     c.DenseUnitProbes.Load(),
 		DistCacheHits:       c.DistCacheHits.Load(),
 		DistCacheRecomputes: c.DistCacheRecomputes.Load(),
+		StreamBlocks:        c.StreamBlocks.Load(),
+		StreamBytes:         c.StreamBytes.Load(),
 	}
 }
 
@@ -54,6 +61,10 @@ type Snapshot struct {
 	// evaluation; omitempty keeps pre-cache reports byte-stable.
 	DistCacheHits       int64 `json:"distcache_hits,omitempty"`
 	DistCacheRecomputes int64 `json:"distcache_recomputes,omitempty"`
+	// StreamBlocks and StreamBytes stay zero for in-memory runs;
+	// omitempty keeps their reports byte-stable too.
+	StreamBlocks int64 `json:"stream_blocks,omitempty"`
+	StreamBytes  int64 `json:"stream_bytes,omitempty"`
 }
 
 // Merge adds o's counts into s, for aggregating several runs into one
@@ -64,4 +75,6 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.DenseUnitProbes += o.DenseUnitProbes
 	s.DistCacheHits += o.DistCacheHits
 	s.DistCacheRecomputes += o.DistCacheRecomputes
+	s.StreamBlocks += o.StreamBlocks
+	s.StreamBytes += o.StreamBytes
 }

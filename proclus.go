@@ -175,6 +175,44 @@ func RunContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
 	return core.RunContext(ctx, ds, cfg)
 }
 
+// PointSource yields a dataset as a sequence of bounded blocks for the
+// out-of-core entry points. See NewMemorySource and OpenFileSource.
+type PointSource = core.PointSource
+
+// MemorySource adapts an in-memory Dataset to the PointSource
+// interface (zero-copy blocks; mostly for testing and equivalence).
+type MemorySource = dataset.MemorySource
+
+// FileSource is a disk-resident PointSource over the binary dataset
+// format; every Blocks pass re-scans the file in bounded memory.
+type FileSource = dataset.FileSource
+
+// NewMemorySource wraps ds as a PointSource with the given block
+// granularity (0 = default).
+func NewMemorySource(ds *Dataset, blockPoints int) *MemorySource {
+	return dataset.NewMemorySource(ds, blockPoints)
+}
+
+// OpenFileSource opens a binary dataset file as a PointSource with the
+// given block granularity (0 = default).
+func OpenFileSource(path string, blockPoints int) (*FileSource, error) {
+	return dataset.OpenFileSource(path, blockPoints)
+}
+
+// RunStream executes PROCLUS over a PointSource in bounded memory:
+// every full-data pass streams blocks, while the hill-climbing trials
+// run on the in-memory greedy sample as the paper prescribes. Results
+// are bit-identical for any block size, worker count, and source kind.
+func RunStream(ctx context.Context, src PointSource, cfg Config) (*Result, error) {
+	return core.RunStream(ctx, src, cfg)
+}
+
+// RunCLIQUEStream executes CLIQUE over a PointSource in bounded
+// memory; results are bit-identical to RunCLIQUE on the same data.
+func RunCLIQUEStream(ctx context.Context, src PointSource, cfg CliqueConfig) (*CliqueResult, error) {
+	return clique.RunStream(ctx, src, cfg)
+}
+
 // LSweepPoint is one point of an l-parameter sweep.
 type LSweepPoint = core.LSweepPoint
 

@@ -1,6 +1,9 @@
 package proclus_test
 
 import (
+	"context"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -132,5 +135,49 @@ func TestPublicAPICSVRoundTrip(t *testing.T) {
 	}
 	if back.Len() != 2 || back.Label(1) != proclus.Outlier {
 		t.Fatal("round trip lost data")
+	}
+}
+
+func TestPublicAPIStreaming(t *testing.T) {
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 2000, Dims: 10, K: 3, FixedDims: 3, MinSizeFraction: 0.15, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	src, err := proclus.OpenFileSource(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proclus.RunStream(context.Background(), src, proclus.Config{K: 3, L: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 || len(res.Assignments) != ds.Len() {
+		t.Fatalf("streamed run shape: %d clusters, %d assignments", len(res.Clusters), len(res.Assignments))
+	}
+	// A MemorySource over the same data must reproduce the file run
+	// bit-for-bit (the streaming determinism contract).
+	res2, err := proclus.RunStream(context.Background(), proclus.NewMemorySource(ds, 999), proclus.Config{K: 3, L: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Assignments, res2.Assignments) {
+		t.Fatal("file and memory sources disagree")
+	}
+	cres, err := proclus.RunCLIQUEStream(context.Background(), src, proclus.CliqueConfig{Xi: 8, Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := proclus.RunCLIQUE(ds, proclus.CliqueConfig{Xi: 8, Tau: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.Clusters) != len(mres.Clusters) {
+		t.Fatalf("streamed CLIQUE found %d clusters, in-memory %d", len(cres.Clusters), len(mres.Clusters))
 	}
 }
