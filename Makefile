@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden
 
-check: vet build test-race fuzz-smoke
+check: vet build test-race fuzz-smoke lens-golden
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
-# race-enabled tests, coverage, the benchmark smoke run, and the
-# telemetry diff against the committed baseline.
-ci: fmt-check vet build test-race cover bench-smoke bench-check
+# race-enabled tests, coverage, the benchmark smoke run, the telemetry
+# diff against the committed baseline, and the runlens golden diff.
+ci: fmt-check vet build test-race cover bench-smoke bench-check lens-golden
 
 .PHONY: fmt-check
 fmt-check:
@@ -94,3 +94,10 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/proclus-bench $(BENCH_CONFIG) -bench-json bench/current.json
 	$(GO) run ./cmd/benchcmp -time-threshold 3.0 $(BENCH_BASELINE) bench/current.json
+
+# lens-golden runs the trace analyzer against the checked-in golden
+# trace and series snapshot and diffs its full report against the
+# committed golden summary. Regenerate deliberately with
+# `go test ./cmd/runlens -run TestGoldenSummary -update`.
+lens-golden:
+	$(GO) test -run 'TestGoldenSummary' ./cmd/runlens/

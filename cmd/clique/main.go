@@ -73,7 +73,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		Xi: *xi, Tau: *tau, MaxDims: *maxDims, FixedDims: *fixedDims,
 		ReportMaximal: *maximal, ReportHighest: *highest, MDLPruning: *mdl,
 		Workers: *workers, Observer: sess.Observer, Metrics: sess.Metrics,
+		Series: sess.Series,
 	}
+	// The streamed path runs under the session context so the stall
+	// watchdog (-stall-cancel) can abort a wedged block scan.
+	ctx, cancel := sess.Context(context.Background())
+	defer cancel()
 	var (
 		res     *clique.Result
 		ds      *dataset.Dataset
@@ -93,7 +98,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		n, d, labeled = src.Len(), src.Dims(), src.Labeled()
 		mode = fmt.Sprintf(" (streamed, %d-point blocks)", src.BlockPoints())
 		start := time.Now()
-		res, err = clique.RunStream(context.Background(), src, cfg)
+		res, err = clique.RunStream(ctx, src, cfg)
 		if err != nil {
 			return err
 		}

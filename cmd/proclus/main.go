@@ -89,11 +89,15 @@ func run(args []string, out io.Writer) (retErr error) {
 	cfgFor := func() core.Config {
 		return core.Config{
 			K: *k, L: *l, Seed: *seed, Workers: *workers,
-			Observer: sess.Observer, Metrics: sess.Metrics,
+			Observer: sess.Observer, Metrics: sess.Metrics, Series: sess.Series,
 		}
 	}
+	// The run context flows through the session so the stall watchdog
+	// (-stall-cancel) can abort a wedged run.
+	ctx, cancel := sess.Context(context.Background())
+	defer cancel()
 	if *stream {
-		return runStreamed(out, *in, *blockPts, cfgFor(), obsFlags.Report, *assignOut)
+		return runStreamed(ctx, out, *in, *blockPts, cfgFor(), obsFlags.Report, *assignOut)
 	}
 	ds, err := dataset.LoadFile(*in, *hasLabels)
 	if err != nil {
@@ -123,7 +127,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	start := time.Now()
-	res, err := core.Run(ds, cfg)
+	res, err := core.RunContext(ctx, ds, cfg)
 	if err != nil {
 		return err
 	}
@@ -170,13 +174,13 @@ func run(args []string, out io.Writer) (retErr error) {
 // memory stays O(sample + block) however large the file is. Labeled
 // inputs still get the confusion matrix and external indices — the
 // label column is scanned separately without loading the points.
-func runStreamed(out io.Writer, in string, blockPoints int, cfg core.Config, reportPath, assignOut string) error {
+func runStreamed(ctx context.Context, out io.Writer, in string, blockPoints int, cfg core.Config, reportPath, assignOut string) error {
 	src, err := dataset.OpenFileSource(in, blockPoints)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	res, err := core.RunStream(context.Background(), src, cfg)
+	res, err := core.RunStream(ctx, src, cfg)
 	if err != nil {
 		return err
 	}

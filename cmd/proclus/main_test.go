@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"proclus/internal/core"
+	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 	"proclus/internal/synth"
 )
 
@@ -367,5 +370,53 @@ func TestRunStreamedRejectsIncompatibleFlags(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("case %d: %v accepted with -stream", i, args)
 		}
+	}
+}
+
+// TestRunStallCancelAborts wires the hair-trigger stall watchdog to the
+// run context: the command must fail with a cancellation error, must
+// not leave a partial assignment file behind, and must still flush the
+// series recorded before the abort.
+func TestRunStallCancelAborts(t *testing.T) {
+	path := writeWorkload(t)
+	dir := t.TempDir()
+	assignPath := filepath.Join(dir, "a.csv")
+	seriesPath := filepath.Join(dir, "s.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-in", path, "-k", "2", "-l", "3",
+		"-stall-iters", "1", "-stall-cancel",
+		"-assign", assignPath, "-series", seriesPath,
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("stalled run error = %v, want context cancellation", err)
+	}
+	if _, statErr := os.Stat(assignPath); !os.IsNotExist(statErr) {
+		t.Errorf("aborted run left an assignment file (stat err %v)", statErr)
+	}
+	snap, readErr := series.ReadSnapshotFile(seriesPath)
+	if readErr != nil {
+		t.Fatalf("series snapshot not flushed: %v", readErr)
+	}
+	if s := snap.Find(core.SeriesIterObjective, metrics.L("restart", "1")); s == nil || s.Total == 0 {
+		t.Error("flushed snapshot has no objective series")
+	}
+}
+
+// TestRunStreamedStallCancel exercises the same abort through the
+// out-of-core path.
+func TestRunStreamedStallCancel(t *testing.T) {
+	path := writeWorkload(t)
+	assignPath := filepath.Join(t.TempDir(), "a.csv")
+	var sb strings.Builder
+	err := run([]string{
+		"-in", path, "-k", "2", "-l", "3", "-stream",
+		"-stall-iters", "1", "-stall-cancel", "-assign", assignPath,
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("stalled streamed run error = %v, want context cancellation", err)
+	}
+	if _, statErr := os.Stat(assignPath); !os.IsNotExist(statErr) {
+		t.Errorf("aborted streamed run left an assignment file (stat err %v)", statErr)
 	}
 }

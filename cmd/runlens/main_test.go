@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary from the current analyzer output")
+
+// TestGoldenSummary locks the analyzer's full report for the checked-in
+// golden trace and series snapshot. Regenerate deliberately with
+// `go test ./cmd/runlens -run TestGoldenSummary -update` after an
+// intentional output change.
+func TestGoldenSummary(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-series", filepath.Join("testdata", "golden_series.json"),
+		filepath.Join("testdata", "golden_trace.jsonl"),
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden_summary.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary drifted from golden (re-run with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestGoldenSummarySections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{filepath.Join("testdata", "golden_trace.jsonl")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== run summary ==",
+		"== convergence ==",
+		"== critical path ==",
+		"== straggler blocks ==",
+		"== stalls ==",
+		"algorithm    proclus",
+		"no_improve: restart 2 stuck for 2 iterations (at iteration 3)",
+		"phase:iterate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPartialTrace(t *testing.T) {
+	// A trace cut mid-run must still analyze: summary reports the run
+	// unfinished, convergence covers what arrived.
+	full, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(full)), "\n")
+	partial := strings.Join(lines[:10], "\n") + "\n"
+	path := filepath.Join(t.TempDir(), "partial.jsonl")
+	if err := os.WriteFile(path, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "finished     no") {
+		t.Errorf("partial trace not reported as unfinished:\n%s", buf.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run([]string{"a.jsonl", "b.jsonl"}, &bytes.Buffer{}); err == nil {
+		t.Error("two trace files accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

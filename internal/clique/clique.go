@@ -30,6 +30,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 	"proclus/internal/parallel"
 )
 
@@ -98,6 +99,15 @@ type Config struct {
 	// Stats.Metrics is always populated. Like the Observer, the registry
 	// does not participate in the algorithm.
 	Metrics *metrics.Registry
+
+	// Series, when non-nil, is the time-series store the run records
+	// its per-level trajectories into (candidate and dense unit counts,
+	// level latency), plus per-block latency and throughput on streamed
+	// runs. Recording is strictly opt-in — there is no private fallback
+	// — so uninstrumented runs pay nothing and Stats.Series stays
+	// empty. Like the Observer, the store does not participate in the
+	// algorithm.
+	Series *series.Store
 }
 
 func (cfg Config) withDefaults() Config {
@@ -254,7 +264,8 @@ func run(ctx context.Context, src PointSource, cfg Config, stream bool) (*Result
 		m.enableStream()
 	}
 	s := &searcher{ctx: ctx, src: src, n: src.Len(), d: src.Dims(), cfg: cfg,
-		minCount: minCount, stream: stream, obs: cfg.Observer, metrics: m}
+		minCount: minCount, stream: stream, obs: cfg.Observer, metrics: m,
+		series: newSearcherSeries(cfg.Series)}
 	res, err := s.run()
 	if err != nil {
 		return nil, err
@@ -293,6 +304,9 @@ type searcher struct {
 	// metrics records quantitative telemetry at phase/level boundaries;
 	// nil (white-box tests) disables recording.
 	metrics *searcherMetrics
+	// series records per-level and per-block trajectories; nil — the
+	// default, recording is opt-in via Config.Series — disables it.
+	series *searcherSeries
 }
 
 // emit forwards an event to the attached observer. The nil check is the
@@ -337,9 +351,20 @@ type subspaceUnits struct {
 	units map[string]int // unitKey -> count
 }
 
-// eachBlock sweeps the source once, crediting stream telemetry on
-// out-of-core runs and tracking the largest delivered block.
-func (s *searcher) eachBlock(fn func(b *dataset.Block) error) error {
+// eachBlock sweeps the source once under a pass name, crediting stream
+// telemetry on out-of-core runs and tracking the largest delivered
+// block. On streamed runs with an observer or series store attached,
+// each block is additionally timed and reported (EvBlock events,
+// per-block latency/throughput series); in-memory runs skip all of it,
+// keeping their event sequences and reports byte-identical to the
+// pre-telemetry engine.
+func (s *searcher) eachBlock(name string, fn func(b *dataset.Block) error) error {
+	instrumented := s.stream && (s.obs != nil || s.series != nil)
+	var bs blockSeries
+	if instrumented {
+		bs = s.series.blocks(name)
+	}
+	block := 0
 	return s.src.Blocks(s.ctx, func(b *dataset.Block) error {
 		if s.stream {
 			s.counters.StreamBlocks.Add(1)
@@ -348,7 +373,17 @@ func (s *searcher) eachBlock(fn func(b *dataset.Block) error) error {
 		if l := b.Len(); l > s.maxBlockLen {
 			s.maxBlockLen = l
 		}
-		return fn(b)
+		if !instrumented {
+			return fn(b)
+		}
+		block++
+		start := time.Now()
+		err := fn(b)
+		secs := time.Since(start).Seconds()
+		bs.record(block, b.Len(), secs)
+		s.emit(obs.Event{Type: obs.EvBlock, Phase: name,
+			Block: block, Points: b.Len(), Seconds: secs})
+		return err
 	})
 }
 
@@ -362,7 +397,7 @@ func (s *searcher) computeGrid() error {
 		min[j] = math.Inf(1)
 		max[j] = math.Inf(-1)
 	}
-	err := s.eachBlock(func(b *dataset.Block) error {
+	err := s.eachBlock("bounds", func(b *dataset.Block) error {
 		for i := 0; i < b.Len(); i++ {
 			for j, v := range b.Point(i) {
 				if v < min[j] {
@@ -444,6 +479,7 @@ func (s *searcher) run() (*Result, error) {
 		s.emit(obs.Event{Type: obs.EvLevelEnd, Level: q,
 			Candidates: nCands, Dense: n, Seconds: levelDur.Seconds()})
 		s.metrics.observeLevel(levelDur.Seconds(), nCands, n)
+		s.series.recordLevel(q, levelDur.Seconds(), nCands, n)
 		s.metrics.fold(&s.counters)
 		if n == 0 {
 			break
@@ -513,6 +549,9 @@ func (s *searcher) run() (*Result, error) {
 	s.stats.Counters = s.counters.Snapshot()
 	s.metrics.fold(&s.counters)
 	s.stats.Metrics = s.metrics.snapshot()
+	if s.cfg.Series != nil {
+		s.stats.Series = s.cfg.Series.Snapshot()
+	}
 	res.Stats = s.stats
 	s.emit(obs.Event{Type: obs.EvRunEnd, Clusters: len(res.Clusters),
 		Level: res.Levels, Seconds: time.Since(runStart).Seconds()})
@@ -534,7 +573,7 @@ func (s *searcher) denseOneDim() (*level, error) {
 		counts[j] = make([]int, s.cfg.Xi)
 	}
 	var mu sync.Mutex
-	err := s.eachBlock(func(b *dataset.Block) error {
+	err := s.eachBlock("histogram", func(b *dataset.Block) error {
 		parallel.For(b.Len(), s.cfg.Workers, func(lo, hi int) {
 			local := make([][]int, d)
 			for j := range local {
@@ -687,7 +726,7 @@ func (s *searcher) countPass(cands *level) error {
 	// size.
 	s.counters.PointsScanned.Add(int64(s.n))
 	s.counters.DenseUnitProbes.Add(int64(s.n) * int64(len(subspaces)))
-	return s.eachBlock(func(b *dataset.Block) error {
+	return s.eachBlock("count", func(b *dataset.Block) error {
 		parallel.For(len(subspaces), s.cfg.Workers, func(lo, hi int) {
 			shard := subspaces[lo:hi]
 			buf := make([]int, 16)
@@ -817,7 +856,7 @@ func (s *searcher) countClusterSizes(clusters []Cluster) error {
 	// Shard by subspace within each block: every cluster lives in exactly
 	// one subspace, so each worker increments a disjoint set of Size
 	// fields.
-	return s.eachBlock(func(b *dataset.Block) error {
+	return s.eachBlock("sizes", func(b *dataset.Block) error {
 		parallel.For(len(refs), s.cfg.Workers, func(lo, hi int) {
 			buf := make([]int, 16)
 			for pi := 0; pi < b.Len(); pi++ {

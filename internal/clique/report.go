@@ -5,6 +5,7 @@ import (
 
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 )
 
 // Stats is the observability record of one CLIQUE run.
@@ -27,6 +28,11 @@ type Stats struct {
 	// When the run was given a shared registry (Config.Metrics), the
 	// snapshot spans every run recorded into it.
 	Metrics metrics.Snapshot
+	// Series snapshots the time-series store at run end: per-level
+	// candidate/dense trajectories and, on streamed runs, per-block
+	// latency. Empty unless the run was given a store (Config.Series) —
+	// series recording has no private fallback.
+	Series series.StoreSnapshot
 	// DatasetPoints and DatasetDims record the input's shape, so a
 	// Result can describe its provenance in run reports.
 	DatasetPoints int
@@ -90,6 +96,7 @@ func (r *Result) Report() *obs.RunReport {
 		},
 		Counters: r.Stats.Counters,
 		Metrics:  r.Stats.Metrics,
+		Series:   r.Stats.Series,
 		Levels:   r.Levels,
 		TotalSeconds: (r.Stats.HistogramDuration + r.Stats.SearchDuration +
 			r.Stats.ReportDuration).Seconds(),

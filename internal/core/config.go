@@ -28,6 +28,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 )
 
 // Config holds the PROCLUS parameters. K and L are the two inputs the
@@ -132,6 +133,17 @@ type Config struct {
 	// and its snapshots then span every run recorded so far. Like the
 	// Observer, the registry does not participate in the algorithm.
 	Metrics *metrics.Registry
+
+	// Series, when non-nil, is the time-series store the run records
+	// its convergence trajectories into: per-iteration objective, best,
+	// swap acceptance, bad-medoid count and distance-cache hit rate
+	// (one series set per restart), plus per-block latency and
+	// throughput on streamed runs. Unlike Metrics there is no private
+	// fallback — recording is strictly opt-in, so uninstrumented runs
+	// pay nothing and Stats.Series stays empty. Like the Observer and
+	// the registry, the store does not participate in the algorithm:
+	// runs with and without one produce identical Results.
+	Series *series.Store
 }
 
 // InitMethod selects the initialization strategy.
@@ -325,6 +337,10 @@ type Stats struct {
 	// counter series. When the run was given a shared registry
 	// (Config.Metrics), the snapshot spans every run recorded into it.
 	Metrics metrics.Snapshot
+	// Series snapshots the time-series store at run end: per-iteration
+	// convergence trajectories and per-block latencies. Nil unless a
+	// store was attached via Config.Series.
+	Series series.StoreSnapshot
 	// DatasetPoints and DatasetDims record the input's shape, so a
 	// Result can describe its provenance in run reports.
 	DatasetPoints int

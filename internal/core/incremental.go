@@ -33,6 +33,9 @@ import (
 type evaluator interface {
 	evaluate(medoids []int) *trialState
 	adopt(t *trialState) *trialState
+	// cacheHitRate reports the fraction of distance columns the latest
+	// evaluate served from its cache (0 for engines without one).
+	cacheHitRate() float64
 }
 
 // newEvaluator selects the engine configured by IncrementalEval. Each
@@ -52,6 +55,7 @@ type naiveEval struct{ r *runner }
 
 func (e naiveEval) evaluate(medoids []int) *trialState { return e.r.evaluateMedoids(medoids) }
 func (e naiveEval) adopt(t *trialState) *trialState    { return t }
+func (e naiveEval) cacheHitRate() float64              { return 0 }
 
 // incrementalEval owns one restart's distance cache and trial scratch.
 type incrementalEval struct {
@@ -271,6 +275,16 @@ func (e *incrementalEval) findDimensions() [][]int {
 		panic("proclus: dimension allocation failed: " + err.Error())
 	}
 	return dims
+}
+
+// cacheHitRate reports the fraction of the k distance columns the
+// latest sync reused rather than recomputed: 0 on the first trial
+// (every column fills), (k−|bad|)/k in steady state.
+func (e *incrementalEval) cacheHitRate() float64 {
+	if e.k == 0 {
+		return 0
+	}
+	return float64(e.k-len(e.changed)) / float64(e.k)
 }
 
 // adopt deep-copies a trial into the engine's persistent best state:

@@ -42,7 +42,7 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, 
 		reg = metrics.NewRegistry()
 	}
 	r := &runner{ctx: ctx, ds: ds, cfg: cfg, rng: randx.New(cfg.Seed),
-		obs: cfg.Observer, metrics: newRunnerMetrics(reg)}
+		obs: cfg.Observer, metrics: newRunnerMetrics(reg), series: newRunnerSeries(cfg.Series)}
 	return r.run()
 }
 
@@ -69,6 +69,9 @@ type runner struct {
 	// metrics records quantitative telemetry at phase/restart/pass
 	// boundaries; nil (white-box tests) disables recording.
 	metrics *runnerMetrics
+	// series records per-iteration and per-block trajectories; nil —
+	// the default, recording is opt-in via Config.Series — disables it.
+	series *runnerSeries
 }
 
 // emit forwards an event to the attached observer. The nil check is
@@ -144,6 +147,7 @@ func (r *runner) run() (*Result, error) {
 	r.metrics.observeObjective(res.Objective)
 	r.metrics.fold(&r.counters)
 	r.stats.Metrics = r.metrics.snapshot()
+	r.stats.Series = r.cfg.Series.Snapshot()
 	res.Stats = r.stats
 	r.emit(obs.Event{Type: obs.EvRunEnd, Objective: res.Objective,
 		Clusters: len(res.Clusters), Outliers: res.NumOutliers(),
@@ -325,6 +329,7 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 	// concurrent restarts share nothing and the worker-determinism
 	// guarantee is untouched.
 	ev := r.newEvaluator()
+	rs := r.series.restart(restart)
 	var best *trialState
 	var trace []float64
 	bestObjective := math.Inf(1)
@@ -332,6 +337,7 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 	iterations := 0
 	for {
 		iterations++
+		trialStart := time.Now()
 		trial := ev.evaluate(current)
 		trace = append(trace, trial.objective)
 		improved := trial.objective < bestObjective
@@ -346,8 +352,13 @@ func (r *runner) climb(candidates []int, restart int, rng *randx.Rand) (*trialSt
 		} else {
 			noImprove++
 		}
+		if r.series != nil {
+			rs.record(iterations, trial.objective, bestObjective, improved,
+				len(best.badMedoids), ev.cacheHitRate())
+		}
 		r.emit(obs.Event{Type: obs.EvIteration, Restart: restart, Iteration: iterations,
-			Objective: trial.objective, Best: bestObjective, Improved: improved})
+			Objective: trial.objective, Best: bestObjective, Improved: improved,
+			Seconds: time.Since(trialStart).Seconds()})
 		if noImprove >= r.cfg.MaxNoImprove || iterations >= r.cfg.MaxIterations {
 			break
 		}

@@ -68,6 +68,7 @@ func (r *Result) Report() *obs.RunReport {
 		},
 		Counters:       r.Stats.Counters,
 		Metrics:        r.Stats.Metrics,
+		Series:         r.Stats.Series,
 		ObjectiveTrace: r.Stats.ObjectiveTrace,
 		Objective:      r.Objective,
 		Iterations:     r.Iterations,

@@ -63,7 +63,7 @@ func RunStream(ctx context.Context, src PointSource, cfg Config) (*Result, error
 	rm.enableStream()
 	s := &streamRunner{
 		r: &runner{ctx: ctx, cfg: cfg, rng: randx.New(cfg.Seed),
-			obs: cfg.Observer, metrics: rm},
+			obs: cfg.Observer, metrics: rm, series: newRunnerSeries(cfg.Series)},
 		src: src,
 	}
 	if bp, ok := src.(interface{ BlockPoints() int }); ok {
@@ -84,16 +84,32 @@ type streamRunner struct {
 	maxBlockLen int
 }
 
-// pass sweeps the source once, crediting the stream counters and
-// tracking the largest block for the residency gauge.
-func (s *streamRunner) pass(fn func(b *dataset.Block) error) error {
+// pass sweeps the source once under a pass name, crediting the stream
+// counters and tracking the largest block for the residency gauge.
+// With an observer or series store attached, each block is also timed
+// and reported (EvBlock events, per-block latency/throughput series);
+// without either, the timing is skipped entirely.
+func (s *streamRunner) pass(name string, fn func(b *dataset.Block) error) error {
+	instrumented := s.r.obs != nil || s.r.series != nil
+	bs := s.r.series.blocks(name)
+	block := 0
 	return s.src.Blocks(s.r.ctx, func(b *dataset.Block) error {
 		s.r.counters.StreamBlocks.Add(1)
 		s.r.counters.StreamBytes.Add(b.Bytes())
 		if l := b.Len(); l > s.maxBlockLen {
 			s.maxBlockLen = l
 		}
-		return fn(b)
+		if !instrumented {
+			return fn(b)
+		}
+		block++
+		start := time.Now()
+		err := fn(b)
+		secs := time.Since(start).Seconds()
+		bs.record(block, b.Len(), secs)
+		s.r.emit(obs.Event{Type: obs.EvBlock, Phase: name,
+			Block: block, Points: b.Len(), Seconds: secs})
+		return err
 	})
 }
 
@@ -149,6 +165,7 @@ func (s *streamRunner) run() (*Result, error) {
 	r.metrics.observeObjective(res.Objective)
 	r.metrics.fold(&r.counters)
 	r.stats.Metrics = r.metrics.snapshot()
+	r.stats.Series = r.cfg.Series.Snapshot()
 	res.Stats = r.stats
 	r.emit(obs.Event{Type: obs.EvRunEnd, Objective: res.Objective,
 		Clusters: len(res.Clusters), Outliers: res.NumOutliers(),
@@ -183,7 +200,7 @@ func (s *streamRunner) initialize() ([]int, error) {
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a].idx < sorted[b].idx })
 	flat := make([]float64, len(sampleIdx)*d)
 	cursor := 0
-	err = s.pass(func(b *dataset.Block) error {
+	err = s.pass("sample", func(b *dataset.Block) error {
 		end := b.Start() + b.Len()
 		for cursor < len(sorted) && sorted[cursor].idx < end {
 			p := sorted[cursor]
@@ -296,7 +313,7 @@ func (s *streamRunner) refine(best *trialState) (*Result, error) {
 
 	// Pass A: per-point nearest medoid and outlier flag (parallel within
 	// the block), then centroid accumulation (serial, in point order).
-	err := s.pass(func(b *dataset.Block) error {
+	err := s.pass("assign", func(b *dataset.Block) error {
 		bn := b.Len()
 		parallel.For(bn, r.innerWorkers, func(lo, hi int) {
 			// The outlier test's early break makes the distance count
@@ -371,7 +388,7 @@ func (s *streamRunner) refine(best *trialState) (*Result, error) {
 		// Pass B: the final quality measure over the refined partition,
 		// accumulated per cluster in global point order.
 		devs := make([]float64, k)
-		err = s.pass(func(b *dataset.Block) error {
+		err = s.pass("score", func(b *dataset.Block) error {
 			for i := 0; i < b.Len(); i++ {
 				a := assign[b.Index(i)]
 				if a == OutlierID {

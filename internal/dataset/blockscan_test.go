@@ -8,25 +8,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
-	"time"
+
+	"proclus/internal/obs/obstest"
 )
 
-// settleGoroutines polls until the goroutine count drops back to at
-// most base, failing the test if it never does. It is the
-// dependency-free stand-in for a goleak check: the block reader must
-// not outlive Close or a finished pass.
+// settleGoroutines delegates to the shared observability test helper:
+// the block reader must not outlive Close or a finished pass.
 func settleGoroutines(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	t.Fatalf("goroutines never settled to %d (now %d):\n%s",
-		base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+	obstest.Settle(t, base)
 }
 
 func drainBlocks(t *testing.T, ctx context.Context, sc *BlockScanner, ds *Dataset) {

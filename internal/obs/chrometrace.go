@@ -33,6 +33,7 @@ type chromeEvent struct {
 	TS    float64        `json:"ts"` // microseconds since trace start
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	Dur   float64        `json:"dur,omitempty"` // microseconds; complete ("X") events only
 	Cat   string         `json:"cat,omitempty"`
 	Scope string         `json:"s,omitempty"` // instant event scope
 	Args  map[string]any `json:"args,omitempty"`
@@ -81,6 +82,10 @@ func chromeSpan(e Event) (name, ph string, ok bool) {
 		return "iteration", "i", true
 	case EvMedoidSwap:
 		return "medoid_swap", "i", true
+	case EvBlock:
+		return fmt.Sprintf("block:%s", e.Phase), "X", true
+	case EvStall:
+		return "stall", "i", true
 	}
 	return "", "", false
 }
@@ -121,6 +126,12 @@ func chromeArgs(e Event) map[string]any {
 	if len(e.Replaced) > 0 {
 		args["replaced"] = e.Replaced
 	}
+	if e.Block > 0 {
+		args["block"] = e.Block
+	}
+	if e.Reason != "" {
+		args["reason"] = e.Reason
+	}
 	if len(args) == 0 {
 		return nil
 	}
@@ -150,6 +161,16 @@ func (t *ChromeTracer) Observe(e Event) {
 		return
 	}
 	ce.TS = float64(t.now().Sub(t.start).Nanoseconds()) / 1e3
+	if ph == "X" {
+		// Block events arrive at block end carrying their latency;
+		// back-date the start so the complete event spans it.
+		ce.Dur = e.Seconds * 1e6
+		if ce.TS > ce.Dur {
+			ce.TS -= ce.Dur
+		} else {
+			ce.TS = 0
+		}
+	}
 	ce.seq = len(t.events)
 	t.events = append(t.events, ce)
 	t.tids[ce.TID] = true

@@ -16,13 +16,17 @@
 package cliflags
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 	"proclus/internal/obs/serve"
 )
 
@@ -42,6 +46,20 @@ type Flags struct {
 	// monitoring endpoint (/metrics, /run, /debug/pprof). Empty when the
 	// owning CLI registered WithoutServe.
 	MetricsAddr string
+	// Series is the -series path: the final time-series snapshot
+	// (per-iteration convergence trajectories, per-block latency) as
+	// JSON readable by cmd/runlens.
+	Series string
+	// StallIters is -stall-iters: trip the stall watchdog when a
+	// restart's objective fails to improve for this many consecutive
+	// iterations. Zero disables the check.
+	StallIters int
+	// StallDeadline is -stall-deadline: trip the watchdog when no
+	// progress event arrives for this long. Zero disables the check.
+	StallDeadline time.Duration
+	// StallCancel is -stall-cancel: on the first stall, cancel the run's
+	// context (obtained via Session.Context) instead of only reporting.
+	StallCancel bool
 	// CPUProfile and MemProfile are the -cpuprofile/-memprofile paths.
 	CPUProfile string
 	MemProfile string
@@ -80,6 +98,10 @@ func Register(fs *flag.FlagSet, opts ...Option) *Flags {
 	if o.serve {
 		fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /run JSON snapshot, /debug/pprof)")
 	}
+	fs.StringVar(&f.Series, "series", "", "write the final convergence time-series snapshot JSON to this path (analyze with runlens)")
+	fs.IntVar(&f.StallIters, "stall-iters", 0, "emit a stall event when a restart's objective fails to improve for this many consecutive iterations (0 disables)")
+	fs.DurationVar(&f.StallDeadline, "stall-deadline", 0, "emit a stall event when no progress event arrives for this long (0 disables)")
+	fs.BoolVar(&f.StallCancel, "stall-cancel", false, "cancel the run on the first stall instead of only reporting it")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path on exit")
 	return f
@@ -96,22 +118,38 @@ type Session struct {
 	// whenever the session needs one (-metrics-addr); attach it via the
 	// algorithm Config's Metrics field.
 	Metrics *metrics.Registry
+	// Series is the time-series store runs should record into. Non-nil
+	// when -series or -metrics-addr asked for one; attach it via the
+	// algorithm Config's Series field.
+	Series *series.Store
+	// Watchdog is the stall watchdog wrapping the session's observers,
+	// non-nil when -stall-iters or -stall-deadline is set. Its Stalled
+	// state is reported by Close.
+	Watchdog *obs.Watchdog
 	// Addr is the monitoring server's bound address, for tests and logs
 	// (empty without -metrics-addr).
 	Addr string
 
-	server  *serve.Server
-	closers []func() error
+	seriesPath string
+	errw       io.Writer
+	server     *serve.Server
+	closers    []func() error
+
+	mu        sync.Mutex
+	cancelRun context.CancelFunc
 }
 
 // Start opens the files, tracers and server the flags ask for. Progress
 // and server-address announcements go to errw (typically os.Stderr).
 // On error, anything already opened is closed.
 func (f *Flags) Start(errw io.Writer) (*Session, error) {
-	s := &Session{}
+	s := &Session{seriesPath: f.Series, errw: errw}
 	fail := func(err error) (*Session, error) {
 		s.Close()
 		return nil, err
+	}
+	if f.Series != "" || f.MetricsAddr != "" {
+		s.Series = series.NewStore(0)
 	}
 
 	stopProfiles, err := obs.StartProfiles(f.CPUProfile, f.MemProfile)
@@ -161,6 +199,7 @@ func (f *Flags) Start(errw io.Writer) (*Session, error) {
 			Addr:     f.MetricsAddr,
 			Registry: s.Metrics,
 			Live:     live,
+			Series:   s.Series,
 		})
 		if err != nil {
 			return fail(err)
@@ -170,7 +209,41 @@ func (f *Flags) Start(errw io.Writer) (*Session, error) {
 		fmt.Fprintf(errw, "serving metrics on http://%s/metrics\n", s.Addr)
 	}
 	s.Observer = obs.Multi(observers...)
+	if f.StallIters > 0 || f.StallDeadline > 0 {
+		opts := obs.WatchdogOptions{
+			NoImprove: f.StallIters,
+			Deadline:  f.StallDeadline,
+			Next:      s.Observer,
+		}
+		if f.StallCancel {
+			opts.Cancel = s.cancelInFlight
+		}
+		s.Watchdog = obs.NewWatchdog(opts)
+		s.Observer = s.Watchdog
+	}
 	return s, nil
+}
+
+// Context derives a cancellable context for the run and wires it to the
+// watchdog: with -stall-cancel set, the first stall cancels it. Always
+// safe to call — without stall flags it is a plain context.WithCancel.
+func (s *Session) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	s.mu.Lock()
+	s.cancelRun = cancel
+	s.mu.Unlock()
+	return ctx, cancel
+}
+
+// cancelInFlight is the watchdog's cancel hook: it aborts whatever
+// context Session.Context last handed out.
+func (s *Session) cancelInFlight() {
+	s.mu.Lock()
+	cancel := s.cancelRun
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }
 
 // Observe forwards an event to the session's observer. Safe with no
@@ -191,8 +264,25 @@ func (s *Session) Close() error {
 		return nil
 	}
 	var first error
+	if s.Watchdog != nil {
+		s.Watchdog.Stop()
+		if stall, ok := s.Watchdog.Stalled(); ok && s.errw != nil {
+			switch stall.Reason {
+			case obs.StallDeadline:
+				fmt.Fprintf(s.errw, "warning: run stalled: no progress events for %.1fs\n", stall.Seconds)
+			default:
+				fmt.Fprintf(s.errw, "warning: run stalled: restart %d stuck for %.0f iterations\n",
+					stall.Restart, stall.Seconds)
+			}
+		}
+	}
+	if s.seriesPath != "" && s.Series != nil {
+		if err := s.Series.Snapshot().WriteFile(s.seriesPath); err != nil {
+			first = err
+		}
+	}
 	if s.server != nil {
-		if err := s.server.Close(); err != nil {
+		if err := s.server.Close(); err != nil && first == nil {
 			first = err
 		}
 		s.server = nil

@@ -1,6 +1,7 @@
 package cliflags
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"proclus/internal/obs"
+	"proclus/internal/obs/series"
 )
 
 func parse(t *testing.T, args []string, opts ...Option) *Flags {
@@ -147,6 +149,88 @@ func TestStartFailureCleansUp(t *testing.T) {
 func TestSessionNilClose(t *testing.T) {
 	var s *Session
 	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionSeriesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.json")
+	f := parse(t, []string{"-series", path})
+	sess, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Series == nil {
+		t.Fatal("-series should allocate a store")
+	}
+	sess.Series.Series("proclus_iter_objective", "objective").Append(1, 42)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := series.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snap.Find("proclus_iter_objective")
+	if s == nil || len(s.Points) != 1 || s.Points[0].V != 42 {
+		t.Errorf("snapshot round trip = %+v", snap)
+	}
+}
+
+func TestSessionWatchdogCancel(t *testing.T) {
+	f := parse(t, []string{"-stall-iters", "3", "-stall-cancel"})
+	var warn strings.Builder
+	sess, err := f.Start(&warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Watchdog == nil {
+		t.Fatal("stall flags should build a watchdog")
+	}
+	if sess.Observer != sess.Watchdog {
+		t.Error("watchdog should wrap the session observer chain")
+	}
+	ctx, cancel := sess.Context(context.Background())
+	defer cancel()
+	for i := 1; i <= 3; i++ {
+		sess.Observe(obs.Event{Type: obs.EvIteration, Restart: 1, Iteration: i})
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("watchdog trip did not cancel the session context")
+	}
+	if _, ok := sess.Watchdog.Stalled(); !ok {
+		t.Error("watchdog not marked stalled")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warn.String(), "stalled") {
+		t.Errorf("Close did not report the stall: %q", warn.String())
+	}
+}
+
+func TestSessionWatchdogObserveOnly(t *testing.T) {
+	f := parse(t, []string{"-stall-iters", "2"})
+	sess, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := sess.Context(context.Background())
+	defer cancel()
+	for i := 1; i <= 5; i++ {
+		sess.Observe(obs.Event{Type: obs.EvIteration, Restart: 1, Iteration: i})
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("watchdog cancelled without -stall-cancel")
+	default:
+	}
+	if _, ok := sess.Watchdog.Stalled(); !ok {
+		t.Error("watchdog should still record the stall")
+	}
+	if err := sess.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

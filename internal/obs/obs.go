@@ -50,6 +50,24 @@ const (
 	// EvLevelEnd carries the Candidates generated and Dense units kept.
 	EvLevelStart EventType = "level_start"
 	EvLevelEnd   EventType = "level_end"
+	// EvBlock reports one completed block of a streamed pass: Phase
+	// names the pass, Block is the 1-based block index within it,
+	// Points the block's point count and Seconds its latency. Emitted
+	// only on streamed runs, so in-memory event sequences are
+	// unchanged.
+	EvBlock EventType = "block"
+	// EvStall reports a convergence stall detected by a Watchdog:
+	// Reason distinguishes a no-improvement streak ("no_improve", with
+	// Restart/Iteration locating it) from a wall-clock deadline with no
+	// progress events ("deadline"). Seconds carries the streak length
+	// in iterations or the deadline in seconds, respectively.
+	EvStall EventType = "stall"
+)
+
+// Stall reasons carried in Event.Reason on EvStall.
+const (
+	StallNoImprove = "no_improve"
+	StallDeadline  = "deadline"
 )
 
 // Event is one structured observation of a run in progress. It is a
@@ -64,6 +82,10 @@ type Event struct {
 	Iteration int `json:"iteration,omitempty"`
 	// Level is the CLIQUE lattice level (subspace dimensionality).
 	Level int `json:"level,omitempty"`
+	// Block is the 1-based block index of a streamed pass (EvBlock).
+	Block int `json:"block,omitempty"`
+	// Reason qualifies an EvStall event (StallNoImprove, StallDeadline).
+	Reason string `json:"reason,omitempty"`
 	// Objective is the event's objective value; Best the running
 	// minimum; Improved whether this trial lowered it.
 	Objective float64 `json:"objective,omitempty"`
@@ -192,6 +214,14 @@ func (l *ProgressLogger) Observe(e Event) {
 	case EvLevelEnd:
 		line = fmt.Sprintf("[%s] level %d: %d candidates → %d dense units (%.3fs)",
 			e.Algorithm, e.Level, e.Candidates, e.Dense, e.Seconds)
+	case EvStall:
+		switch e.Reason {
+		case StallDeadline:
+			line = fmt.Sprintf("[%s] STALL: no progress events for %.1fs deadline", e.Algorithm, e.Seconds)
+		default:
+			line = fmt.Sprintf("[%s] STALL: restart %d stuck for %.0f iterations (at iteration %d)",
+				e.Algorithm, e.Restart, e.Seconds, e.Iteration)
+		}
 	case EvRunEnd:
 		line = fmt.Sprintf("[%s] run end: objective %.4f, %d clusters, %d outliers in %.3fs",
 			e.Algorithm, e.Objective, e.Clusters, e.Outliers, e.Seconds)

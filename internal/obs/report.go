@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"proclus/internal/obs/metrics"
+	seriespkg "proclus/internal/obs/series"
 )
 
 // RunReport is the machine-readable record of one run: the effective
@@ -39,6 +40,12 @@ type RunReport struct {
 	// Omitted when no registry was attached or when zeroed for golden
 	// comparisons (histogram buckets depend on wall time).
 	Metrics metrics.Snapshot `json:"metrics,omitempty"`
+	// Series snapshots the per-iteration and per-block time series the
+	// run recorded (objective trajectory, swap acceptance, cache hit
+	// rate, block latencies). Present only when a series store was
+	// attached to the run; recording is opt-in, so uninstrumented runs
+	// and existing goldens are unaffected.
+	Series seriespkg.StoreSnapshot `json:"series,omitempty"`
 	// ObjectiveTrace holds the objective of every evaluated trial in
 	// order, across restarts (PROCLUS only).
 	ObjectiveTrace []float64 `json:"objective_trace,omitempty"`

@@ -1,0 +1,265 @@
+package serve
+
+// Conformance tests for the monitoring endpoints: /metrics must emit
+// well-formed Prometheus text exposition (HELP/TYPE before samples,
+// one family at a time, no duplicate series), and /run must serve
+// valid JSON at any moment of a streamed run, not just at the end.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"proclus/internal/core"
+	"proclus/internal/dataset"
+	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/obstest"
+	"proclus/internal/obs/series"
+	"proclus/internal/synth"
+)
+
+// expositionFamily tracks one metric family while parsing.
+type expositionFamily struct {
+	helpSeen bool
+	typeSeen bool
+	typ      string
+	samples  int
+}
+
+// parseExposition validates body against the Prometheus text format
+// contract and returns the number of sample lines. It fails the test on
+// the first violation: HELP or TYPE repeated, HELP after TYPE, either
+// after the family's first sample, families interleaved, an unparsable
+// sample line, or the same series (name plus label set) emitted twice.
+func parseExposition(t *testing.T, body string) int {
+	t.Helper()
+	families := map[string]*expositionFamily{}
+	seenSeries := map[string]bool{}
+	current := "" // family of the most recent sample line
+	closed := map[string]bool{}
+	samples := 0
+
+	family := func(name string) *expositionFamily {
+		f := families[name]
+		if f == nil {
+			f = &expositionFamily{}
+			families[name] = f
+		}
+		return f
+	}
+	// base resolves a sample name to its family, folding histogram and
+	// summary child series (_bucket/_sum/_count) onto the declared name.
+	base := func(name string) string {
+		if f, ok := families[name]; ok && f.typeSeen {
+			return name
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed == name {
+				continue
+			}
+			if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+				return trimmed
+			}
+		}
+		return name
+	}
+
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			f := family(fields[0])
+			if f.helpSeen {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, fields[0])
+			}
+			if f.typeSeen || f.samples > 0 {
+				t.Fatalf("line %d: HELP for %s after its TYPE or samples", ln+1, fields[0])
+			}
+			f.helpSeen = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			f := family(fields[0])
+			if f.typeSeen {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[0])
+			}
+			if f.samples > 0 {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln+1, fields[0])
+			}
+			f.typeSeen = true
+			f.typ = fields[1]
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			name, labels, value := splitSample(t, ln+1, line)
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("line %d: value %q does not parse: %v", ln+1, value, err)
+			}
+			fam := base(name)
+			if fam != current {
+				if closed[fam] {
+					t.Fatalf("line %d: family %s interleaved with other families", ln+1, fam)
+				}
+				if current != "" {
+					closed[current] = true
+				}
+				current = fam
+			}
+			key := name + "{" + labels + "}"
+			if seenSeries[key] {
+				t.Fatalf("line %d: duplicate series %s", ln+1, key)
+			}
+			seenSeries[key] = true
+			family(fam).samples++
+			samples++
+		}
+	}
+	return samples
+}
+
+// splitSample tears one sample line into name, label body and value.
+func splitSample(t *testing.T, ln int, line string) (name, labels, value string) {
+	t.Helper()
+	rest := line
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		end := strings.LastIndexByte(line, '}')
+		if end < open {
+			t.Fatalf("line %d: unbalanced braces in %q", ln, line)
+		}
+		name, labels = line[:open], line[open+1:end]
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: malformed sample %q", ln, line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	return name, labels, strings.TrimSpace(rest)
+}
+
+// TestMetricsExpositionConformance scrapes a /metrics endpoint backed
+// by a populated registry plus a series store and validates the whole
+// exposition, including the gauge lines the store appends.
+func TestMetricsExpositionConformance(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	reg := metrics.NewRegistry()
+	reg.Counter("proclus_distance_evals_total", "distance evaluations").Add(42)
+	reg.Counter("proclus_points_scanned_total", "points scanned").Add(7)
+	for _, phase := range []string{"initialize", "iterate", "refine"} {
+		reg.Histogram("proclus_phase_seconds", "phase wall time", metrics.L("phase", phase)).Observe(0.5)
+	}
+	reg.Gauge("proclus_sample_points", "sample size").Set(96)
+
+	store := series.NewStore(0)
+	for restart := 1; restart <= 2; restart++ {
+		s := store.Series("proclus_iter_objective", "objective per iteration",
+			metrics.L("restart", strconv.Itoa(restart)))
+		for i := 1; i <= 5; i++ {
+			s.Append(float64(i), float64(100-i))
+		}
+	}
+	store.Series("proclus_iter_best", "best objective").Append(1, 99)
+	store.Series("proclus_empty", "never appended") // must not surface
+
+	s := startTestServer(t, Options{Registry: reg, Series: store, Live: NewLive()})
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	n := parseExposition(t, body)
+	if n == 0 {
+		t.Fatal("exposition carries no samples")
+	}
+	for _, want := range []string{
+		`proclus_iter_objective{restart="1"} 95`,
+		`proclus_iter_objective{restart="2"} 95`,
+		"# TYPE proclus_iter_best gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "proclus_empty") {
+		t.Error("/metrics exposes a series that was never appended to")
+	}
+}
+
+// TestRunJSONMidStream drives a real streamed PROCLUS run with the live
+// observer and a series store attached, and polls /run while the run is
+// in flight: every response must be complete, valid JSON. After the run
+// the snapshot must carry the final iteration series.
+func TestRunJSONMidStream(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	ds, _, err := synth.Generate(synth.Config{
+		N: 1200, Dims: 8, K: 3, FixedDims: 3, MinSizeFraction: 0.15, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := NewLive()
+	reg := metrics.NewRegistry()
+	store := series.NewStore(0)
+	s := startTestServer(t, Options{Registry: reg, Live: live, Series: store})
+	base := "http://" + s.Addr()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.RunStream(context.Background(), dataset.NewMemorySource(ds, 64), core.Config{
+			K: 3, L: 3, Seed: 11, Restarts: 2,
+			Observer: live, Metrics: reg, Series: store,
+		})
+		done <- err
+	}()
+
+	polled := 0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if polled == 0 {
+				t.Log("run finished before any poll; polling once post-run")
+			}
+			code, body := get(t, base+"/run")
+			if code != http.StatusOK {
+				t.Fatalf("/run status %d", code)
+			}
+			var snap LiveSnapshot
+			if err := json.Unmarshal([]byte(body), &snap); err != nil {
+				t.Fatalf("post-run /run is not valid JSON: %v", err)
+			}
+			if snap.Running {
+				t.Error("post-run snapshot still running")
+			}
+			if snap.Report.Series.Find(core.SeriesIterObjective, metrics.L("restart", "1")) == nil {
+				t.Errorf("post-run snapshot missing %s series", core.SeriesIterObjective)
+			}
+			if _, body := get(t, base+"/metrics"); !strings.Contains(body, core.SeriesIterObjective) {
+				t.Error("/metrics missing the iteration series gauges")
+			}
+			return
+		default:
+		}
+		code, body := get(t, base+"/run")
+		if code != http.StatusOK {
+			t.Fatalf("/run status %d", code)
+		}
+		var snap LiveSnapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("mid-run /run is not valid JSON: %v\n%s", err, body)
+		}
+		polled++
+	}
+}

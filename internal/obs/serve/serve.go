@@ -20,6 +20,7 @@ import (
 
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 )
 
 // Options configures a monitoring server.
@@ -33,6 +34,12 @@ type Options struct {
 	Counters *obs.Counters
 	// Live backs /run; nil makes /run serve an empty snapshot.
 	Live *Live
+	// Series, when non-nil, contributes the time-series store to both
+	// endpoints: /metrics appends each series' latest value as a gauge
+	// after the registry exposition, and /run embeds the full ring
+	// snapshot in the report, so a dashboard can poll the live iteration
+	// trajectory mid-run.
+	Series *series.Store
 }
 
 // Server is a running monitoring endpoint.
@@ -64,6 +71,7 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = opts.Registry.WritePrometheus(w)
+		_ = opts.Series.WritePrometheus(w)
 	})
 	mux.HandleFunc("/run", func(w http.ResponseWriter, _ *http.Request) {
 		snap := opts.Live.Snapshot()
@@ -71,6 +79,9 @@ func Start(opts Options) (*Server, error) {
 			snap.Report.Counters = opts.Counters.Snapshot()
 		}
 		snap.Report.Metrics = opts.Registry.Snapshot()
+		if opts.Series != nil {
+			snap.Report.Series = opts.Series.Snapshot()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

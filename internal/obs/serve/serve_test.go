@@ -10,6 +10,7 @@ import (
 
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/obstest"
 )
 
 func startTestServer(t *testing.T, opts Options) *Server {
@@ -19,7 +20,12 @@ func startTestServer(t *testing.T, opts Options) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() {
+		s.Close()
+		// Drop the test client's keep-alive connections so goroutine-leak
+		// assertions see a settled state.
+		http.DefaultClient.CloseIdleConnections()
+	})
 	return s
 }
 
@@ -38,6 +44,7 @@ func get(t *testing.T, url string) (int, string) {
 }
 
 func TestServerEndpoints(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
 	reg := metrics.NewRegistry()
 	reg.Counter("proclus_distance_evals_total", "distance evaluations").Add(42)
 	reg.Histogram("proclus_phase_seconds", "phase wall time", metrics.L("phase", "iterate")).Observe(0.5)
@@ -103,6 +110,7 @@ func TestServerEndpoints(t *testing.T) {
 // and events are being recorded, so `go test -race` proves the read
 // paths never race with the hot path.
 func TestServerConcurrentWithRecording(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
 	reg := metrics.NewRegistry()
 	var counters obs.Counters
 	live := NewLive()

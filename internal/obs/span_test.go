@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// replayTrace is a hand-written event sequence covering the full
+// hierarchy: run → phases → concurrent restarts with iterations, plus
+// a streamed pass with blocks.
+func replayTrace(b *SpanBuilder) {
+	b.Add(0.0, Event{Type: EvRunStart, Algorithm: "proclus", Points: 100, Dims: 5})
+	b.Add(0.0, Event{Type: EvPhaseStart, Phase: "initialize"})
+	b.Add(0.1, Event{Type: EvPhaseEnd, Phase: "initialize", Seconds: 0.1})
+	b.Add(0.1, Event{Type: EvPhaseStart, Phase: "iterate"})
+	b.Add(0.1, Event{Type: EvRestartStart, Restart: 1})
+	b.Add(0.1, Event{Type: EvRestartStart, Restart: 2})
+	// Interleaved iterations from the two restarts.
+	b.Add(0.3, Event{Type: EvIteration, Restart: 1, Iteration: 1, Objective: 9, Best: 9, Improved: true, Seconds: 0.2})
+	b.Add(0.4, Event{Type: EvIteration, Restart: 2, Iteration: 1, Objective: 8, Best: 8, Improved: true, Seconds: 0.3})
+	b.Add(0.5, Event{Type: EvMedoidSwap, Restart: 1, Iteration: 1, Replaced: []int{0}})
+	b.Add(0.6, Event{Type: EvIteration, Restart: 1, Iteration: 2, Objective: 10, Best: 9, Seconds: 0.1})
+	b.Add(0.7, Event{Type: EvRestartEnd, Restart: 1, Iteration: 2, Objective: 9, Seconds: 0.6})
+	b.Add(0.9, Event{Type: EvRestartEnd, Restart: 2, Iteration: 1, Objective: 8, Seconds: 0.8})
+	b.Add(0.9, Event{Type: EvPhaseEnd, Phase: "iterate", Seconds: 0.8})
+	b.Add(0.9, Event{Type: EvPhaseStart, Phase: "refine"})
+	b.Add(1.2, Event{Type: EvBlock, Phase: "assign", Block: 1, Points: 50, Seconds: 0.3})
+	b.Add(1.3, Event{Type: EvBlock, Phase: "assign", Block: 2, Points: 50, Seconds: 0.1})
+	b.Add(1.4, Event{Type: EvPhaseEnd, Phase: "refine", Seconds: 0.5})
+	b.Add(1.4, Event{Type: EvRunEnd, Objective: 8, Clusters: 3, Seconds: 1.4})
+}
+
+func TestSpanBuilderHierarchy(t *testing.T) {
+	b := NewSpanBuilder()
+	replayTrace(b)
+	root := b.Root()
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	if root.Name != "run:proclus" || root.Kind != SpanRun || root.Duration() != 1.4 {
+		t.Errorf("root = %q/%s dur %.2f", root.Name, root.Kind, root.Duration())
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d phases, want 3", len(root.Children))
+	}
+	iterate := root.Children[1]
+	if iterate.Name != "phase:iterate" || len(iterate.Children) != 2 {
+		t.Fatalf("iterate phase = %q with %d children", iterate.Name, len(iterate.Children))
+	}
+	r1 := iterate.Children[0]
+	if r1.Kind != SpanRestart || r1.Restart != 1 {
+		t.Fatalf("first restart span = %+v", r1)
+	}
+	// restart 1: two iterations + one swap mark.
+	var kinds []SpanKind
+	for _, c := range r1.Children {
+		kinds = append(kinds, c.Kind)
+	}
+	want := []SpanKind{SpanIteration, SpanMark, SpanIteration}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("restart 1 children kinds = %v, want %v", kinds, want)
+	}
+	if r1.Objective != 9 || r1.Iteration != 2 {
+		t.Errorf("restart 1 payload = %+v", r1)
+	}
+	refine := root.Children[2]
+	if len(refine.Children) != 1 || refine.Children[0].Kind != SpanPass {
+		t.Fatalf("refine children = %+v", refine.Children)
+	}
+	pass := refine.Children[0]
+	if pass.Name != "pass:assign" || len(pass.Children) != 2 {
+		t.Errorf("pass span = %q with %d blocks", pass.Name, len(pass.Children))
+	}
+	if blk := pass.Children[0]; blk.Block != 1 || blk.Points != 50 || !near(blk.Duration(), 0.3) {
+		t.Errorf("block 1 = %+v", blk)
+	}
+}
+
+func near(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestSpanCriticalPath(t *testing.T) {
+	b := NewSpanBuilder()
+	replayTrace(b)
+	path := b.CriticalPath()
+	var names []string
+	for _, s := range path {
+		names = append(names, s.Name)
+	}
+	// iterate (0.8s) dominates the phases; restart 2 (0.8s) dominates
+	// the restarts; its single iteration ends the chain.
+	want := []string{"run:proclus", "phase:iterate", "restart 2", "iteration"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("critical path = %v, want %v", names, want)
+	}
+}
+
+// TestSpanBuilderPartialTrace feeds events without run/phase framing —
+// a truncated trace — and checks the builder still produces a usable
+// tree instead of panicking or dropping data.
+func TestSpanBuilderPartialTrace(t *testing.T) {
+	b := NewSpanBuilder()
+	b.Add(0.5, Event{Type: EvIteration, Restart: 3, Iteration: 7, Objective: 2, Seconds: 0.1})
+	b.Add(0.6, Event{Type: EvStall, Reason: StallNoImprove, Restart: 3, Iteration: 7, Seconds: 5})
+	root := b.Root()
+	if root == nil || root.Kind != SpanRun {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %+v", root.Children)
+	}
+	if root.Children[0].Kind != SpanRestart || root.Children[0].Restart != 3 {
+		t.Errorf("synthesized restart = %+v", root.Children[0])
+	}
+	if root.Children[1].Kind != SpanMark || root.Children[1].Reason != StallNoImprove {
+		t.Errorf("stall mark = %+v", root.Children[1])
+	}
+	// Dangling spans must still be well-formed intervals.
+	root.Walk(func(s *Span) {
+		if s.End < s.Start {
+			t.Errorf("span %q has End %.3f < Start %.3f", s.Name, s.End, s.Start)
+		}
+	})
+}
+
+// TestSpanBuilderObserveMatchesReplay checks the live Observer path
+// builds the same tree shape as an explicit-timestamp replay.
+func TestSpanBuilderObserveMatchesReplay(t *testing.T) {
+	live := NewSpanBuilder()
+	events := []Event{
+		{Type: EvRunStart, Algorithm: "proclus", Points: 10},
+		{Type: EvPhaseStart, Phase: "iterate"},
+		{Type: EvRestartStart, Restart: 1},
+		{Type: EvIteration, Restart: 1, Iteration: 1, Objective: 3, Improved: true},
+		{Type: EvRestartEnd, Restart: 1, Iteration: 1, Objective: 3},
+		{Type: EvPhaseEnd, Phase: "iterate"},
+		{Type: EvRunEnd, Objective: 3},
+	}
+	for _, e := range events {
+		live.Observe(e)
+	}
+	replay := NewSpanBuilder()
+	for i, e := range events {
+		replay.Add(float64(i)*0.01, e)
+	}
+	var liveShape, replayShape []string
+	live.Root().Walk(func(s *Span) { liveShape = append(liveShape, string(s.Kind)+":"+s.Name) })
+	replay.Root().Walk(func(s *Span) { replayShape = append(replayShape, string(s.Kind)+":"+s.Name) })
+	if !reflect.DeepEqual(liveShape, replayShape) {
+		t.Errorf("live shape %v != replay shape %v", liveShape, replayShape)
+	}
+}

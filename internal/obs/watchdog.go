@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WatchdogOptions configures a Watchdog.
+type WatchdogOptions struct {
+	// NoImprove trips the watchdog when a restart's objective fails to
+	// improve for this many consecutive iterations. Zero disables the
+	// iteration check. To be useful it should be set below the
+	// algorithm's own MaxNoImprove termination bound, so the watchdog
+	// reacts before the climb gives up on its own.
+	NoImprove int
+	// Deadline trips the watchdog when no progress event (iteration,
+	// block, level, phase or restart boundary) arrives for this long —
+	// the signature of a wedged block scanner or a stuck worker. Zero
+	// disables the wall-clock check.
+	Deadline time.Duration
+	// Cancel is invoked exactly once, on the first trip. Wire it to a
+	// context.CancelFunc to abort the run; leave nil to only observe.
+	Cancel func()
+	// Next receives every event the watchdog sees, plus the synthesized
+	// EvStall events. May be nil.
+	Next Observer
+}
+
+// Watchdog is an Observer that watches the event stream for
+// convergence stalls: objective plateaus (NoImprove consecutive
+// non-improving iterations within one restart) and wall-clock silence
+// (no progress events for Deadline). On a stall it synthesizes a
+// structured EvStall event, forwards it downstream, and optionally
+// cancels the run through the existing context plumbing. It is a pure
+// event-stream consumer — the algorithms need no knowledge of it.
+// Safe for concurrent use.
+type Watchdog struct {
+	opts WatchdogOptions
+
+	mu      sync.Mutex
+	streak  map[int]int  // per-restart consecutive non-improving iterations
+	latched map[int]bool // restarts that already tripped the iteration check
+	stall   *Event       // first stall, nil until tripped
+	stopped bool
+	timer   *time.Timer
+}
+
+// NewWatchdog returns a watchdog forwarding to opts.Next. When a
+// deadline is configured its timer starts immediately; call Stop (or
+// let EvRunEnd arrive) to release it.
+func NewWatchdog(opts WatchdogOptions) *Watchdog {
+	w := &Watchdog{opts: opts, streak: map[int]int{}, latched: map[int]bool{}}
+	if opts.Deadline > 0 {
+		w.timer = time.AfterFunc(opts.Deadline, w.deadlineTrip)
+	}
+	return w
+}
+
+// Observe implements Observer: forward the event, update stall state,
+// and emit a synthesized EvStall when a check trips.
+func (w *Watchdog) Observe(e Event) {
+	if w.opts.Next != nil {
+		w.opts.Next.Observe(e)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return
+	}
+	// Any event is progress for the wall-clock check (stall events pass
+	// through Observe only via trip, which holds the lock, so they
+	// cannot reset the timer they originate from).
+	if w.timer != nil {
+		w.timer.Reset(w.opts.Deadline)
+	}
+	switch e.Type {
+	case EvIteration:
+		if w.opts.NoImprove <= 0 {
+			return
+		}
+		if e.Improved {
+			w.streak[e.Restart] = 0
+			return
+		}
+		w.streak[e.Restart]++
+		if w.streak[e.Restart] >= w.opts.NoImprove && !w.latched[e.Restart] {
+			w.latched[e.Restart] = true
+			w.trip(Event{
+				Type:      EvStall,
+				Algorithm: e.Algorithm,
+				Reason:    StallNoImprove,
+				Restart:   e.Restart,
+				Iteration: e.Iteration,
+				Seconds:   float64(w.streak[e.Restart]),
+			})
+		}
+	case EvRestartEnd:
+		delete(w.streak, e.Restart)
+	case EvRunEnd:
+		w.stopLocked()
+	}
+}
+
+// trip records and forwards a stall; the caller holds w.mu.
+func (w *Watchdog) trip(e Event) {
+	first := w.stall == nil
+	if first {
+		copied := e
+		w.stall = &copied
+	}
+	if w.opts.Next != nil {
+		w.opts.Next.Observe(e)
+	}
+	if first && w.opts.Cancel != nil {
+		w.opts.Cancel()
+	}
+}
+
+// deadlineTrip fires from the wall-clock timer goroutine.
+func (w *Watchdog) deadlineTrip() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return
+	}
+	w.trip(Event{
+		Type:    EvStall,
+		Reason:  StallDeadline,
+		Seconds: w.opts.Deadline.Seconds(),
+	})
+}
+
+// Stalled reports whether the watchdog tripped, and the first stall
+// event if so.
+func (w *Watchdog) Stalled() (Event, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stall == nil {
+		return Event{}, false
+	}
+	return *w.stall, true
+}
+
+// Stop releases the deadline timer and freezes the watchdog; further
+// events still forward to Next but no longer trip checks. Idempotent.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopLocked()
+}
+
+func (w *Watchdog) stopLocked() {
+	if w.stopped {
+		return
+	}
+	w.stopped = true
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"proclus/internal/obs/obstest"
+)
+
+// eventSink collects events for assertions; safe for concurrent use
+// because the watchdog's deadline timer fires from its own goroutine.
+type eventSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *eventSink) Observe(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *eventSink) stalls() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, e := range s.events {
+		if e.Type == EvStall {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (s *eventSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+func TestWatchdogNoImproveTrip(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	sink := &eventSink{}
+	cancels := 0
+	w := NewWatchdog(WatchdogOptions{
+		NoImprove: 3,
+		Cancel:    func() { cancels++ },
+		Next:      sink,
+	})
+	defer w.Stop()
+
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 1, Improved: true})
+	for i := 2; i <= 4; i++ {
+		w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: i})
+	}
+	stalls := sink.stalls()
+	if len(stalls) != 1 {
+		t.Fatalf("got %d stall events, want 1: %+v", len(stalls), stalls)
+	}
+	e := stalls[0]
+	if e.Reason != StallNoImprove || e.Restart != 1 || e.Iteration != 4 || e.Seconds != 3 {
+		t.Errorf("stall event = %+v", e)
+	}
+	if cancels != 1 {
+		t.Errorf("cancel called %d times, want 1", cancels)
+	}
+	if got, ok := w.Stalled(); !ok || got.Reason != StallNoImprove {
+		t.Errorf("Stalled() = %+v, %v", got, ok)
+	}
+	// Further non-improving iterations on the same restart must not
+	// re-trip or re-cancel.
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 5})
+	if len(sink.stalls()) != 1 || cancels != 1 {
+		t.Errorf("watchdog re-tripped: %d stalls, %d cancels", len(sink.stalls()), cancels)
+	}
+}
+
+func TestWatchdogStreakResets(t *testing.T) {
+	sink := &eventSink{}
+	w := NewWatchdog(WatchdogOptions{NoImprove: 3, Next: sink})
+	defer w.Stop()
+	// Two non-improving, an improvement, two more: never three in a row.
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 1})
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 2})
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 3, Improved: true})
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 4})
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 5})
+	if len(sink.stalls()) != 0 {
+		t.Errorf("watchdog tripped through an improvement: %+v", sink.stalls())
+	}
+	// Streaks are tracked per restart, not globally.
+	w.Observe(Event{Type: EvIteration, Restart: 2, Iteration: 1})
+	if len(sink.stalls()) != 0 {
+		t.Errorf("restart streaks bled together: %+v", sink.stalls())
+	}
+	if _, ok := w.Stalled(); ok {
+		t.Error("Stalled() true without a trip")
+	}
+}
+
+func TestWatchdogDeadlineTrip(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	sink := &eventSink{}
+	cancelled := make(chan struct{})
+	w := NewWatchdog(WatchdogOptions{
+		Deadline: 30 * time.Millisecond,
+		Cancel:   func() { close(cancelled) },
+		Next:     sink,
+	})
+	defer w.Stop()
+
+	// Progress events keep resetting the deadline.
+	for i := 0; i < 3; i++ {
+		time.Sleep(15 * time.Millisecond)
+		w.Observe(Event{Type: EvBlock, Phase: "assign", Block: i + 1})
+	}
+	select {
+	case <-cancelled:
+		t.Fatal("deadline tripped despite progress")
+	default:
+	}
+
+	// Then silence trips it.
+	select {
+	case <-cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline never tripped")
+	}
+	stalls := sink.stalls()
+	if len(stalls) != 1 || stalls[0].Reason != StallDeadline {
+		t.Fatalf("stall events = %+v", stalls)
+	}
+	if stalls[0].Seconds != 0.03 {
+		t.Errorf("stall Seconds = %v, want the 0.03s deadline", stalls[0].Seconds)
+	}
+}
+
+func TestWatchdogRunEndStopsDeadline(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	sink := &eventSink{}
+	w := NewWatchdog(WatchdogOptions{Deadline: 20 * time.Millisecond, Next: sink})
+	w.Observe(Event{Type: EvRunEnd})
+	time.Sleep(60 * time.Millisecond)
+	if len(sink.stalls()) != 0 {
+		t.Errorf("deadline fired after run end: %+v", sink.stalls())
+	}
+}
+
+func TestWatchdogPassthrough(t *testing.T) {
+	sink := &eventSink{}
+	w := NewWatchdog(WatchdogOptions{NoImprove: 100, Next: sink})
+	defer w.Stop()
+	events := []Event{
+		{Type: EvRunStart, Points: 10},
+		{Type: EvIteration, Restart: 1, Iteration: 1, Improved: true},
+		{Type: EvRunEnd},
+	}
+	for _, e := range events {
+		w.Observe(e)
+	}
+	if sink.count() != len(events) {
+		t.Errorf("forwarded %d events, want %d", sink.count(), len(events))
+	}
+	// A watchdog with a nil Next must not panic.
+	w2 := NewWatchdog(WatchdogOptions{NoImprove: 1})
+	defer w2.Stop()
+	w2.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 1})
+	if _, ok := w2.Stalled(); !ok {
+		t.Error("nil-Next watchdog did not record its trip")
+	}
+}
+
+func TestWatchdogStopIdempotent(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{Deadline: time.Hour})
+	w.Stop()
+	w.Stop()
+	// After Stop, checks are frozen.
+	w.Observe(Event{Type: EvIteration, Restart: 1, Iteration: 1})
+	if _, ok := w.Stalled(); ok {
+		t.Error("stopped watchdog tripped")
+	}
+}

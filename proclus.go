@@ -34,6 +34,7 @@ import (
 	"proclus/internal/medoid"
 	"proclus/internal/obs"
 	"proclus/internal/obs/metrics"
+	"proclus/internal/obs/series"
 	"proclus/internal/orclus"
 	"proclus/internal/synth"
 )
@@ -126,6 +127,84 @@ func NewChromeTracer(w io.Writer) *ChromeTracer { return obs.NewChromeTracer(w) 
 // NewMetricsRegistry returns an empty metric registry to attach via
 // Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// SeriesStore records convergence time series — per-iteration objective
+// trajectories and per-block latencies — when attached via
+// Config.Series (or CliqueConfig.Series). Nil disables recording;
+// attaching a store does not change the clustering result by a single
+// bit.
+type SeriesStore = series.Store
+
+// SeriesStoreSnapshot is a deterministic (name-then-label sorted) copy
+// of a store's series, as embedded in Stats.Series and
+// RunReport.Series.
+type SeriesStoreSnapshot = series.StoreSnapshot
+
+// SeriesSnapshot is one series inside a SeriesStoreSnapshot: its ring
+// of retained points plus the total ever appended.
+type SeriesSnapshot = series.SeriesSnapshot
+
+// SeriesPoint is one (x, value) sample of a series.
+type SeriesPoint = series.Point
+
+// NewSeriesStore returns an empty series store retaining up to
+// capacity points per series (0 = default).
+func NewSeriesStore(capacity int) *SeriesStore { return series.NewStore(capacity) }
+
+// Series names the PROCLUS engines record into an attached
+// SeriesStore. Per-iteration series carry a restart="N" label and use
+// the iteration number as X; per-block series carry a pass="name"
+// label and use the 1-based block index as X.
+const (
+	SeriesIterObjective     = core.SeriesIterObjective
+	SeriesIterBest          = core.SeriesIterBest
+	SeriesIterAccepted      = core.SeriesIterAccepted
+	SeriesIterBadMedoids    = core.SeriesIterBadMedoids
+	SeriesIterCacheHitRate  = core.SeriesIterCacheHitRate
+	SeriesBlockSeconds      = core.SeriesBlockSeconds
+	SeriesBlockPointsPerSec = core.SeriesBlockPointsPerSec
+)
+
+// Series names the CLIQUE search records: per-lattice-level and (for
+// streamed runs) per-block telemetry.
+const (
+	CliqueSeriesLevelSeconds    = clique.SeriesLevelSeconds
+	CliqueSeriesLevelCandidates = clique.SeriesLevelCandidates
+	CliqueSeriesLevelDense      = clique.SeriesLevelDense
+	CliqueSeriesBlockSeconds    = clique.SeriesBlockSeconds
+)
+
+// SeriesLabel builds one name=value label for SeriesStore.Series and
+// SeriesStoreSnapshot.Find (e.g. SeriesLabel("restart", "1")).
+func SeriesLabel(name, value string) metrics.Label { return metrics.L(name, value) }
+
+// Span is one node of a reconstructed run timeline: the run, a phase,
+// a restart, or a leaf iteration/level/pass/block.
+type Span = obs.Span
+
+// SpanBuilder is an Observer reconstructing the event stream into a
+// hierarchical span tree with critical-path extraction; it can also
+// replay a recorded trace via Add.
+type SpanBuilder = obs.SpanBuilder
+
+// NewSpanBuilder returns an empty span builder to attach via
+// Config.Observer (or feed recorded events through Add).
+func NewSpanBuilder() *SpanBuilder { return obs.NewSpanBuilder() }
+
+// Watchdog is an Observer that detects stalled runs — a configurable
+// non-improving iteration streak or a wall-clock silence deadline —
+// emits a structured stall event, and optionally cancels the run.
+type Watchdog = obs.Watchdog
+
+// WatchdogOptions configures a Watchdog: the non-improve streak
+// threshold, the progress deadline, the cancel hook, and the next
+// Observer in the chain.
+type WatchdogOptions = obs.WatchdogOptions
+
+// NewWatchdog returns a watchdog to attach via Config.Observer; wire
+// its Cancel option to a context.CancelFunc passed to RunContext or
+// RunStream to abort stalled runs. Call Stop when done.
+func NewWatchdog(opts WatchdogOptions) *Watchdog { return obs.NewWatchdog(opts) }
 
 // StartProfiles begins a CPU profile (cpuPath non-empty) and returns a
 // stop function that finishes it and writes a heap profile (memPath

@@ -181,3 +181,56 @@ func TestPublicAPIStreaming(t *testing.T) {
 		t.Fatalf("streamed CLIQUE found %d clusters, in-memory %d", len(cres.Clusters), len(mres.Clusters))
 	}
 }
+
+func TestPublicAPITelemetry(t *testing.T) {
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 2000, Dims: 10, K: 3, FixedDims: 3, MinSizeFraction: 0.15, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := proclus.NewSeriesStore(0)
+	spans := proclus.NewSpanBuilder()
+	dog := proclus.NewWatchdog(proclus.WatchdogOptions{NoImprove: 500, Next: spans})
+	defer dog.Stop()
+	res, err := proclus.Run(ds, proclus.Config{
+		K: 3, L: 3, Seed: 7, Series: store, Observer: dog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dog.Stalled(); ok {
+		t.Fatal("watchdog tripped on a healthy run")
+	}
+	snap := store.Snapshot()
+	obj := snap.Find(proclus.SeriesIterObjective, proclus.SeriesLabel("restart", "1"))
+	if obj == nil || len(obj.Points) == 0 {
+		t.Fatal("no objective trajectory recorded")
+	}
+	if res.Stats.Series.Find(proclus.SeriesIterBest, proclus.SeriesLabel("restart", "1")) == nil {
+		t.Fatal("result carries no series snapshot")
+	}
+	root := spans.Root()
+	if root == nil || root.Name != "run:proclus" {
+		t.Fatalf("span root = %+v", root)
+	}
+	path := spans.CriticalPath()
+	if len(path) < 2 {
+		t.Fatalf("critical path too shallow: %d spans", len(path))
+	}
+
+	// A hair-trigger watchdog wired to the run context aborts cleanly.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trip := proclus.NewWatchdog(proclus.WatchdogOptions{NoImprove: 1, Cancel: cancel})
+	defer trip.Stop()
+	if _, err := proclus.RunContext(ctx, ds, proclus.Config{
+		K: 3, L: 3, Seed: 7, Observer: trip,
+	}); err == nil {
+		t.Fatal("stalled run finished without error")
+	}
+	if _, ok := trip.Stalled(); !ok {
+		t.Fatal("watchdog cancelled without recording the stall")
+	}
+}
