@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden quality-gate staticcheck
 
-check: vet build test-race fuzz-smoke lens-golden
+check: vet build test-race fuzz-smoke lens-golden quality-gate
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
 # race-enabled tests, coverage, the benchmark smoke run, the telemetry
-# diff against the committed baseline, and the runlens golden diff.
-ci: fmt-check vet build test-race cover bench-smoke bench-check lens-golden
+# diff against the committed baseline, the sketch quality gate, and the
+# runlens golden diff.
+ci: fmt-check vet staticcheck build test-race cover bench-smoke bench-check quality-gate lens-golden
 
 .PHONY: fmt-check
 fmt-check:
@@ -23,6 +24,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (CI installs a pinned version); skip
+# with a notice rather than fail when the binary is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -48,6 +58,15 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run xxx -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run xxx -fuzz '^FuzzBlockScanner$$' -fuzztime $(FUZZTIME) ./internal/dataset/
+	$(GO) test -run xxx -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME) ./internal/sketch/
+
+# quality-gate runs the sketch tier's accuracy suite: the exact engine
+# and the Approx engine are scored with ARI/NMI against the §4
+# generator's ground truth, with absolute floors on both engines and a
+# relative cap on how far Approx may trail exact. A failure means a
+# change degraded clustering quality, not just performance.
+quality-gate:
+	$(GO) test -count=1 -run '^TestSketchQualityGate$$' -v ./internal/core/
 
 # One iteration per benchmark: proves the benchmarks still compile and
 # run without spending minutes on stable timings (the CI smoke job).
@@ -70,11 +89,14 @@ bench-allocs:
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkAssign' -count 5 ./internal/core/
 
-# Pinned small configuration for benchmark telemetry: one experiment,
+# Pinned small configuration for benchmark telemetry: two experiments,
 # reduced N, fixed seed. The work counters (distance evaluations,
-# points scanned) are bit-for-bit reproducible for this configuration
-# on any machine; only the wall times vary with hardware.
-BENCH_CONFIG   = -experiment table1 -n 3000 -seed 3
+# points scanned, sketch bound evaluations and prune hits/misses) are
+# bit-for-bit reproducible for this configuration on any machine; only
+# the wall times vary with hardware. The wide experiment pins the
+# sketch tier's pruned distance-evaluation count, so a change that
+# silently erodes the pruning win fails the baseline diff.
+BENCH_CONFIG   = -experiment table1,wide -n 3000 -seed 3
 BENCH_BASELINE = bench/baseline.json
 
 # bench-record captures a timestamped telemetry file under bench/

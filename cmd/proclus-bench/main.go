@@ -8,8 +8,9 @@
 //	proclus-bench -experiment all          # reduced scale, minutes
 //	proclus-bench -experiment table3
 //	proclus-bench -experiment fig7 -full   # paper-scale sizes (slow)
-//	proclus-bench -experiment table1 -n 5000
+//	proclus-bench -experiment table1,wide -n 5000
 //	proclus-bench -experiment table1 -bench-json bench/
+//	proclus-bench -experiment wide -sketch-dims 16
 //	proclus-bench -experiment all -progress -metrics-addr 127.0.0.1:9187
 package main
 
@@ -22,10 +23,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"proclus/internal/benchcmp"
+	"proclus/internal/core"
 	"proclus/internal/experiments"
 	"proclus/internal/obs/cliflags"
 	"proclus/internal/obs/metrics"
@@ -42,7 +45,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("proclus-bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp        = fs.String("experiment", "all", "one of table1..table5, fig7..fig9, lsweep, oriented, or all")
+		exp        = fs.String("experiment", "all", "comma-separated subset of table1..table5, fig7..fig9, lsweep, oriented, wide, or all")
 		full       = fs.Bool("full", false, "paper-scale workloads (N = 100k+; CLIQUE runs take minutes to hours)")
 		override   = fs.Int("n", 0, "override the workload size (0 = scale defaults)")
 		csvDir     = fs.String("csvdir", "", "also write each experiment's data as <csvdir>/<id>.csv")
@@ -52,12 +55,21 @@ func run(args []string, out io.Writer) (retErr error) {
 		benchJSON  = fs.String("bench-json", "", "write schema-versioned benchmark telemetry to this path (a directory gets BENCH_<timestamp>.json); diff two captures with benchcmp")
 		stream     = fs.Bool("stream", false, "run the accuracy tables and fig7 out of core: inputs spill to temporary binary files and the streamed engines cluster them in bounded memory")
 		blockPts   = fs.Int("block-points", 0, "points per streamed block (0 = default); only with -stream")
+		sketchDims = fs.Int("sketch-dims", 0, "enable the random-projection sketch tier at this sketch dimensionality on the accuracy tables (0 = off; the wide experiment always sketches)")
+		sketchMode = fs.String("sketch-mode", "prune", "sketch tier mode: prune (bit-identical output) or approx")
 	)
 	// -report here keeps its historical timing-array semantics, so the
 	// shared flag set skips its own -report.
 	obsFlags := cliflags.Register(fs, cliflags.WithoutReport())
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	mode, err := core.ParseSketchMode(*sketchMode)
+	if err != nil {
+		return err
+	}
+	if *stream && *sketchDims > 0 {
+		return fmt.Errorf("-sketch-dims is incompatible with -stream: the sketch tier projects the in-memory point matrix, which streamed runs never hold")
 	}
 	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
@@ -108,6 +120,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	caseParams := experiments.CaseParams{
 		N: caseN, Seed: *seed, Workers: *workers, Observer: sess.Observer,
 		Stream: *stream, BlockPoints: *blockPts,
+		SketchDims: *sketchDims, SketchMode: mode,
 	}
 
 	runners := []runner{
@@ -200,17 +213,35 @@ func run(args []string, out io.Writer) (retErr error) {
 			d, r, err := experiments.Oriented(p)
 			return r, d, err
 		}},
+		{"wide", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
+			p := experiments.WideParams{
+				N: figN, SketchDims: *sketchDims, Seed: *seed, Workers: *workers,
+				Metrics: reg, Observer: sess.Observer,
+			}
+			d, r, err := experiments.Wide(p)
+			return r, d, err
+		}},
 	}
 
+	// -experiment accepts a comma-separated subset so one invocation
+	// (and one telemetry capture) can cover several experiments without
+	// paying for all of them.
 	want := strings.ToLower(*exp)
-	matched := false
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(want, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			wanted[name] = true
+		}
+	}
+	all := wanted["all"]
+	delete(wanted, "all")
 	var records []benchRecord
 	var benchRecords []benchcmp.Record
 	for _, r := range runners {
-		if want != "all" && want != r.id {
+		if !all && !wanted[r.id] {
 			continue
 		}
-		matched = true
+		delete(wanted, r.id)
 		// A live monitoring server watches one shared registry across the
 		// whole invocation; otherwise each experiment gets a fresh one so
 		// histograms never blur across telemetry records.
@@ -252,8 +283,16 @@ func run(args []string, out io.Writer) (retErr error) {
 			return fmt.Errorf("%s: exporting CSV: %w", r.id, err)
 		}
 	}
-	if !matched {
-		return fmt.Errorf("unknown experiment %q", *exp)
+	if len(wanted) > 0 {
+		unknown := make([]string, 0, len(wanted))
+		for name := range wanted {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown experiment(s): %s", strings.Join(unknown, ", "))
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no experiments selected by -experiment %q", *exp)
 	}
 	if *reportPath != "" {
 		if err := writeBenchReport(*reportPath, records); err != nil {

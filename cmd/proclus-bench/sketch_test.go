@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWideSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "wide", "-n", "2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"wide", "prune", "approx", "bit-identical", "completed in"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunExperimentList exercises the comma-separated -experiment
+// spelling: both named experiments run, in registration order.
+func TestRunExperimentList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table1,wide", "-n", "2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	t1 := strings.Index(got, "== table1")
+	w := strings.Index(got, "== wide")
+	if t1 < 0 || w < 0 || w < t1 {
+		t.Fatalf("expected table1 then wide in output:\n%s", got)
+	}
+}
+
+func TestRunExperimentListUnknownName(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "table1,tablex", "-n", "2000"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "tablex") {
+		t.Fatalf("unknown name in list: err = %v, want it named", err)
+	}
+}
+
+// TestRunSketchedTable threads -sketch-dims through the accuracy
+// tables; prune mode must leave the rendered table untouched.
+func TestRunSketchedTable(t *testing.T) {
+	stripTiming := func(s string) string {
+		var out []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "(") { // timing lines embed wall clock
+				continue
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	var plain, pruned strings.Builder
+	if err := run([]string{"-experiment", "table1", "-n", "2000"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-experiment", "table1", "-n", "2000", "-sketch-dims", "8"}, &pruned); err != nil {
+		t.Fatal(err)
+	}
+	if stripTiming(plain.String()) != stripTiming(pruned.String()) {
+		t.Errorf("sketch pruning changed table1:\n--- plain ---\n%s\n--- pruned ---\n%s",
+			plain.String(), pruned.String())
+	}
+}
+
+func TestRunSketchFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "table1", "-n", "2000", "-stream", "-sketch-dims", "8"},
+		{"-experiment", "table1", "-n", "2000", "-sketch-mode", "nope"},
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d: %v accepted", i, args)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSketchPruneIdenticalOutput pins the sketch tier's CLI
+// contract: -sketch-dims in the default prune mode changes nothing in
+// the rendered clustering.
+func TestRunSketchPruneIdenticalOutput(t *testing.T) {
+	path := writeWorkload(t)
+	var plain, pruned strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-k", "2", "-l", "3", "-sketch-dims", "4"}, &pruned); err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		lines := strings.Split(s, "\n")
+		out := lines[:0]
+		for _, l := range lines {
+			if strings.HasPrefix(l, "PROCLUS:") {
+				l = l[:strings.LastIndex(l, "—")]
+			}
+			out = append(out, l)
+		}
+		return strings.Join(out, "\n")
+	}
+	if stripTiming(plain.String()) != stripTiming(pruned.String()) {
+		t.Errorf("sketch pruning changed output:\n--- plain ---\n%s\n--- pruned ---\n%s",
+			plain.String(), pruned.String())
+	}
+}
+
+func TestRunSketchApprox(t *testing.T) {
+	path := writeWorkload(t)
+	var sb strings.Builder
+	err := run([]string{"-in", path, "-k", "2", "-l", "3",
+		"-sketch-dims", "4", "-sketch-mode", "approx"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PROCLUS:") {
+		t.Fatalf("output missing header:\n%s", sb.String())
+	}
+}
+
+func TestRunSketchFlagErrors(t *testing.T) {
+	path := writeWorkload(t)
+	cases := [][]string{
+		{"-in", path, "-k", "2", "-l", "3", "-stream", "-sketch-dims", "4"},
+		{"-in", path, "-k", "2", "-l", "3", "-sketch-mode", "nope"},
+		{"-in", path, "-k", "2", "-l", "3", "-sketch-dims", "99"}, // ≥ dims
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d: %v accepted", i, args)
+		}
+	}
+}

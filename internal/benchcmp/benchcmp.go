@@ -133,11 +133,13 @@ type Options struct {
 	// be integer factors.
 	TimeThreshold float64
 	// WorkThreshold is the relative tolerance for the deterministic work
-	// counters. Default 0.02: counters reproduce exactly for a fixed
+	// counters. Default 0.01: counters reproduce exactly for a fixed
 	// seed, so any drift means the algorithm changed; the slack only
 	// absorbs intentional small reworks. (It was 0.1 before the
 	// incremental-evaluation engine made the counter pipeline
-	// worker-count exact end to end.)
+	// worker-count exact end to end, then 0.02 until the sketch tier
+	// put the pruned distance-evaluation count under baseline guard —
+	// a 2% drift there would silently erase most of the pruning win.)
 	WorkThreshold float64
 	// MinSeconds is the noise floor for time metrics: when both sides
 	// measure below it, the pair is skipped (a 3 ms phase doubling to
@@ -150,7 +152,7 @@ func (o Options) withDefaults() Options {
 		o.TimeThreshold = 0.5
 	}
 	if o.WorkThreshold == 0 {
-		o.WorkThreshold = 0.02
+		o.WorkThreshold = 0.01
 	}
 	if o.MinSeconds == 0 {
 		o.MinSeconds = 0.01
@@ -294,6 +296,12 @@ func compareRecord(rep *Report, base, cand Record, opts Options) {
 		float64(base.Counters.DistCacheHits), float64(cand.Counters.DistCacheHits), opts.WorkThreshold)
 	classify("counters/distcache_recomputes", "work",
 		float64(base.Counters.DistCacheRecomputes), float64(cand.Counters.DistCacheRecomputes), opts.WorkThreshold)
+	classify("counters/sketch_evals", "work",
+		float64(base.Counters.SketchEvals), float64(cand.Counters.SketchEvals), opts.WorkThreshold)
+	classify("counters/sketch_prune_hits", "work",
+		float64(base.Counters.SketchPruneHits), float64(cand.Counters.SketchPruneHits), opts.WorkThreshold)
+	classify("counters/sketch_prune_misses", "work",
+		float64(base.Counters.SketchPruneMisses), float64(cand.Counters.SketchPruneMisses), opts.WorkThreshold)
 }
 
 func sortedKeys(maps ...map[string]float64) []string {

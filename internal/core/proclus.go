@@ -72,6 +72,9 @@ type runner struct {
 	// series records per-iteration and per-block trajectories; nil —
 	// the default, recording is opt-in via Config.Series — disables it.
 	series *runnerSeries
+	// sk is the random-projection sketch state; nil — the default, the
+	// tier is opt-in via Config.Sketch — leaves every pass exact.
+	sk *sketchState
 }
 
 // emit forwards an event to the attached observer. The nil check is
@@ -111,6 +114,11 @@ func (r *runner) run() (*Result, error) {
 	r.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "initialize"})
 	start := time.Now()
 	r.innerWorkers = workers
+	// The projection of the full dataset is part of initialization work,
+	// so it runs inside the phase timer.
+	if err := r.enableSketch(); err != nil {
+		return nil, err
+	}
 	candidates, err := r.initialize()
 	if err != nil {
 		return nil, err
@@ -272,10 +280,27 @@ func (r *runner) initialize() ([]int, error) {
 		medoidCount = len(s)
 	}
 	// The traversal batches its own evaluation accounting per chunk, so
-	// the distance closure stays free of per-call atomics.
-	picks, err := greedy.FarthestFirstCounted(r.rng, len(s), medoidCount, r.innerWorkers, func(i, j int) float64 {
+	// the distance closures stay free of per-call atomics.
+	exact := func(i, j int) float64 {
 		return dist.SegmentalAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
-	}, &r.counters.DistanceEvals)
+	}
+	var picks []int
+	switch {
+	case r.sk == nil:
+		picks, err = greedy.FarthestFirstCounted(r.rng, len(s), medoidCount, r.innerWorkers,
+			exact, &r.counters.DistanceEvals)
+	case r.sk.approx:
+		// Approx mode: the sketch distance stands in for the exact metric
+		// outright, so every traversal evaluation is a sketch evaluation.
+		picks, err = greedy.FarthestFirstCounted(r.rng, len(s), medoidCount, r.innerWorkers,
+			func(i, j int) float64 { return r.sk.distance(s[i], s[j]) }, &r.counters.SketchEvals)
+	default:
+		// Prune mode: the sketch lower bound filters the distance folds,
+		// and survivors are re-checked exactly — the picks stay
+		// bit-identical to the unsketched traversal.
+		picks, err = greedy.FarthestFirstPruned(r.rng, len(s), medoidCount, r.innerWorkers,
+			exact, func(i, j int) float64 { return r.sk.lowerBound(s[i], s[j]) }, &r.counters)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("proclus: greedy medoid selection: %w", err)
 	}
@@ -406,7 +431,10 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 	delta := make([]float64, k)
 	// Each δ_i is an independent minimum over the other medoids, so the
 	// rows parallelize with disjoint writes and worker-count-independent
-	// results.
+	// results. Approx mode swaps the sketch distance in for the radii as
+	// well as the scan; prune mode keeps the radii exact — the filter
+	// below only works against exact thresholds.
+	approx := r.sk != nil && r.sk.approx
 	parallel.For(k, r.innerWorkers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			delta[i] = math.Inf(1)
@@ -414,14 +442,23 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 				if i == j {
 					continue
 				}
-				d := dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]))
+				var d float64
+				if approx {
+					d = r.sk.distance(medoids[i], medoids[j])
+				} else {
+					d = dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]))
+				}
 				if d < delta[i] {
 					delta[i] = d
 				}
 			}
 		}
 	})
-	r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
+	if approx {
+		r.counters.SketchEvals.Add(int64(k) * int64(k-1))
+	} else {
+		r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
+	}
 	// Sharded scan: each worker fills per-chunk lists, concatenated in
 	// chunk order afterwards so the result is identical to a serial
 	// scan. Strict inequality keeps the nearest other medoid (at
@@ -441,17 +478,55 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 	var chunks []chunk
 	parallel.For(n, r.innerWorkers, func(lo, hi int) {
 		lists := make([][]int, k)
-		for p := lo; p < hi; p++ {
-			pt := r.ds.Point(p)
-			for i := range medoidPoints {
-				if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
-					lists[i] = append(lists[i], p)
+		switch {
+		case r.sk == nil:
+			for p := lo; p < hi; p++ {
+				pt := r.ds.Point(p)
+				for i := range medoidPoints {
+					if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
+						lists[i] = append(lists[i], p)
+					}
 				}
 			}
+			// One batched add per chunk keeps the counters off the inner
+			// loop; the totals are exact and independent of Workers.
+			r.counters.DistanceEvals.Add(int64(hi-lo) * int64(k))
+		case approx:
+			for p := lo; p < hi; p++ {
+				for i, m := range medoids {
+					if r.sk.distance(p, m) < delta[i] {
+						lists[i] = append(lists[i], p)
+					}
+				}
+			}
+			r.counters.SketchEvals.Add(int64(hi-lo) * int64(k))
+		default:
+			// Prune mode: when the lower bound already reaches δ_i the
+			// exact distance cannot fall strictly below it, so the point is
+			// outside the locality without an exact evaluation. Survivors
+			// re-check exactly, so the lists stay bit-identical to the
+			// unsketched scan. The per-point outcomes depend on values
+			// only, never on chunking, so the batched totals are
+			// worker-count invariant.
+			var hits, misses int64
+			for p := lo; p < hi; p++ {
+				pt := r.ds.Point(p)
+				for i, m := range medoids {
+					if r.sk.lowerBound(p, m) >= delta[i] {
+						hits++
+						continue
+					}
+					misses++
+					if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
+						lists[i] = append(lists[i], p)
+					}
+				}
+			}
+			r.counters.SketchEvals.Add(int64(hi-lo) * int64(k))
+			r.counters.SketchPruneHits.Add(hits)
+			r.counters.SketchPruneMisses.Add(misses)
+			r.counters.DistanceEvals.Add(misses)
 		}
-		// One batched add per chunk keeps the counters off the inner
-		// loop; the totals are exact and independent of Workers.
-		r.counters.DistanceEvals.Add(int64(hi-lo) * int64(k))
 		r.counters.PointsScanned.Add(int64(hi - lo))
 		mu.Lock()
 		chunks = append(chunks, chunk{lo: lo, lists: lists})

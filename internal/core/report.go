@@ -26,11 +26,16 @@ type ConfigReport struct {
 	// from reports) for in-memory runs.
 	Stream      bool `json:"stream,omitempty"`
 	BlockPoints int  `json:"block_points,omitempty"`
+	// SketchDims and SketchMode echo the random-projection tier; both
+	// stay absent while the tier is off, keeping unsketched reports
+	// byte-stable.
+	SketchDims int    `json:"sketch_dims,omitempty"`
+	SketchMode string `json:"sketch_mode,omitempty"`
 }
 
 // reportConfig builds the JSON-safe echo of cfg.
 func (cfg Config) reportConfig() ConfigReport {
-	return ConfigReport{
+	rep := ConfigReport{
 		K:              cfg.K,
 		L:              cfg.L,
 		SampleFactor:   cfg.SampleFactor,
@@ -46,6 +51,11 @@ func (cfg Config) reportConfig() ConfigReport {
 		EvalMode:       cfg.IncrementalEval.String(),
 		SkipRefinement: cfg.SkipRefinement,
 	}
+	if cfg.Sketch.enabled() {
+		rep.SketchDims = cfg.Sketch.Dims
+		rep.SketchMode = cfg.Sketch.Mode.String()
+	}
+	return rep
 }
 
 // Report assembles the machine-readable run report: effective config

@@ -1,0 +1,67 @@
+package core
+
+// Random-projection sketch tier (ROADMAP item 2, after Kerber–
+// Raghvendra arXiv 1407.2063 and sDBSCAN arXiv 2402.15679). The
+// full-dimensional distance sites of the hot loop — the greedy
+// farthest-first folds and the per-trial locality scans — first
+// evaluate a d'-dimensional sketch distance that provably lower-bounds
+// the exact Manhattan segmental distance (see package sketch). In the
+// default SketchPrune mode a candidate is rejected outright when the
+// bound reaches the comparison threshold and re-checked exactly
+// otherwise, so the output is bit-identical to an unsketched run; in
+// SketchApprox mode the sketch distance replaces the exact metric at
+// those sites and the re-check is skipped. The assignment, objective
+// and refinement passes always use exact coordinates: their metric is
+// the segmental distance over each medoid's own dimension subset,
+// which a full-space sketch cannot bound.
+
+import (
+	"fmt"
+
+	"proclus/internal/sketch"
+)
+
+// sketchState is one run's projection: the transform and the projected
+// rows of every dataset point. Immutable after construction, shared by
+// all restarts.
+type sketchState struct {
+	t    *sketch.Transform
+	rows *sketch.Matrix
+	// approx is true in SketchApprox mode: sketch distances stand in
+	// for exact ones with no re-check.
+	approx bool
+}
+
+// enableSketch builds the run's sketch state from the validated config:
+// the transform comes from a private sub-stream of cfg.Seed (consuming
+// nothing from r.rng — prune-mode runs must stay bit-identical to
+// unsketched ones), and all of r.ds projects once, sharded over the
+// run's worker budget. Call after r.ds and r.innerWorkers are set.
+func (r *runner) enableSketch() error {
+	if !r.cfg.Sketch.enabled() {
+		return nil
+	}
+	t, err := sketch.NewSeeded(r.ds.Dims(), r.cfg.Sketch.Dims, r.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("proclus: sketch tier: %w", err)
+	}
+	r.sk = &sketchState{
+		t:      t,
+		rows:   t.ProjectAll(r.ds.Len(), r.ds.Point, r.innerWorkers),
+		approx: r.cfg.Sketch.Mode == SketchApprox,
+	}
+	r.metrics.enableSketch()
+	return nil
+}
+
+// lowerBound returns the sketch lower bound on the exact SegmentalAll
+// distance between dataset points i and j.
+func (s *sketchState) lowerBound(i, j int) float64 {
+	return s.t.LowerBound(s.rows.Row(i), s.rows.Row(j))
+}
+
+// distance returns the sketch-space segmental distance between dataset
+// points i and j (the Approx-mode metric).
+func (s *sketchState) distance(i, j int) float64 {
+	return s.t.Distance(s.rows.Row(i), s.rows.Row(j))
+}

@@ -1,0 +1,313 @@
+package core
+
+// Sketch-tier tests: the metamorphic equivalence suite pinning
+// prune-mode bit-identity across worker counts, sketch widths and both
+// evaluation engines; the Approx-mode quality gate (ARI/NMI against
+// the exact engine, enforced in CI); and the work-reduction guarantee
+// on wide data.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"proclus/internal/dataset"
+	"proclus/internal/eval"
+	"proclus/internal/synth"
+)
+
+// wideData generates the sketch tier's target regime with the paper's
+// §4 generator: wide (d = 64), signal-dense data — most dimensions
+// carry cluster structure, so intra-cluster distances sit well below
+// inter-cluster ones. That contrast is what makes a pooled L1 lower
+// bound (which shrinks distances by ~√(d'/d) on evenly-spread
+// difference vectors) reach real pruning thresholds; on noise-dominated
+// data every full-dimensional distance concentrates around the same
+// value and no valid bound can separate them (which is the paper's own
+// argument for why full-space distances are uninformative there).
+func wideData(t *testing.T) (*dataset.Dataset, []int) {
+	t.Helper()
+	ds, _, err := synth.Generate(synth.Config{
+		N: 3000, Dims: 64, K: 5, FixedDims: 48, MinSizeFraction: 0.1, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, eval.LabelsFromDataset(ds)
+}
+
+func assertSameRun(t *testing.T, a, b *Result, context string) {
+	t.Helper()
+	assertSameClustering(t, a, b, context)
+	if a.Objective != b.Objective {
+		t.Fatalf("%s: objectives differ bitwise: %v vs %v", context, a.Objective, b.Objective)
+	}
+	if a.Iterations != b.Iterations {
+		t.Fatalf("%s: iteration counts differ: %d vs %d", context, a.Iterations, b.Iterations)
+	}
+	for ci := range a.Clusters {
+		if a.Clusters[ci].Medoid != b.Clusters[ci].Medoid {
+			t.Fatalf("%s: cluster %d medoid differs: %d vs %d",
+				context, ci, a.Clusters[ci].Medoid, b.Clusters[ci].Medoid)
+		}
+	}
+	if len(a.Stats.ObjectiveTrace) != len(b.Stats.ObjectiveTrace) {
+		t.Fatalf("%s: objective trace lengths differ", context)
+	}
+	for i := range a.Stats.ObjectiveTrace {
+		if a.Stats.ObjectiveTrace[i] != b.Stats.ObjectiveTrace[i] {
+			t.Fatalf("%s: objective trace differs at trial %d", context, i)
+		}
+	}
+}
+
+// TestSketchPruneBitIdentical is the tier's central contract: default
+// (prune) mode must reproduce the unsketched run bit for bit — same
+// assignments, dimension sets, medoids, objective and trial trace —
+// for every sketch width, worker count and evaluation engine.
+func TestSketchPruneBitIdentical(t *testing.T) {
+	ds, _ := wideData(t)
+	base := Config{K: 5, L: 5, Seed: 17, Restarts: 2}
+	for _, mode := range []EvalMode{EvalIncremental, EvalNaive} {
+		cfg := base
+		cfg.IncrementalEval = mode
+		cfg.Workers = 1
+		exact, err := Run(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sketchDims := range []int{8, 16} {
+			for _, workers := range []int{1, 4} {
+				scfg := base
+				scfg.IncrementalEval = mode
+				scfg.Workers = workers
+				scfg.Sketch = SketchConfig{Dims: sketchDims, Mode: SketchPrune}
+				pruned, err := Run(ds, scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := fmt.Sprintf("eval=%v sketch-dims=%d workers=%d", mode, sketchDims, workers)
+				assertSameRun(t, exact, pruned, ctx)
+				c := pruned.Stats.Counters
+				if c.SketchEvals == 0 {
+					t.Fatalf("%s: sketch tier on but no projected evaluations recorded", ctx)
+				}
+				if c.SketchPruneHits == 0 {
+					t.Fatalf("%s: sketch filter never pruned anything on wide data", ctx)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchPruneReducesDistanceEvals pins the tier's raison d'être:
+// on wide data the pruned run must perform strictly fewer exact
+// full-dimensional evaluations than the unsketched run, while its
+// output is bit-identical (covered above).
+func TestSketchPruneReducesDistanceEvals(t *testing.T) {
+	ds, _ := wideData(t)
+	cfg := Config{K: 5, L: 5, Seed: 17, Restarts: 2, Workers: 1}
+	exact, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sketch = SketchConfig{Dims: 16}
+	pruned, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee := exact.Stats.Counters.DistanceEvals
+	pe := pruned.Stats.Counters.DistanceEvals
+	if pe >= ee {
+		t.Fatalf("pruned run evaluated %d exact distances, unsketched %d — no reduction", pe, ee)
+	}
+	t.Logf("exact evals: unsketched %d, pruned %d (%.1f%% avoided; %d bound evals, %d hits, %d misses)",
+		ee, pe, 100*float64(ee-pe)/float64(ee),
+		pruned.Stats.Counters.SketchEvals,
+		pruned.Stats.Counters.SketchPruneHits,
+		pruned.Stats.Counters.SketchPruneMisses)
+}
+
+// TestSketchQualityGate is the CI quality gate (make quality-gate):
+// Approx mode on the §4 generator must stay close to the exact engine
+// in external-index terms. The thresholds carry slack below the
+// observed values so only genuine regressions trip them.
+func TestSketchQualityGate(t *testing.T) {
+	ds, labels := wideData(t)
+	cfg := Config{K: 5, L: 6, Seed: 41, Restarts: 3, Workers: 4}
+	exact, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sketch = SketchConfig{Dims: 16, Mode: SketchApprox}
+	approx, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(name string, res *Result) (ari, nmi float64) {
+		t.Helper()
+		ari, err := eval.AdjustedRandIndex(labels, res.Assignments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nmi, err = eval.NormalizedMutualInfo(labels, res.Assignments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: ARI %.4f, NMI %.4f", name, ari, nmi)
+		return ari, nmi
+	}
+	exARI, exNMI := score("exact", exact)
+	apARI, apNMI := score("approx", approx)
+
+	// Absolute floors: both engines must recover the planted structure.
+	if exARI < 0.80 || exNMI < 0.80 {
+		t.Fatalf("exact engine below quality floor: ARI %.4f, NMI %.4f", exARI, exNMI)
+	}
+	if apARI < 0.70 || apNMI < 0.70 {
+		t.Fatalf("approx engine below quality floor: ARI %.4f, NMI %.4f", apARI, apNMI)
+	}
+	// Relative gate: approx may trail the exact engine only so far.
+	if exARI-apARI > 0.15 {
+		t.Fatalf("approx ARI %.4f trails exact %.4f by more than 0.15", apARI, exARI)
+	}
+	if exNMI-apNMI > 0.15 {
+		t.Fatalf("approx NMI %.4f trails exact %.4f by more than 0.15", apNMI, exNMI)
+	}
+}
+
+// TestSketchApproxDeterministic: approx mode is still a deterministic
+// function of (data, config) — across worker counts too.
+func TestSketchApproxDeterministic(t *testing.T) {
+	ds, _ := wideData(t)
+	cfg := Config{K: 5, L: 5, Seed: 23, Restarts: 2,
+		Sketch: SketchConfig{Dims: 12, Mode: SketchApprox}}
+	cfg.Workers = 1
+	a, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		b, err := Run(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRun(t, a, b, fmt.Sprintf("approx workers=%d", workers))
+	}
+	// And across the two evaluation engines.
+	cfg.Workers = 1
+	cfg.IncrementalEval = EvalNaive
+	c, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, a, c, "approx incremental vs naive")
+}
+
+func TestSketchConfigValidation(t *testing.T) {
+	ds, _ := wideData(t)
+	run := func(sk SketchConfig) error {
+		_, err := Run(ds, Config{K: 5, L: 5, Seed: 1, Sketch: sk})
+		return err
+	}
+	if err := run(SketchConfig{Dims: -1}); err == nil {
+		t.Fatal("negative sketch dims accepted")
+	}
+	if err := run(SketchConfig{Dims: ds.Dims()}); err == nil {
+		t.Fatal("sketch dims equal to data dims accepted")
+	}
+	if err := run(SketchConfig{Dims: 8, Mode: SketchMode(9)}); err == nil {
+		t.Fatal("unknown sketch mode accepted")
+	}
+}
+
+func TestSketchReportEcho(t *testing.T) {
+	ds, _ := wideData(t)
+	cfg := Config{K: 5, L: 5, Seed: 3, Restarts: 1,
+		Sketch: SketchConfig{Dims: 16, Mode: SketchApprox}}
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.SketchDims != 16 || res.Config.SketchMode != "approx" {
+		t.Fatalf("report echo = dims %d mode %q, want 16/approx",
+			res.Config.SketchDims, res.Config.SketchMode)
+	}
+	// Unsketched runs must not echo the fields (omitempty byte-stability).
+	cfg.Sketch = SketchConfig{}
+	res, err = Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.SketchDims != 0 || res.Config.SketchMode != "" {
+		t.Fatalf("unsketched report carries sketch echo: dims %d mode %q",
+			res.Config.SketchDims, res.Config.SketchMode)
+	}
+	if res.Stats.Counters.SketchEvals != 0 {
+		t.Fatalf("unsketched run recorded %d sketch evals", res.Stats.Counters.SketchEvals)
+	}
+}
+
+func TestSketchMetricsRegistered(t *testing.T) {
+	ds, _ := wideData(t)
+	res, err := Run(ds, Config{K: 5, L: 5, Seed: 3, Restarts: 1,
+		Sketch: SketchConfig{Dims: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{MetricSketchEvals, MetricSketchPruneHits, MetricSketchPruneMisses} {
+		s := res.Stats.Metrics.Find(name)
+		if s == nil || s.Value == nil {
+			t.Fatalf("sketch metric series %s missing from run snapshot", name)
+		}
+	}
+	got := *res.Stats.Metrics.Find(MetricSketchEvals).Value
+	if got != float64(res.Stats.Counters.SketchEvals) {
+		t.Fatalf("metric %v != counter %d", got, res.Stats.Counters.SketchEvals)
+	}
+	// Unsketched runs must not register the series.
+	res, err = Run(ds, Config{K: 5, L: 5, Seed: 3, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{MetricSketchEvals, MetricSketchPruneHits, MetricSketchPruneMisses} {
+		if res.Stats.Metrics.Find(name) != nil {
+			t.Fatalf("unsketched run registered sketch series %s", name)
+		}
+	}
+}
+
+func TestRunStreamRejectsSketch(t *testing.T) {
+	ds, _ := wideData(t)
+	src := dataset.NewMemorySource(ds, 512)
+	_, err := RunStream(context.Background(), src, Config{K: 5, L: 5, Seed: 1,
+		Sketch: SketchConfig{Dims: 8}})
+	if err == nil {
+		t.Fatal("RunStream accepted a sketched configuration")
+	}
+}
+
+// TestSketchSlackHoldsUnderDegenerateData: constant and duplicated
+// points produce zero distances everywhere; the bound must never turn
+// a zero exact distance into a pruned comparison (lb must be 0, not a
+// rounding artifact).
+func TestSketchDegenerateData(t *testing.T) {
+	ds := dataset.New(16)
+	row := make([]float64, 16)
+	for i := 0; i < 40; i++ {
+		for j := range row {
+			row[j] = 7.25 // identical points
+		}
+		ds.Append(row)
+	}
+	res, err := Run(ds, Config{K: 2, L: 2, Seed: 5, Restarts: 1,
+		Sketch: SketchConfig{Dims: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Objective) {
+		t.Fatal("degenerate data produced NaN objective")
+	}
+}

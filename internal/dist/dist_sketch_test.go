@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSegmentalSketchScale(t *testing.T) {
+	// The sketch kernel normalizes by the ORIGINAL dimensionality, not
+	// the sketch row length, so projected and exact distances share a
+	// scale.
+	sx := []float64{3, -1}
+	sy := []float64{0, 1}
+	got := SegmentalSketch(sx, sy, 10)
+	want := (3.0 + 2.0) / 10
+	if got != want {
+		t.Fatalf("SegmentalSketch = %v, want %v", got, want)
+	}
+}
+
+func TestSegmentalSketchPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SegmentalSketch accepted non-positive full dimensionality")
+		}
+	}()
+	SegmentalSketch([]float64{1}, []float64{2}, 0)
+}
+
+func TestSegmentalSketchLBClamps(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		sx, sy []float64
+	}{
+		{"nan row", []float64{nan, 1}, []float64{0, 0}},
+		{"inf both sides", []float64{inf, 0}, []float64{inf, 0}}, // Inf−Inf = NaN
+		{"inf one side", []float64{inf, 0}, []float64{1, 0}},     // overflowed pool
+	}
+	for _, c := range cases {
+		if lb := SegmentalSketchLB(c.sx, c.sy, 4, 1, 0); lb != 0 {
+			t.Fatalf("%s: lb = %v, want 0 (never prune)", c.name, lb)
+		}
+	}
+	// Ordinary values pass through with the slack applied.
+	if lb := SegmentalSketchLB([]float64{2, 0}, []float64{0, 0}, 4, 0.5, 0); lb != 0.25 {
+		t.Fatalf("finite case: lb = %v, want 0.25", lb)
+	}
+}
+
+func TestSegmentalSketchLBGuard(t *testing.T) {
+	// The guard is subtracted from the raw projected Manhattan distance
+	// before normalization and slack: (2 − 1) / 4 · 0.5 = 0.125.
+	if lb := SegmentalSketchLB([]float64{2, 0}, []float64{0, 0}, 4, 0.5, 1); lb != 0.125 {
+		t.Fatalf("guarded case: lb = %v, want 0.125", lb)
+	}
+	// A guard at or above the projected distance clamps to 0 — the
+	// cancellation regime where the pooled sums' rounding error could
+	// exceed the tiny projected difference, so nothing may be pruned.
+	if lb := SegmentalSketchLB([]float64{2, 0}, []float64{0, 0}, 4, 1, 2); lb != 0 {
+		t.Fatalf("guard-dominated case: lb = %v, want 0", lb)
+	}
+	if lb := SegmentalSketchLB([]float64{2, 0}, []float64{0, 0}, 4, 1, 5); lb != 0 {
+		t.Fatalf("negative pre-clamp case: lb = %v, want 0", lb)
+	}
+	// A NaN guard (non-finite row masses) must also clamp, not prune.
+	if lb := SegmentalSketchLB([]float64{2, 0}, []float64{0, 0}, 4, 1, math.NaN()); lb != 0 {
+		t.Fatalf("NaN guard: lb = %v, want 0", lb)
+	}
+}

@@ -106,6 +106,13 @@ type CaseParams struct {
 	// BlockPoints sets the streamed block granularity in points; zero
 	// selects dataset.DefaultBlockPoints. Ignored unless Stream is set.
 	BlockPoints int
+	// SketchDims, when positive, enables the random-projection sketch
+	// tier (core.Config.Sketch) on every PROCLUS run of the experiment
+	// at this sketch dimensionality; SketchMode selects pruning
+	// (bit-identical output, the default) or Approx. Incompatible with
+	// Stream — core.RunStream rejects sketched configurations.
+	SketchDims int
+	SketchMode core.SketchMode
 	// Metrics, when non-nil, is a shared registry every clustering run of
 	// the experiment records into (core.Config.Metrics); it accumulates
 	// phase-latency histograms and counter series across the experiment.

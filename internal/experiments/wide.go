@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"proclus/internal/core"
+	"proclus/internal/eval"
+	"proclus/internal/obs"
+	"proclus/internal/obs/metrics"
+	"proclus/internal/synth"
+)
+
+// WideParams parameterizes the wide-data sketch experiment. The zero
+// value selects the reduced scale.
+type WideParams struct {
+	// N is the number of points. Default 20,000.
+	N int
+	// Dims is the data dimensionality. Default 64 — wide enough that a
+	// 16-dimensional sketch row costs a quarter of an exact distance.
+	Dims int
+	// SketchDims is the sketch dimensionality d'. Default Dims/4.
+	SketchDims int
+	// Seed drives generation and clustering.
+	Seed uint64
+	// Workers bounds the goroutines each run may use.
+	Workers int
+	// Metrics, when non-nil, is a shared registry every run of the
+	// experiment records into.
+	Metrics *metrics.Registry
+	// Observer, when non-nil, receives every run's structured events.
+	Observer obs.Observer
+}
+
+func (p WideParams) withDefaults() WideParams {
+	if p.N == 0 {
+		p.N = 20000
+	}
+	if p.Dims == 0 {
+		p.Dims = 64
+	}
+	if p.SketchDims == 0 {
+		p.SketchDims = p.Dims / 4
+	}
+	return p
+}
+
+// wideK and wideSignalShare pin the workload shape: five clusters whose
+// subspaces cover three quarters of the dimensions. Signal-dense wide
+// data is the regime the sketch tier targets — with most dimensions
+// carrying structure, intra-cluster distances sit well below
+// inter-cluster ones, and the pooled L1 lower bound (which shrinks
+// evenly-spread difference vectors by ~√(d'/d)) clears real pruning
+// thresholds. On noise-dominated data every full-dimensional distance
+// concentrates around the same value and no valid bound separates them;
+// that regime is measured by the accuracy tables, not here.
+const (
+	wideK           = 5
+	wideSignalShare = 0.75
+)
+
+// WideData is the data behind the wide experiment: per-engine work
+// counters and external indices on the same generated input.
+type WideData struct {
+	// N, Dims and SketchDims echo the effective workload shape.
+	N, Dims, SketchDims int
+	// ExactEvals and PrunedEvals count exact distance evaluations in the
+	// unsketched run and the pruning run; AvoidedFraction is their
+	// relative difference.
+	ExactEvals, PrunedEvals int64
+	// PruneHits and PruneMisses count locality/greedy comparisons the
+	// pruning run resolved by the sketch bound alone versus those that
+	// needed the exact re-check.
+	PruneHits, PruneMisses int64
+	// ApproxEvals counts projected-distance evaluations in the Approx
+	// run.
+	ApproxEvals int64
+	// ExactARI/NMI and ApproxARI/NMI are the external indices of the
+	// exact and Approx clusterings against the generated ground truth
+	// (the pruning run is bit-identical to the exact one by contract, so
+	// it has no separate row).
+	ExactARI, ExactNMI   float64
+	ApproxARI, ApproxNMI float64
+}
+
+// AvoidedFraction is the share of exact distance evaluations the
+// pruning run avoided relative to the unsketched run.
+func (d *WideData) AvoidedFraction() float64 {
+	if d.ExactEvals == 0 {
+		return 0
+	}
+	return 1 - float64(d.PrunedEvals)/float64(d.ExactEvals)
+}
+
+// Wide measures the random-projection sketch tier on wide, signal-dense
+// data: it clusters one generated input with the exact engine, the
+// pruning engine and the Approx engine, verifies the pruning run is
+// bit-identical to the exact one, and reports per-engine work counters
+// and external indices. It errors if the pruning run's output diverges
+// from the exact run's — that equality is the tier's core contract.
+func Wide(p WideParams) (*WideData, *Report, error) {
+	p = p.withDefaults()
+	signal := int(float64(p.Dims) * wideSignalShare)
+	ds, _, err := synth.Generate(synth.Config{
+		N: p.N, Dims: p.Dims, K: wideK, FixedDims: signal,
+		MinSizeFraction: caseMinShare, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := eval.LabelsFromDataset(ds)
+	cfgFor := func(sk core.SketchConfig) core.Config {
+		return core.Config{
+			K: wideK, L: signal / 2, Seed: p.Seed + 1, Workers: p.Workers,
+			Metrics: p.Metrics, Observer: p.Observer, Sketch: sk,
+		}
+	}
+
+	exact, err := core.Run(ds, cfgFor(core.SketchConfig{}))
+	if err != nil {
+		return nil, nil, fmt.Errorf("exact engine: %w", err)
+	}
+	pruned, err := core.Run(ds, cfgFor(core.SketchConfig{Dims: p.SketchDims, Mode: core.SketchPrune}))
+	if err != nil {
+		return nil, nil, fmt.Errorf("pruning engine: %w", err)
+	}
+	if err := sameClustering(exact, pruned); err != nil {
+		return nil, nil, fmt.Errorf("pruning engine diverged from the exact engine: %w", err)
+	}
+	approx, err := core.Run(ds, cfgFor(core.SketchConfig{Dims: p.SketchDims, Mode: core.SketchApprox}))
+	if err != nil {
+		return nil, nil, fmt.Errorf("approx engine: %w", err)
+	}
+
+	d := &WideData{
+		N: p.N, Dims: p.Dims, SketchDims: p.SketchDims,
+		ExactEvals:  exact.Stats.Counters.DistanceEvals,
+		PrunedEvals: pruned.Stats.Counters.DistanceEvals,
+		PruneHits:   pruned.Stats.Counters.SketchPruneHits,
+		PruneMisses: pruned.Stats.Counters.SketchPruneMisses,
+		ApproxEvals: approx.Stats.Counters.SketchEvals,
+	}
+	if d.ExactARI, err = eval.AdjustedRandIndex(labels, exact.Assignments); err != nil {
+		return nil, nil, err
+	}
+	if d.ExactNMI, err = eval.NormalizedMutualInfo(labels, exact.Assignments); err != nil {
+		return nil, nil, err
+	}
+	if d.ApproxARI, err = eval.AdjustedRandIndex(labels, approx.Assignments); err != nil {
+		return nil, nil, err
+	}
+	if d.ApproxNMI, err = eval.NormalizedMutualInfo(labels, approx.Assignments); err != nil {
+		return nil, nil, err
+	}
+
+	rep := &Report{ID: "wide", Title: fmt.Sprintf(
+		"sketch tier on wide signal-dense data (N = %d, d = %d, d' = %d)", p.N, p.Dims, p.SketchDims)}
+	rep.addf("%-10s %16s %12s %8s %8s", "Engine", "exact dist evals", "sketch evals", "ARI", "NMI")
+	rep.addf("%-10s %16d %12d %8.3f %8.3f", "exact", d.ExactEvals, int64(0), d.ExactARI, d.ExactNMI)
+	rep.addf("%-10s %16d %12d %8s %8s", "prune", d.PrunedEvals,
+		pruned.Stats.Counters.SketchEvals, "(=)", "(=)")
+	rep.addf("%-10s %16d %12d %8.3f %8.3f", "approx",
+		approx.Stats.Counters.DistanceEvals, d.ApproxEvals, d.ApproxARI, d.ApproxNMI)
+	rep.addf("")
+	rep.addf("pruning: %.1f%% of exact evaluations avoided (%d bound hits, %d re-checked); output bit-identical to exact",
+		100*d.AvoidedFraction(), d.PruneHits, d.PruneMisses)
+	rep.Timing.Add(exact.Stats)
+	rep.Timing.Add(pruned.Stats)
+	rep.Timing.Add(approx.Stats)
+	return d, rep, nil
+}
+
+// sameClustering verifies two runs produced the same partition,
+// objective and medoids.
+func sameClustering(a, b *core.Result) error {
+	if a.Objective != b.Objective {
+		return fmt.Errorf("objective %v vs %v", a.Objective, b.Objective)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		return fmt.Errorf("%d vs %d clusters", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].Medoid != b.Clusters[i].Medoid {
+			return fmt.Errorf("cluster %d medoid %d vs %d", i, a.Clusters[i].Medoid, b.Clusters[i].Medoid)
+		}
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			return fmt.Errorf("point %d assigned %d vs %d", i, a.Assignments[i], b.Assignments[i])
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the per-engine rows for -csvdir.
+func (d *WideData) WriteCSV(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"engine,exact_dist_evals,sketch_evals,prune_hits,prune_misses,ari,nmi\n"+
+			"exact,%d,0,0,0,%.6f,%.6f\n"+
+			"prune,%d,%d,%d,%d,%.6f,%.6f\n"+
+			"approx,0,%d,0,0,%.6f,%.6f\n",
+		d.ExactEvals, d.ExactARI, d.ExactNMI,
+		d.PrunedEvals, d.PruneHits+d.PruneMisses, d.PruneHits, d.PruneMisses, d.ExactARI, d.ExactNMI,
+		d.ApproxEvals, d.ApproxARI, d.ApproxNMI)
+	return err
+}

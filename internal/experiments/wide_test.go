@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"proclus/internal/core"
+)
+
+// TestWideSmall runs the wide experiment at a reduced size and checks
+// its core claims: the pruning engine produced the exact engine's
+// output (Wide errors otherwise), the bound resolved comparisons, and
+// the report carries the per-engine rows.
+func TestWideSmall(t *testing.T) {
+	d, rep, err := Wide(WideParams{N: 2000, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dims != 64 || d.SketchDims != 16 {
+		t.Fatalf("defaults: d = %d, d' = %d, want 64, 16", d.Dims, d.SketchDims)
+	}
+	if d.PruneHits == 0 {
+		t.Fatal("sketch bound resolved no comparisons on signal-dense wide data")
+	}
+	if d.PrunedEvals >= d.ExactEvals {
+		t.Fatalf("pruned run made %d exact evaluations, unsketched %d — pruning saved nothing",
+			d.PrunedEvals, d.ExactEvals)
+	}
+	if d.ExactARI <= 0 || d.ApproxARI <= 0 {
+		t.Fatalf("non-positive external indices: exact ARI %v, approx ARI %v", d.ExactARI, d.ApproxARI)
+	}
+	text := rep.String()
+	for _, want := range []string{"exact", "prune", "approx", "bit-identical"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	if rep.Timing.Runs != 3 {
+		t.Fatalf("timing aggregated %d runs, want 3", rep.Timing.Runs)
+	}
+
+	var csv bytes.Buffer
+	if err := d.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 engines:\n%s", len(lines), csv.String())
+	}
+}
+
+// TestCaseParamsSketch threads the sketch tier through the accuracy
+// tables: a pruned Table1 run must match the unsketched one exactly.
+func TestCaseParamsSketch(t *testing.T) {
+	base := CaseParams{N: 1500, Seed: 11, Workers: 2}
+	_, plain, err := Table1(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := base
+	sk.SketchDims = 8
+	_, pruned, err := Table1(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Timing.Counters.PointsScanned != pruned.Timing.Counters.PointsScanned {
+		t.Fatalf("pruned Table1 scanned %d points, unsketched %d — outputs diverged",
+			pruned.Timing.Counters.PointsScanned, plain.Timing.Counters.PointsScanned)
+	}
+	for i, l := range plain.Lines {
+		if pruned.Lines[i] != l {
+			t.Fatalf("pruned Table1 report line %d differs:\n%s\nvs\n%s", i, pruned.Lines[i], l)
+		}
+	}
+
+	sk.SketchMode = core.SketchApprox
+	if _, _, err := Table1(sk); err != nil {
+		t.Fatalf("approx Table1: %v", err)
+	}
+
+	sk.Stream = true
+	if _, _, err := Table1(sk); err == nil {
+		t.Fatal("streamed Table1 accepted a sketched configuration")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"proclus/internal/obs"
 	"proclus/internal/parallel"
 	"proclus/internal/randx"
 )
@@ -53,6 +54,32 @@ func FarthestFirstParallel(r *randx.Rand, n, k, workers int, d DistanceTo) ([]in
 // recorded count is identical to per-call counting. A nil evals
 // disables accounting.
 func FarthestFirstCounted(r *randx.Rand, n, k, workers int, d DistanceTo, evals *atomic.Int64) ([]int, error) {
+	return farthestFirst(r, n, k, workers, d, nil, evals, nil)
+}
+
+// FarthestFirstPruned is FarthestFirstCounted with a sketch filter on
+// the distance-fold pass: lb must lower-bound d (lb(i, j) ≤ d(i, j)
+// for all pairs), and each fold first evaluates lb — when the bound
+// already reaches the item's running minimum the exact distance cannot
+// lower it and the evaluation of d is skipped. The picks are identical
+// to the unpruned traversal for any worker count: a skipped fold is one
+// the unpruned fold would have rejected anyway, and the initial fill
+// and the arg-max scans are untouched. c, when non-nil, receives the
+// accounting: exact evaluations in DistanceEvals, bound evaluations in
+// SketchEvals, and the filter outcomes in SketchPruneHits/Misses —
+// batched per chunk and chunking-independent like the unpruned totals.
+func FarthestFirstPruned(r *randx.Rand, n, k, workers int, d, lb DistanceTo, c *obs.Counters) ([]int, error) {
+	if lb == nil {
+		return nil, fmt.Errorf("greedy: FarthestFirstPruned requires a lower-bound function")
+	}
+	var evals *atomic.Int64
+	if c != nil {
+		evals = &c.DistanceEvals
+	}
+	return farthestFirst(r, n, k, workers, d, lb, evals, c)
+}
+
+func farthestFirst(r *randx.Rand, n, k, workers int, d, lb DistanceTo, evals *atomic.Int64, c *obs.Counters) ([]int, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("greedy: k = %d must be positive", k)
 	}
@@ -112,17 +139,35 @@ func FarthestFirstCounted(r *randx.Rand, n, k, workers int, d DistanceTo, evals 
 		chosen[best] = true
 		pick := best
 		parallel.For(n, workers, func(lo, hi int) {
-			var folded int64
+			var folded, bounds, hits, misses int64
 			for i := lo; i < hi; i++ {
-				if !chosen[i] {
-					if nd := d(i, pick); nd < minDist[i] {
-						minDist[i] = nd
-					}
-					folded++
+				if chosen[i] {
+					continue
 				}
+				if lb != nil {
+					bounds++
+					if lb(i, pick) >= minDist[i] {
+						// The exact distance is at least the bound, so it
+						// cannot lower the running minimum — the fold below
+						// would reject it. Skipping keeps the minima, and
+						// hence every pick, bit-identical.
+						hits++
+						continue
+					}
+					misses++
+				}
+				if nd := d(i, pick); nd < minDist[i] {
+					minDist[i] = nd
+				}
+				folded++
 			}
 			if evals != nil {
 				evals.Add(folded)
+			}
+			if c != nil && bounds > 0 {
+				c.SketchEvals.Add(bounds)
+				c.SketchPruneHits.Add(hits)
+				c.SketchPruneMisses.Add(misses)
 			}
 		})
 	}

@@ -1,0 +1,118 @@
+package greedy
+
+import (
+	"testing"
+
+	"proclus/internal/dist"
+	"proclus/internal/obs"
+	"proclus/internal/randx"
+	"proclus/internal/sketch"
+)
+
+// prunedFixture builds a point set, its exact distance closure, and a
+// sketch lower-bound closure over the projected rows.
+func prunedFixture(t *testing.T, n, d, outDims int) (exact, lb DistanceTo) {
+	t.Helper()
+	rng := randx.New(404)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Uniform(-50, 50)
+		}
+		pts[i] = p
+	}
+	tr, err := sketch.NewSeeded(d, outDims, 404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tr.ProjectAll(n, func(i int) []float64 { return pts[i] }, 4)
+	exact = func(i, j int) float64 { return dist.SegmentalAll(pts[i], pts[j]) }
+	lb = func(i, j int) float64 { return tr.LowerBound(rows.Row(i), rows.Row(j)) }
+	return exact, lb
+}
+
+func TestFarthestFirstPrunedMatchesUnpruned(t *testing.T) {
+	const n, d, k = 400, 32, 12
+	exact, lb := prunedFixture(t, n, d, 8)
+	want, err := FarthestFirstParallel(randx.New(9), n, k, 1, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var c obs.Counters
+		got, err := FarthestFirstPruned(randx.New(9), n, k, workers, exact, lb, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d picks, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: pick %d = %d, want %d (pruning changed the traversal)",
+					workers, i, got[i], want[i])
+			}
+		}
+		s := c.Snapshot()
+		if s.SketchEvals == 0 {
+			t.Fatalf("workers=%d: no sketch evaluations recorded", workers)
+		}
+		if s.SketchPruneHits+s.SketchPruneMisses != s.SketchEvals {
+			t.Fatalf("workers=%d: hits %d + misses %d != bound evals %d",
+				workers, s.SketchPruneHits, s.SketchPruneMisses, s.SketchEvals)
+		}
+		// Exact work = initial fill (n-1 after excluding... the fill covers
+		// all n) plus the surviving folds.
+		if s.DistanceEvals != int64(n)+s.SketchPruneMisses {
+			t.Fatalf("workers=%d: exact evals %d != fill %d + misses %d",
+				workers, s.DistanceEvals, n, s.SketchPruneMisses)
+		}
+	}
+}
+
+func TestFarthestFirstPrunedCountersWorkerInvariant(t *testing.T) {
+	const n, d, k = 300, 48, 10
+	exact, lb := prunedFixture(t, n, d, 12)
+	var base obs.Snapshot
+	for i, workers := range []int{1, 2, 7} {
+		var c obs.Counters
+		if _, err := FarthestFirstPruned(randx.New(3), n, k, workers, exact, lb, &c); err != nil {
+			t.Fatal(err)
+		}
+		s := c.Snapshot()
+		if i == 0 {
+			base = s
+			continue
+		}
+		if s != base {
+			t.Fatalf("workers=%d: counters %+v differ from workers=1 %+v", workers, s, base)
+		}
+	}
+}
+
+func TestFarthestFirstPrunedRequiresBound(t *testing.T) {
+	if _, err := FarthestFirstPruned(randx.New(1), 10, 2, 1,
+		func(i, j int) float64 { return 0 }, nil, nil); err == nil {
+		t.Fatal("FarthestFirstPruned accepted a nil lower-bound function")
+	}
+}
+
+func TestFarthestFirstPrunedNilCounters(t *testing.T) {
+	// The counters are optional; the traversal must still match.
+	const n, d, k = 120, 16, 5
+	exact, lb := prunedFixture(t, n, d, 4)
+	want, err := FarthestFirstParallel(randx.New(2), n, k, 1, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FarthestFirstPruned(randx.New(2), n, k, 4, exact, lb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pick %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

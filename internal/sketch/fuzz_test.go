@@ -1,0 +1,84 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"proclus/internal/dist"
+)
+
+// FuzzApply feeds arbitrary byte strings decoded as float64 rows
+// through a transform: Apply must never panic on well-shaped rows of
+// any value (NaN, ±Inf, denormals included), and whenever both points
+// are finite the projected distance must lower-bound the exact one —
+// the invariant prune-mode bit-identity rests on.
+func FuzzApply(f *testing.F) {
+	// Seeded corpus: a benign pair, a magnitude spread, and non-finite
+	// values on both sides.
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(uint64(1), seed(1, 2, 3, 4, 5, 6, 7, 8, -1, -2, -3, -4, -5, -6, -7, -8))
+	f.Add(uint64(7), seed(1e-300, 1e300, -1e300, 0, 1, -1, 2.5, -2.5,
+		3, 4, 5, 6, 7, 8, 9, 10))
+	f.Add(uint64(42), seed(math.NaN(), math.Inf(1), math.Inf(-1), 1, 2, 3, 4, 5,
+		0, 0, 0, 0, 0, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, tseed uint64, raw []byte) {
+		// Two rows of at least one dimension each; surplus bytes ignored.
+		n := len(raw) / 8
+		if n < 2 {
+			t.Skip()
+		}
+		d := n / 2
+		decode := func(off int) []float64 {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*(off+j):]))
+			}
+			return p
+		}
+		x, y := decode(0), decode(d)
+
+		outDims := d/2 + 1
+		tr, err := NewSeeded(d, outDims, tseed)
+		if err != nil {
+			t.Fatalf("NewSeeded(%d, %d): %v", d, outDims, err)
+		}
+		sx, sy := make([]float64, tr.RowLen()), make([]float64, tr.RowLen())
+		tr.Apply(x, sx) // must not panic, whatever the values
+		tr.Apply(y, sy)
+		lb := tr.LowerBound(sx, sy)
+		if lb < 0 || math.IsNaN(lb) {
+			t.Fatalf("lower bound %v not in [0, +Inf)", lb)
+		}
+
+		finite := true
+		for j := 0; j < d; j++ {
+			if math.IsInf(x[j], 0) || math.IsNaN(x[j]) ||
+				math.IsInf(y[j], 0) || math.IsNaN(y[j]) {
+				finite = false
+				break
+			}
+		}
+		if !finite {
+			return
+		}
+		exact := dist.SegmentalAll(x, y)
+		if math.IsInf(exact, 0) || math.IsNaN(exact) {
+			// Finite coordinates can still overflow the exact sum; the
+			// bound is trivially valid against +Inf and the NaN case is
+			// unreachable from finite inputs.
+			return
+		}
+		if lb > exact {
+			t.Fatalf("d=%d d'=%d: lower bound %v exceeds exact distance %v",
+				d, outDims, lb, exact)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package sketch implements the random-projection acceleration tier of
+// the PROCLUS reproduction: a seeded, Achlioptas-style sparse ±1 linear
+// map from d dimensions into d' ≪ d dimensions whose projected L1
+// distances *lower-bound* the original L1 distances.
+//
+// The transform is the extreme-sparsity member of the Achlioptas family
+// (database-friendly random projections): every input dimension j is
+// assigned one output bucket b(j) and a sign s(j) ∈ {±1}, and the
+// projection pools y[b] = Σ_{j: b(j)=b} s(j)·x[j]. Kerber–Raghvendra
+// (arXiv 1407.2063) show such JL-style projections preserve projective
+// clustering costs within (1+ε) at d' = O(log n/ε²); sDBSCAN (arXiv
+// 2402.15679) uses the same tier to scale a density-based cousin.
+//
+// What makes this particular matrix exact-pruning-safe is the triangle
+// inequality: for any signs and any bucketing,
+//
+//	Σ_b |Σ_{j∈b} s(j)(x_j−y_j)|  ≤  Σ_j |x_j−y_j|,
+//
+// so the projected Manhattan distance never exceeds the original one.
+// A candidate whose projected distance already reaches a threshold can
+// therefore be rejected without evaluating the full-dimensional kernel,
+// and the surviving candidates are re-checked exactly — the clustering
+// output stays bit-identical to the unsketched run. (Random signs also
+// make the bound *tight enough* to prune: aligned coordinates cancel,
+// so unrelated points keep large projected distances while the bound
+// stays valid; see LowerBound for the floating-point safety margin.)
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"proclus/internal/dist"
+	"proclus/internal/parallel"
+	"proclus/internal/randx"
+)
+
+// seedSalt decorrelates the transform's private generator from every
+// other consumer of the run seed. The sketch must NOT draw from the
+// run's main randx stream: consuming values there would shift the
+// sampling and hill-climb streams and break the bit-identity of
+// prune-mode runs against unsketched runs.
+const seedSalt = 0x736b657463683031 // "sketch01"
+
+// Transform is one seeded sparse ±1 projection from InDims to OutDims
+// dimensions. It is immutable after construction and safe for
+// concurrent use.
+type Transform struct {
+	inDims, outDims int
+	bucket          []int     // per input dimension: target output dimension
+	sign            []float64 // per input dimension: ±1
+	slack           float64   // relative FP safety factor for LowerBound
+	guard           float64   // absolute FP error coefficient per unit of row mass
+}
+
+// New returns a transform drawn from rng. Two transforms drawn from
+// generators in identical states are identical.
+func New(inDims, outDims int, rng *randx.Rand) (*Transform, error) {
+	if inDims <= 0 {
+		return nil, fmt.Errorf("sketch: input dimensionality %d must be positive", inDims)
+	}
+	if outDims <= 0 {
+		return nil, fmt.Errorf("sketch: sketch dimensionality %d must be positive", outDims)
+	}
+	t := &Transform{
+		inDims:  inDims,
+		outDims: outDims,
+		bucket:  make([]int, inDims),
+		sign:    make([]float64, inDims),
+		slack:   slackFor(inDims, outDims),
+		guard:   guardFor(inDims, outDims),
+	}
+	for j := 0; j < inDims; j++ {
+		t.bucket[j] = rng.Intn(outDims)
+		if rng.Uint64()&1 == 0 {
+			t.sign[j] = 1
+		} else {
+			t.sign[j] = -1
+		}
+	}
+	return t, nil
+}
+
+// NewSeeded returns the transform a run with the given seed uses. The
+// generator is derived from seed through a private salt, so building
+// the transform consumes nothing from any other stream derived from
+// the same seed.
+func NewSeeded(inDims, outDims int, seed uint64) (*Transform, error) {
+	return New(inDims, outDims, randx.New(seed^seedSalt))
+}
+
+// slackFor bounds the relative rounding error of comparing the two
+// Manhattan sums behind LowerBound: the projected sum accumulates at
+// most inDims+outDims additions and the exact sum inDims, each step
+// contributing at most one half-ulp (2⁻⁵³) of relative error. The
+// factor 4 leaves generous headroom; the resulting margin is ~10⁻¹²
+// even at a million dimensions, far below any pruning threshold that
+// matters.
+func slackFor(inDims, outDims int) float64 {
+	s := 1 - 4*float64(inDims+outDims)*0x1p-53
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// guardFor bounds the ABSOLUTE rounding error of the projected
+// Manhattan sum, per unit of combined row mass Σ|x_j| + Σ|y_j|. The
+// relative slack alone is not sound: the pooled bucket sums carry
+// rounding error proportional to their intermediate partial-sum
+// magnitudes (bounded by the row mass), and under catastrophic
+// cancellation the projected difference can be many orders of
+// magnitude smaller than those intermediates, so the error must be
+// subtracted as an absolute quantity before pruning on the result.
+// Error budget, each term ≤ 2⁻⁵³ per unit mass: at most inDims
+// accumulation steps across both Apply calls' buckets (partial sums
+// never exceed the row mass), outDims subtractions sx_b − sy_b, and
+// outDims additions folding |sx_b − sy_b| into the final sum; the
+// constant 8 absorbs the mass sums' own rounding and the final
+// scale/normalize steps.
+func guardFor(inDims, outDims int) float64 {
+	return float64(2*inDims+2*outDims+8) * 0x1p-53
+}
+
+// InDims returns the input dimensionality.
+func (t *Transform) InDims() int { return t.inDims }
+
+// OutDims returns the sketch dimensionality d'.
+func (t *Transform) OutDims() int { return t.outDims }
+
+// RowLen returns the length of a sketch row: OutDims pooled
+// coordinates plus one trailing mass element Σ|x_j|, which LowerBound
+// needs to bound the absolute rounding error of the pooled sums.
+func (t *Transform) RowLen() int { return t.outDims + 1 }
+
+// Apply projects pt into out. len(pt) must be InDims and len(out)
+// RowLen; out is zeroed first, its leading OutDims elements receive
+// the pooled coordinates, and its last element the row's L1 mass
+// Σ|pt_j|. It never panics on non-finite inputs — NaN or ±Inf
+// coordinates propagate into the sketch row, where the distance
+// kernels treat them conservatively (see LowerBound).
+func (t *Transform) Apply(pt, out []float64) {
+	if len(pt) != t.inDims {
+		panic(fmt.Sprintf("sketch: point has %d dimensions, transform expects %d", len(pt), t.inDims))
+	}
+	if len(out) != t.outDims+1 {
+		panic(fmt.Sprintf("sketch: output row has %d elements, transform produces %d (OutDims plus the mass element)",
+			len(out), t.outDims+1))
+	}
+	for b := range out {
+		out[b] = 0
+	}
+	var mass float64
+	for j, v := range pt {
+		out[t.bucket[j]] += t.sign[j] * v
+		mass += math.Abs(v)
+	}
+	out[t.outDims] = mass
+}
+
+// LowerBound returns a guaranteed lower bound on the full-dimensional
+// Manhattan segmental distance SegmentalAll(x, y) given the sketch rows
+// sx = Apply(x), sy = Apply(y): the projected Manhattan distance minus
+// an absolute rounding-error guard proportional to the rows' combined
+// L1 mass, normalized by the ORIGINAL dimensionality and shrunk by the
+// relative slack factor. Both corrections are required — see guardFor
+// for why a relative factor alone is unsound under cancellation.
+// Non-finite sketch rows (overflowed or NaN coordinates) yield 0, the
+// bound that never prunes, so prune-mode correctness does not depend
+// on input hygiene.
+func (t *Transform) LowerBound(sx, sy []float64) float64 {
+	n := t.outDims
+	return dist.SegmentalSketchLB(sx[:n], sy[:n], t.inDims, t.slack, t.guard*(sx[n]+sy[n]))
+}
+
+// Distance returns the sketch-space Manhattan segmental distance,
+// normalized by the original dimensionality so projected and exact
+// distances live on the same scale. Approx mode uses it directly as
+// the full-dimensional metric.
+func (t *Transform) Distance(sx, sy []float64) float64 {
+	n := t.outDims
+	return dist.SegmentalSketch(sx[:n], sy[:n], t.inDims)
+}
+
+// Matrix holds the projected rows of a point set, row-major. Each row
+// has Transform.RowLen elements: the pooled coordinates plus the mass.
+type Matrix struct {
+	n, dims int
+	flat    []float64
+}
+
+// ProjectAll projects n points (point(i) returns the i-th row) into a
+// fresh Matrix, sharding the rows over up to workers goroutines. Rows
+// are written disjointly, so the result is identical for any worker
+// count.
+func (t *Transform) ProjectAll(n int, point func(int) []float64, workers int) *Matrix {
+	m := &Matrix{n: n, dims: t.outDims + 1, flat: make([]float64, n*(t.outDims+1))}
+	parallel.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.Apply(point(i), m.Row(i))
+		}
+	})
+	return m
+}
+
+// Len returns the number of projected rows.
+func (m *Matrix) Len() int { return m.n }
+
+// Dims returns the row length (Transform.RowLen: sketch dimensionality
+// plus the mass element).
+func (m *Matrix) Dims() int { return m.dims }
+
+// Row returns the i-th projected row. The slice aliases the matrix and
+// must not be modified.
+func (m *Matrix) Row(i int) []float64 {
+	return m.flat[i*m.dims : (i+1)*m.dims]
+}

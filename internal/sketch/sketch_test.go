@@ -1,0 +1,237 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"proclus/internal/dist"
+	"proclus/internal/randx"
+)
+
+// randomPoints draws n points in d dimensions with coordinates spanning
+// several magnitudes, so the lower-bound property is exercised away
+// from the all-small-values regime.
+func randomPoints(rng *randx.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(5)))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewRejectsBadDims(t *testing.T) {
+	rng := randx.New(1)
+	if _, err := New(0, 4, rng); err == nil {
+		t.Fatal("New accepted zero input dimensionality")
+	}
+	if _, err := New(16, 0, rng); err == nil {
+		t.Fatal("New accepted zero sketch dimensionality")
+	}
+	if _, err := New(-3, 4, rng); err == nil {
+		t.Fatal("New accepted negative input dimensionality")
+	}
+}
+
+func TestNewSeededDeterministic(t *testing.T) {
+	a, err := NewSeeded(32, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeeded(32, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randomPoints(randx.New(5), 20, 32)
+	ra, rb := make([]float64, a.RowLen()), make([]float64, b.RowLen())
+	for _, p := range pts {
+		a.Apply(p, ra)
+		b.Apply(p, rb)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("same seed produced different projections: %v vs %v", ra, rb)
+			}
+		}
+	}
+	// A different seed must produce a different map (overwhelmingly
+	// likely over 32 bucket+sign draws).
+	c, err := NewSeeded(32, 8, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	rc := make([]float64, c.RowLen())
+	for _, p := range pts {
+		a.Apply(p, ra)
+		c.Apply(p, rc)
+		for j := range ra {
+			if ra[j] != rc[j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 77 and 78 produced identical transforms")
+	}
+}
+
+func TestApplyPanicsOnShapeMismatch(t *testing.T) {
+	tr, err := NewSeeded(8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("short point", func() { tr.Apply(make([]float64, 7), make([]float64, tr.RowLen())) })
+	assertPanics("short output", func() { tr.Apply(make([]float64, 8), make([]float64, tr.RowLen()-1)) })
+	// A row of bare OutDims length (no mass element) must be rejected —
+	// it is the mistake a pre-mass caller would make.
+	assertPanics("mass-less output", func() { tr.Apply(make([]float64, 8), make([]float64, tr.OutDims())) })
+}
+
+func TestLowerBoundNeverExceedsExact(t *testing.T) {
+	for _, dims := range []struct{ in, out int }{{16, 4}, {64, 8}, {64, 16}, {200, 12}} {
+		tr, err := NewSeeded(dims.in, dims.out, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := randx.New(uint64(dims.in * dims.out))
+		pts := randomPoints(rng, 60, dims.in)
+		rows := make([][]float64, len(pts))
+		for i, p := range pts {
+			rows[i] = make([]float64, tr.RowLen())
+			tr.Apply(p, rows[i])
+		}
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				exact := dist.SegmentalAll(pts[i], pts[j])
+				lb := tr.LowerBound(rows[i], rows[j])
+				if lb > exact {
+					t.Fatalf("d=%d d'=%d pair (%d,%d): lower bound %v exceeds exact %v",
+						dims.in, dims.out, i, j, lb, exact)
+				}
+				if lb < 0 {
+					t.Fatalf("negative lower bound %v", lb)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerBoundSymmetric(t *testing.T) {
+	tr, err := NewSeeded(32, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randomPoints(randx.New(11), 10, 32)
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = make([]float64, tr.RowLen())
+		tr.Apply(p, rows[i])
+	}
+	for i := range rows {
+		for j := range rows {
+			if tr.LowerBound(rows[i], rows[j]) != tr.LowerBound(rows[j], rows[i]) {
+				t.Fatalf("LowerBound not symmetric for pair (%d,%d)", i, j)
+			}
+			if tr.Distance(rows[i], rows[j]) != tr.Distance(rows[j], rows[i]) {
+				t.Fatalf("Distance not symmetric for pair (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLowerBoundNonFiniteNeverPrunes(t *testing.T) {
+	tr, err := NewSeeded(8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []float64{math.NaN(), math.Inf(1), 1, 2, 3, 4, 5, 6}
+	good := make([]float64, 8)
+	rb, rg := make([]float64, tr.RowLen()), make([]float64, tr.RowLen())
+	tr.Apply(bad, rb)
+	tr.Apply(good, rg)
+	// NaN rows must yield the bound that never prunes.
+	if lb := tr.LowerBound(rb, rg); lb != 0 {
+		t.Fatalf("non-finite sketch row produced pruning bound %v, want 0", lb)
+	}
+}
+
+func TestProjectAllWorkerInvariance(t *testing.T) {
+	tr, err := NewSeeded(48, 8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randomPoints(randx.New(9), 500, 48)
+	point := func(i int) []float64 { return pts[i] }
+	serial := tr.ProjectAll(len(pts), point, 1)
+	for _, workers := range []int{2, 4, 16} {
+		m := tr.ProjectAll(len(pts), point, workers)
+		if m.Len() != serial.Len() || m.Dims() != serial.Dims() {
+			t.Fatalf("workers=%d: shape %dx%d differs from serial %dx%d",
+				workers, m.Len(), m.Dims(), serial.Len(), serial.Dims())
+		}
+		for i := 0; i < m.Len(); i++ {
+			ri, si := m.Row(i), serial.Row(i)
+			for j := range ri {
+				if ri[j] != si[j] {
+					t.Fatalf("workers=%d: row %d differs from serial projection", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceMatchesExactWhenLossless(t *testing.T) {
+	// With one input dimension per bucket the projection is a signed
+	// permutation: sketch distance and exact segmental distance sum the
+	// same |x_j−y_j| terms (negation is exact in IEEE 754), differing
+	// only in summation order — so they must agree to within a few ulps.
+	// Draw transforms until the bucketing is injective (quick for 4→16
+	// with any seed; bail after a bounded search).
+	for seed := uint64(0); seed < 64; seed++ {
+		tr, err := NewSeeded(4, 16, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		injective := true
+		for _, b := range tr.bucket {
+			if seen[b] {
+				injective = false
+				break
+			}
+			seen[b] = true
+		}
+		if !injective {
+			continue
+		}
+		pts := randomPoints(randx.New(seed), 12, 4)
+		rows := make([][]float64, len(pts))
+		for i, p := range pts {
+			rows[i] = make([]float64, tr.RowLen())
+			tr.Apply(p, rows[i])
+		}
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				exact := dist.SegmentalAll(pts[i], pts[j])
+				skd := tr.Distance(rows[i], rows[j])
+				if diff := math.Abs(skd - exact); diff > 1e-12*math.Max(1, exact) {
+					t.Fatalf("injective bucketing: sketch distance %v != exact %v (diff %v)", skd, exact, diff)
+				}
+			}
+		}
+		return
+	}
+	t.Fatal("no injective 4->16 bucketing found in 64 seeds")
+}

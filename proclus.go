@@ -245,6 +245,27 @@ const (
 	EvalNaive       = core.EvalNaive
 )
 
+// SketchConfig enables the random-projection sketch tier via
+// Config.Sketch: Dims selects the sketch dimensionality d' (0 disables
+// the tier) and Mode selects pruning (bit-identical, default) or Approx
+// (faster, approximate). Incompatible with RunStream.
+type SketchConfig = core.SketchConfig
+
+// SketchMode selects how the sketch tier is used.
+type SketchMode = core.SketchMode
+
+// Sketch modes: pruning with exact re-check (results bit-identical to
+// an unsketched run), or pure sketch-space distances (approximate,
+// gated by the ARI/NMI quality suite).
+const (
+	SketchPrune  = core.SketchPrune
+	SketchApprox = core.SketchApprox
+)
+
+// ParseSketchMode resolves a sketch mode from its conventional name
+// ("prune" or "approx"; empty = prune).
+func ParseSketchMode(name string) (SketchMode, error) { return core.ParseSketchMode(name) }
+
 // Run executes PROCLUS on ds.
 func Run(ds *Dataset, cfg Config) (*Result, error) { return core.Run(ds, cfg) }
 
