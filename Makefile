@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden quality-gate staticcheck
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden quality-gate staticcheck archive-smoke
 
 check: vet build test-race fuzz-smoke lens-golden quality-gate
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
 # race-enabled tests, coverage, the benchmark smoke run, the telemetry
-# diff against the committed baseline, the sketch quality gate, and the
-# runlens golden diff.
-ci: fmt-check vet staticcheck build test-race cover bench-smoke bench-check quality-gate lens-golden
+# diff against the committed baseline, the sketch quality gate, the
+# runlens golden diff, and the run-archive smoke.
+ci: fmt-check vet staticcheck build test-race cover bench-smoke bench-check quality-gate lens-golden archive-smoke
 
 .PHONY: fmt-check
 fmt-check:
@@ -100,9 +100,11 @@ BENCH_CONFIG   = -experiment table1,wide -n 3000 -seed 3
 BENCH_BASELINE = bench/baseline.json
 
 # bench-record captures a timestamped telemetry file under bench/
-# (BENCH_<timestamp>.json) for ad-hoc before/after comparisons.
+# (BENCH_<timestamp>.json) for ad-hoc before/after comparisons, and
+# appends the same capture to the local run archive so `runlens trend`
+# sees benchmark history alongside run history.
 bench-record:
-	$(GO) run ./cmd/proclus-bench $(BENCH_CONFIG) -bench-json bench/
+	$(GO) run ./cmd/proclus-bench $(BENCH_CONFIG) -bench-json bench/ -archive archive/
 
 # bench-baseline refreshes the committed baseline after an intentional
 # performance-relevant change.
@@ -118,8 +120,35 @@ bench-check:
 	$(GO) run ./cmd/benchcmp -time-threshold 3.0 $(BENCH_BASELINE) bench/current.json
 
 # lens-golden runs the trace analyzer against the checked-in golden
-# trace and series snapshot and diffs its full report against the
-# committed golden summary. Regenerate deliberately with
-# `go test ./cmd/runlens -run TestGoldenSummary -update`.
+# trace and series snapshot plus the archive subcommands (ls, diff,
+# trend) against a deterministic in-test archive, and diffs every
+# report against its committed golden. Regenerate deliberately with
+# `go test ./cmd/runlens -run 'TestGoldenSummary|TestArchiveGoldens' -update`.
 lens-golden:
-	$(GO) test -run 'TestGoldenSummary' ./cmd/runlens/
+	$(GO) test -run 'TestGoldenSummary|TestArchiveGoldens' ./cmd/runlens/
+
+# archive-smoke drives the run archive end to end on a small synthetic
+# dataset: two identical-seed runs must archive and diff clean (exit
+# 0 — the deterministic counters reproduce exactly), and a third run
+# with a perturbed configuration must make `runlens diff` exit
+# non-zero. Also exercises `runlens ls` and `runlens trend` over the
+# same archive.
+ARCHIVE_SMOKE = archive/smoke
+
+archive-smoke:
+	rm -rf $(ARCHIVE_SMOKE)
+	@mkdir -p archive
+	$(GO) run ./cmd/datagen -n 2000 -dims 10 -k 3 -avgdims 4 -seed 9 -o $(ARCHIVE_SMOKE)-data.bin
+	$(GO) run ./cmd/proclus -in $(ARCHIVE_SMOKE)-data.bin -k 3 -l 4 -seed 5 -archive $(ARCHIVE_SMOKE)
+	$(GO) run ./cmd/proclus -in $(ARCHIVE_SMOKE)-data.bin -k 3 -l 4 -seed 5 -archive $(ARCHIVE_SMOKE)
+	$(GO) run ./cmd/runlens ls -archive $(ARCHIVE_SMOKE)
+	$(GO) run ./cmd/runlens diff -archive $(ARCHIVE_SMOKE) @1 @0
+	$(GO) run ./cmd/proclus -in $(ARCHIVE_SMOKE)-data.bin -k 4 -l 4 -seed 5 -archive $(ARCHIVE_SMOKE)
+	@if $(GO) run ./cmd/runlens diff -archive $(ARCHIVE_SMOKE) @1 @0 >/dev/null 2>&1; then \
+		echo "archive-smoke: perturbed-config diff exited 0, want non-zero" >&2; \
+		exit 1; \
+	else \
+		echo "archive-smoke: perturbed-config diff correctly non-zero"; \
+	fi
+	$(GO) run ./cmd/runlens trend -archive $(ARCHIVE_SMOKE)
+	rm -rf $(ARCHIVE_SMOKE) $(ARCHIVE_SMOKE)-data.bin

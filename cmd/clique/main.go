@@ -9,6 +9,7 @@
 //	clique -in data.bin -xi 10 -tau 0.001 -fixeddims 7
 //	clique -in data.bin -highest -v            # report top level, list regions
 //	clique -in data.bin -report run.json -trace trace.jsonl
+//	clique -in data.bin -xi 10 -archive runs/      # append to the run archive
 //	clique -in data.bin -metrics-addr 127.0.0.1:9187
 package main
 
@@ -124,6 +125,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		res.DenseBySubspaceDim[1:], res.Levels)
 	fmt.Fprintf(out, "clusters reported: %d\n", len(res.Clusters))
 
+	coverage := -1.0
 	if ds != nil {
 		members := clique.Membership(ds, res)
 		if ov, err := eval.AverageOverlap(members); err == nil {
@@ -132,6 +134,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		if ds.Labeled() {
 			cov := eval.Coverage(eval.LabelsFromDataset(ds), members)
 			fmt.Fprintf(out, "cluster-point coverage: %.1f%%\n", 100*cov)
+			coverage = cov
 		}
 	} else {
 		fmt.Fprintln(out, "overlap/coverage: skipped (membership needs the in-memory dataset; rerun without -stream to compute them)")
@@ -146,15 +149,20 @@ func run(args []string, out io.Writer) (retErr error) {
 			}
 		}
 	}
+	rep := res.Report()
+	rep.Dataset.Source = *in
+	rep.Dataset.Labeled = labeled
 	if obsFlags.Report != "" {
-		rep := res.Report()
-		rep.Dataset.Source = *in
-		rep.Dataset.Labeled = labeled
 		if err := rep.WriteFile(obsFlags.Report); err != nil {
 			return err
 		}
 	}
-	return nil
+	var quality map[string]float64
+	if coverage >= 0 {
+		quality = map[string]float64{"coverage": coverage}
+	}
+	_, err = sess.ArchiveRun(rep, quality)
+	return err
 }
 
 func oneBased(dims []int) []int {

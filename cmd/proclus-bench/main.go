@@ -10,6 +10,7 @@
 //	proclus-bench -experiment fig7 -full   # paper-scale sizes (slow)
 //	proclus-bench -experiment table1,wide -n 5000
 //	proclus-bench -experiment table1 -bench-json bench/
+//	proclus-bench -experiment table1 -archive runs/   # append capture to the run archive
 //	proclus-bench -experiment wide -sketch-dims 16
 //	proclus-bench -experiment all -progress -metrics-addr 127.0.0.1:9187
 package main
@@ -20,7 +21,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -30,6 +30,7 @@ import (
 	"proclus/internal/benchcmp"
 	"proclus/internal/core"
 	"proclus/internal/experiments"
+	"proclus/internal/obs/archive"
 	"proclus/internal/obs/cliflags"
 	"proclus/internal/obs/metrics"
 )
@@ -242,12 +243,14 @@ func run(args []string, out io.Writer) (retErr error) {
 			continue
 		}
 		delete(wanted, r.id)
-		// A live monitoring server watches one shared registry across the
-		// whole invocation; otherwise each experiment gets a fresh one so
-		// histograms never blur across telemetry records.
-		reg := sess.Metrics
-		if reg == nil {
-			reg = metrics.NewRegistry()
+		// Each experiment records into its own registry so histograms never
+		// blur across telemetry records. With a live monitoring server that
+		// registry is a scoped child of the shared one: /metrics folds every
+		// experiment in under an experiment="<id>" label, while the child's
+		// own snapshot stays byte-identical to a fresh registry's.
+		reg := metrics.NewRegistry()
+		if sess.Metrics != nil {
+			reg = sess.Metrics.Scope(metrics.L("experiment", r.id))
 		}
 		start := time.Now()
 		rep, data, err := r.run(reg)
@@ -276,7 +279,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			RefineSeconds:  rep.Timing.Refine.Seconds(),
 			PhaseSeconds:   rep.Timing.Total().Seconds(),
 		})
-		if *benchJSON != "" {
+		if *benchJSON != "" || sess.Archive != nil {
 			benchRecords = append(benchRecords, telemetryRecord(r.id, wall, rep, reg))
 		}
 		if err := exportCSV(r.id, data); err != nil {
@@ -299,11 +302,11 @@ func run(args []string, out io.Writer) (retErr error) {
 			return err
 		}
 	}
-	if *benchJSON != "" {
+	if *benchJSON != "" || sess.Archive != nil {
 		file := &benchcmp.File{
 			Schema:    benchcmp.SchemaVersion,
 			CreatedAt: time.Now().UTC(),
-			GitRev:    gitRev(),
+			GitRev:    archive.GitRev(),
 			GoVersion: runtime.Version(),
 			MaxProcs:  runtime.GOMAXPROCS(0),
 			Config: benchcmp.Config{
@@ -311,11 +314,20 @@ func run(args []string, out io.Writer) (retErr error) {
 			},
 			Records: benchRecords,
 		}
-		path, err := writeBenchJSON(*benchJSON, file)
-		if err != nil {
-			return err
+		if *benchJSON != "" {
+			path, err := writeBenchJSON(*benchJSON, file)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "benchmark telemetry written to %s\n", path)
 		}
-		fmt.Fprintf(out, "benchmark telemetry written to %s\n", path)
+		if sess.Archive != nil {
+			id, err := sess.Archive.SaveBench(file)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "benchmark telemetry archived as %s in %s\n", id, sess.Archive.Dir())
+		}
 	}
 	return nil
 }
@@ -365,16 +377,6 @@ func writeBenchJSON(target string, file *benchcmp.File) (string, error) {
 		return "", err
 	}
 	return path, f.Close()
-}
-
-// gitRev best-effort resolves the current checkout's revision; bench
-// telemetry stays useful without it (e.g. from an exported tarball).
-func gitRev() string {
-	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
 }
 
 // benchRecord is one experiment's machine-readable timing summary.

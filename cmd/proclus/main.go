@@ -11,6 +11,7 @@
 //	proclus -in data.bin -k 5 -l 7 -sketch-dims 16            # JL pruning, identical output
 //	proclus -in data.bin -k 5 -l 7 -sketch-dims 16 -sketch-mode approx
 //	proclus -in data.bin -k 5 -l 7 -report run.json -trace trace.jsonl
+//	proclus -in data.bin -k 5 -l 7 -archive runs/   # append to the run archive
 //	proclus -in data.bin -k 5 -l 7 -metrics-addr 127.0.0.1:9187
 //	proclus -in data.bin -k 5 -l 7 -chrometrace trace.json
 //	proclus -in data.bin -k 5 -l 7 -cpuprofile cpu.pprof
@@ -108,7 +109,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	ctx, cancel := sess.Context(context.Background())
 	defer cancel()
 	if *stream {
-		return runStreamed(ctx, out, *in, *blockPts, cfgFor(), obsFlags.Report, *assignOut)
+		return runStreamed(ctx, out, sess, *in, *blockPts, cfgFor(), obsFlags.Report, *assignOut)
 	}
 	ds, err := dataset.LoadFile(*in, *hasLabels)
 	if err != nil {
@@ -127,7 +128,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	cfg := cfgFor()
 	report := func(res *core.Result) error {
-		return writeReport(obsFlags.Report, res, *in, ds.Labeled())
+		return finishRun(sess, obsFlags.Report, res, *in, ds.Labeled(), nil)
 	}
 
 	if *sweepL != "" {
@@ -153,6 +154,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	fmt.Fprintf(out, "%-8s %-40s %10d\n", "Outliers", "-", res.NumOutliers())
 
+	var quality map[string]float64
 	if ds.Labeled() {
 		cm, err := eval.NewConfusion(eval.LabelsFromDataset(ds), res.Assignments,
 			len(res.Clusters), ds.NumLabels())
@@ -161,11 +163,14 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		fmt.Fprintf(out, "\nconfusion matrix (output rows × input columns):\n%s", cm)
 		fmt.Fprintf(out, "purity: %.3f", cm.Purity())
+		quality = map[string]float64{"purity": cm.Purity()}
 		if ari, err := eval.AdjustedRandIndex(ds.Labels(), res.Assignments); err == nil {
 			fmt.Fprintf(out, "   ARI: %.3f", ari)
+			quality["ari"] = ari
 		}
 		if nmi, err := eval.NormalizedMutualInfo(ds.Labels(), res.Assignments); err == nil {
 			fmt.Fprintf(out, "   NMI: %.3f", nmi)
+			quality["nmi"] = nmi
 		}
 		fmt.Fprintln(out)
 	}
@@ -176,7 +181,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		fmt.Fprintf(out, "\nassignments written to %s\n", *assignOut)
 	}
-	return report(res)
+	return finishRun(sess, obsFlags.Report, res, *in, ds.Labeled(), quality)
 }
 
 // runStreamed clusters a binary dataset file out of core via
@@ -185,7 +190,7 @@ func run(args []string, out io.Writer) (retErr error) {
 // memory stays O(sample + block) however large the file is. Labeled
 // inputs still get the confusion matrix and external indices — the
 // label column is scanned separately without loading the points.
-func runStreamed(ctx context.Context, out io.Writer, in string, blockPoints int, cfg core.Config, reportPath, assignOut string) error {
+func runStreamed(ctx context.Context, out io.Writer, sess *cliflags.Session, in string, blockPoints int, cfg core.Config, reportPath, assignOut string) error {
 	src, err := dataset.OpenFileSource(in, blockPoints)
 	if err != nil {
 		return err
@@ -206,6 +211,7 @@ func runStreamed(ctx context.Context, out io.Writer, in string, blockPoints int,
 	}
 	fmt.Fprintf(out, "%-8s %-40s %10d\n", "Outliers", "-", res.NumOutliers())
 
+	var quality map[string]float64
 	if src.Labeled() {
 		labels, err := dataset.ScanLabels(in)
 		if err != nil {
@@ -223,11 +229,14 @@ func runStreamed(ctx context.Context, out io.Writer, in string, blockPoints int,
 		}
 		fmt.Fprintf(out, "\nconfusion matrix (output rows × input columns):\n%s", cm)
 		fmt.Fprintf(out, "purity: %.3f", cm.Purity())
+		quality = map[string]float64{"purity": cm.Purity()}
 		if ari, err := eval.AdjustedRandIndex(labels, res.Assignments); err == nil {
 			fmt.Fprintf(out, "   ARI: %.3f", ari)
+			quality["ari"] = ari
 		}
 		if nmi, err := eval.NormalizedMutualInfo(labels, res.Assignments); err == nil {
 			fmt.Fprintf(out, "   NMI: %.3f", nmi)
+			quality["nmi"] = nmi
 		}
 		fmt.Fprintln(out)
 	}
@@ -238,19 +247,24 @@ func runStreamed(ctx context.Context, out io.Writer, in string, blockPoints int,
 		}
 		fmt.Fprintf(out, "\nassignments written to %s\n", assignOut)
 	}
-	return writeReport(reportPath, res, in, src.Labeled())
+	return finishRun(sess, reportPath, res, in, src.Labeled(), quality)
 }
 
-// writeReport writes res's run report to path, stamping the dataset's
-// provenance, which only the CLI knows. An empty path is a no-op.
-func writeReport(path string, res *core.Result, source string, labeled bool) error {
-	if path == "" {
-		return nil
-	}
+// finishRun writes res's run report to path (empty path skips the
+// file), stamping the dataset's provenance, which only the CLI knows,
+// then appends the run — with any computed quality indices — to the
+// session's archive when -archive is set.
+func finishRun(sess *cliflags.Session, path string, res *core.Result, source string, labeled bool, quality map[string]float64) error {
 	rep := res.Report()
 	rep.Dataset.Source = source
 	rep.Dataset.Labeled = labeled
-	return rep.WriteFile(path)
+	if path != "" {
+		if err := rep.WriteFile(path); err != nil {
+			return err
+		}
+	}
+	_, err := sess.ArchiveRun(rep, quality)
+	return err
 }
 
 func runSweepL(out io.Writer, ds *dataset.Dataset, cfg core.Config, spec string, report func(*core.Result) error) error {

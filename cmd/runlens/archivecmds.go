@@ -1,0 +1,347 @@
+package main
+
+// Archive subcommands: `runlens ls`, `runlens diff` and `runlens
+// trend` consume the append-only run archive the CLIs write with
+// -archive, turning single-run analysis into cross-run analysis —
+// what changed between two runs, and when a counter first moved
+// across the archive's history.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"proclus/internal/benchcmp"
+	"proclus/internal/obs"
+	"proclus/internal/obs/archive"
+)
+
+// openArchive opens the store named by -archive, the flag shared by
+// every archive subcommand.
+func openArchive(dir string) (*archive.Store, []archive.Manifest, []archive.Problem, error) {
+	if dir == "" {
+		return nil, nil, nil, fmt.Errorf("-archive is required")
+	}
+	st, err := archive.Open(dir, archive.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ms, probs, err := st.List()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return st, ms, probs, nil
+}
+
+// resolveRef maps a run reference to a manifest: either an exact run
+// ID, or "@N" counting back from the newest entry (@0 = newest,
+// @1 = the one before it).
+func resolveRef(ms []archive.Manifest, ref string) (archive.Manifest, error) {
+	if strings.HasPrefix(ref, "@") {
+		n, err := strconv.Atoi(ref[1:])
+		if err != nil || n < 0 {
+			return archive.Manifest{}, fmt.Errorf("bad run reference %q (want @0, @1, … or a run ID)", ref)
+		}
+		if n >= len(ms) {
+			return archive.Manifest{}, fmt.Errorf("reference %s is out of range: archive holds %d entries", ref, len(ms))
+		}
+		return ms[len(ms)-1-n], nil
+	}
+	for _, m := range ms {
+		if m.RunID == ref {
+			return m, nil
+		}
+	}
+	return archive.Manifest{}, fmt.Errorf("run %q not found in archive", ref)
+}
+
+func printProblems(out io.Writer, probs []archive.Problem) {
+	for _, p := range probs {
+		fmt.Fprintf(out, "warning: skipping %s: %s\n", p.RunID, p.Err)
+	}
+}
+
+// runLs lists the archive in deterministic (creation time, run ID)
+// order, oldest first, with @N references for diff.
+func runLs(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runlens ls", flag.ContinueOnError)
+	fs.SetOutput(out)
+	dir := fs.String("archive", "", "run archive directory (written by the CLIs' -archive)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ms, probs, err := openArchive(*dir)
+	if err != nil {
+		return err
+	}
+	printProblems(out, probs)
+	if len(ms) == 0 {
+		fmt.Fprintln(out, "archive is empty")
+		return nil
+	}
+	fmt.Fprintf(out, "%-5s %-44s %-14s %-8s %-8s %12s\n",
+		"ref", "run", "algorithm", "rev", "seed", "objective")
+	for i, m := range ms {
+		rev := m.GitRev
+		if rev == "" {
+			rev = "-"
+		}
+		fmt.Fprintf(out, "%-5s %-44s %-14s %-8s %-8d %12.4f\n",
+			"@"+strconv.Itoa(len(ms)-1-i), m.RunID, m.Algorithm, rev, m.Seed, m.Objective)
+	}
+	return nil
+}
+
+// manifestRecord adapts an archived manifest to the benchcmp record
+// schema so CompareRecords can diff two runs. Only the manifest is
+// needed: counters, phase seconds and quality all live there, so diff
+// works even when an entry's report file is missing or damaged.
+func manifestRecord(m archive.Manifest) benchcmp.Record {
+	return benchcmp.Record{
+		Experiment:   m.Algorithm,
+		PhaseSeconds: m.PhaseSeconds,
+		Counters:     m.Counters,
+		Quality:      m.Quality,
+	}
+}
+
+// runDiff compares two archived runs' manifests: deterministic work
+// counters and quality indices under the tight threshold, phase times
+// under the (by default effectively disabled) time threshold. Any
+// delta makes the command exit non-zero, so CI can assert that two
+// identical-seed runs reproduce exactly.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runlens diff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dir     = fs.String("archive", "", "run archive directory (written by the CLIs' -archive)")
+		workThr = fs.Float64("work-threshold", 0, "relative tolerance for counters and quality indices (0 = benchcmp default)")
+		timeThr = fs.Float64("time-threshold", 1e12, "relative slowdown beyond which phase times are flagged; the huge default keeps nondeterministic wall time out of the exit code")
+		quiet   = fs.Bool("q", false, "suppress the run headers, print only the deltas")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(out, "usage: runlens diff -archive dir <base> <candidate>\n"+
+			"  runs are named by ID or by age: @0 is the newest entry, @1 the one before\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("want exactly two runs to compare, got %d", fs.NArg())
+	}
+	_, ms, probs, err := openArchive(*dir)
+	if err != nil {
+		return err
+	}
+	printProblems(out, probs)
+	base, err := resolveRef(ms, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cand, err := resolveRef(ms, fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		for _, side := range []struct {
+			tag string
+			m   archive.Manifest
+		}{{"base", base}, {"cand", cand}} {
+			rev := side.m.GitRev
+			if rev == "" {
+				rev = "-"
+			}
+			fmt.Fprintf(out, "%s  %s  %s rev %s seed %d objective %.4f\n",
+				side.tag, side.m.RunID, side.m.Algorithm, rev, side.m.Seed, side.m.Objective)
+		}
+		if base.Seed != cand.Seed {
+			fmt.Fprintln(out, "note: seeds differ; counter deltas reflect the seed change, not necessarily a code change")
+		}
+		if !jsonEqual(base.Config, cand.Config) {
+			fmt.Fprintln(out, "note: configs differ; counter deltas reflect the config change")
+		}
+		fmt.Fprintln(out)
+	}
+	rep := benchcmp.CompareRecords(manifestRecord(base), manifestRecord(cand), benchcmp.Options{
+		WorkThreshold: *workThr,
+		TimeThreshold: *timeThr,
+	})
+	if err := rep.WriteText(out); err != nil {
+		return err
+	}
+	if n := len(rep.Regressions) + len(rep.Improvements); n > 0 {
+		return fmt.Errorf("runs differ: %d metric(s) moved beyond threshold", n)
+	}
+	return nil
+}
+
+func jsonEqual(a, b json.RawMessage) bool {
+	var av, bv any
+	if json.Unmarshal(a, &av) != nil || json.Unmarshal(b, &bv) != nil {
+		return string(a) == string(b)
+	}
+	ja, _ := json.Marshal(av)
+	jb, _ := json.Marshal(bv)
+	return string(ja) == string(jb)
+}
+
+// counterValues flattens a counter snapshot to (name, value) pairs via
+// its JSON encoding, so new counters join the trend without touching
+// this tool.
+func counterValues(s obs.Snapshot) map[string]float64 {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return nil
+	}
+	vals := map[string]float64{}
+	_ = json.Unmarshal(raw, &vals)
+	return vals
+}
+
+// runTrend prints each deterministic counter's and each phase's values
+// across the archive in chronological order, then attributes the
+// earliest movement: which counter moved first, and at which run. That
+// is usually the root of a work regression — later counters often move
+// as a consequence of the first.
+func runTrend(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runlens trend", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dir     = fs.String("archive", "", "run archive directory (written by the CLIs' -archive)")
+		last    = fs.Int("last", 0, "only the newest N entries (0 = all)")
+		algo    = fs.String("algorithm", "", "only entries from this algorithm (e.g. proclus)")
+		workThr = fs.Float64("work-threshold", 0.01, "relative change in a counter that counts as movement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ms, probs, err := openArchive(*dir)
+	if err != nil {
+		return err
+	}
+	printProblems(out, probs)
+	if *algo != "" {
+		kept := ms[:0]
+		for _, m := range ms {
+			if m.Algorithm == *algo {
+				kept = append(kept, m)
+			}
+		}
+		ms = kept
+	}
+	if *last > 0 && len(ms) > *last {
+		ms = ms[len(ms)-*last:]
+	}
+	if len(ms) == 0 {
+		fmt.Fprintln(out, "archive holds no matching entries")
+		return nil
+	}
+
+	fmt.Fprintf(out, "== trend over %d archived run(s) ==\n", len(ms))
+	fmt.Fprintf(out, "%-4s %-44s %-14s %12s\n", "run", "id", "algorithm", "objective")
+	for i, m := range ms {
+		fmt.Fprintf(out, "%-4d %-44s %-14s %12.4f\n", i, m.RunID, m.Algorithm, m.Objective)
+	}
+	fmt.Fprintln(out)
+
+	// Collect every counter and phase name that appears anywhere, then
+	// print each one's value per run in a fixed, sorted order.
+	counters := make([]map[string]float64, len(ms))
+	nameSet := map[string]bool{}
+	phaseSet := map[string]bool{}
+	for i, m := range ms {
+		counters[i] = counterValues(m.Counters)
+		for name := range counters[i] {
+			nameSet[name] = true
+		}
+		for name := range m.PhaseSeconds {
+			phaseSet[name] = true
+		}
+	}
+	names := sortedNames(nameSet)
+	fmt.Fprintln(out, "== counters ==")
+	for _, name := range names {
+		row := make([]string, len(ms))
+		for i := range ms {
+			row[i] = strconv.FormatFloat(counters[i][name], 'g', -1, 64)
+		}
+		fmt.Fprintf(out, "%-28s %s\n", name, strings.Join(row, "  "))
+	}
+	fmt.Fprintln(out)
+	if phases := sortedNames(phaseSet); len(phases) > 0 {
+		fmt.Fprintln(out, "== phase seconds ==")
+		for _, name := range phases {
+			row := make([]string, len(ms))
+			for i, m := range ms {
+				row[i] = fmt.Sprintf("%.3f", m.PhaseSeconds[name])
+			}
+			fmt.Fprintf(out, "%-28s %s\n", name, strings.Join(row, "  "))
+		}
+		fmt.Fprintln(out)
+	}
+
+	// Regression attribution: the first run at which each counter moved
+	// beyond threshold relative to the previous run, and among those the
+	// earliest mover. Counters that never move are not listed.
+	type move struct {
+		name     string
+		run      int
+		from, to float64
+	}
+	var moves []move
+	for _, name := range names {
+		for i := 1; i < len(ms); i++ {
+			prev, cur := counters[i-1][name], counters[i][name]
+			if moved(prev, cur, *workThr) {
+				moves = append(moves, move{name: name, run: i, from: prev, to: cur})
+				break
+			}
+		}
+	}
+	if len(moves) == 0 {
+		fmt.Fprintln(out, "no counter moved beyond threshold across the archive")
+		return nil
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].run != moves[j].run {
+			return moves[i].run < moves[j].run
+		}
+		return moves[i].name < moves[j].name
+	})
+	fmt.Fprintln(out, "== first movers ==")
+	first := moves[0].run
+	for _, mv := range moves {
+		marker := ""
+		if mv.run == first {
+			marker = "  <- moved first"
+		}
+		fmt.Fprintf(out, "%-28s first moved at run %d (%s): %g -> %g%s\n",
+			mv.name, mv.run, ms[mv.run].RunID, mv.from, mv.to, marker)
+	}
+	return nil
+}
+
+// moved reports whether cur deviates from prev beyond the relative
+// threshold (with an exact comparison when prev is zero).
+func moved(prev, cur, threshold float64) bool {
+	if prev == 0 {
+		return cur != 0
+	}
+	ratio := cur / prev
+	return ratio > 1+threshold || ratio < 1/(1+threshold)
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

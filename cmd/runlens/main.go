@@ -6,12 +6,23 @@
 // of each streamed pass, any stalls the watchdog flagged, and the
 // recorded series.
 //
+// With a run archive (written by the CLIs' -archive flag) it also
+// analyzes runs *over time*: `runlens ls` lists the archive, `runlens
+// diff` compares two archived runs' deterministic counters and quality
+// indices (exiting non-zero when they differ), and `runlens trend`
+// tracks every counter across the archive and attributes which one
+// moved first.
+//
 // Usage:
 //
 //	runlens trace.jsonl
 //	runlens -top 5 trace.jsonl
 //	runlens -series series.json
 //	runlens -series series.json trace.jsonl
+//	runlens ls -archive runs/
+//	runlens diff -archive runs/ @1 @0
+//	runlens diff -archive runs/ 20260808T120001.000000000Z-proclus @0
+//	runlens trend -archive runs/ -algorithm proclus
 package main
 
 import (
@@ -36,6 +47,16 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "ls":
+			return runLs(args[1:], out)
+		case "diff":
+			return runDiff(args[1:], out)
+		case "trend":
+			return runTrend(args[1:], out)
+		}
+	}
 	fs := flag.NewFlagSet("runlens", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -43,7 +64,8 @@ func run(args []string, out io.Writer) error {
 		top        = fs.Int("top", 3, "straggler blocks to list per streamed pass")
 	)
 	fs.Usage = func() {
-		fmt.Fprint(out, "usage: runlens [-series snapshot.json] [-top n] [trace.jsonl]\n\n")
+		fmt.Fprint(out, "usage: runlens [-series snapshot.json] [-top n] [trace.jsonl]\n"+
+			"       runlens ls|diff|trend -archive dir [args]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

@@ -83,6 +83,11 @@ type Record struct {
 	// Metrics snapshots the experiment's metric registry: histograms,
 	// rates and counter series accumulated across its runs.
 	Metrics metrics.Snapshot `json:"metrics,omitempty"`
+	// Quality holds external evaluation indices (ari, nmi, purity) keyed
+	// by name. Unlike every other metric, higher is better, so Compare
+	// flags drops as regressions. Absent on captures recorded before the
+	// archive tier existed; missing keys are simply not compared.
+	Quality map[string]float64 `json:"quality,omitempty"`
 }
 
 // TotalPhaseSeconds sums the per-phase in-algorithm times.
@@ -257,6 +262,16 @@ func Compare(baseline, candidate *File, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// CompareRecords diffs a single pair of records outside the file-level
+// flow — the entry point `runlens diff` uses to compare two archived
+// runs' manifests after adapting them to the Record schema. The
+// returned report covers just this pair.
+func CompareRecords(base, cand Record, opts Options) *Report {
+	rep := &Report{Compared: 1}
+	compareRecord(rep, base, cand, opts.withDefaults())
+	return rep
+}
+
 func compareRecord(rep *Report, base, cand Record, opts Options) {
 	classify := func(metric, kind string, b, c, threshold float64) {
 		if kind == "time" && b < opts.MinSeconds && c < opts.MinSeconds {
@@ -302,6 +317,32 @@ func compareRecord(rep *Report, base, cand Record, opts Options) {
 		float64(base.Counters.SketchPruneHits), float64(cand.Counters.SketchPruneHits), opts.WorkThreshold)
 	classify("counters/sketch_prune_misses", "work",
 		float64(base.Counters.SketchPruneMisses), float64(cand.Counters.SketchPruneMisses), opts.WorkThreshold)
+
+	// Quality indices invert the regression sense: a drop beyond
+	// threshold regresses, a rise improves. Keys present on only one
+	// side are skipped (older captures carry no quality map).
+	for _, name := range sortedKeys(base.Quality, cand.Quality) {
+		b, okB := base.Quality[name]
+		c, okC := cand.Quality[name]
+		if !okB || !okC {
+			continue
+		}
+		d := Delta{
+			Experiment: cand.Experiment, Metric: "quality/" + name, Kind: "quality",
+			Baseline: b, Candidate: c,
+		}
+		if b > 0 {
+			d.Ratio = c / b
+		} else if c == 0 {
+			continue
+		}
+		switch {
+		case b > c*(1+opts.WorkThreshold):
+			rep.Regressions = append(rep.Regressions, d)
+		case c > b*(1+opts.WorkThreshold):
+			rep.Improvements = append(rep.Improvements, d)
+		}
+	}
 }
 
 func sortedKeys(maps ...map[string]float64) []string {

@@ -300,3 +300,41 @@ func TestDeltaJSONEncodable(t *testing.T) {
 		t.Errorf("report not JSON-encodable: %v", err)
 	}
 }
+
+func TestCompareRecordsQuality(t *testing.T) {
+	base := Record{
+		Experiment: "run",
+		Counters:   obs.Snapshot{DistanceEvals: 1000},
+		Quality:    map[string]float64{"ari": 0.90, "nmi": 0.80, "legacy_only": 0.5},
+	}
+	cand := Record{
+		Experiment: "run",
+		Counters:   obs.Snapshot{DistanceEvals: 1000},
+		Quality:    map[string]float64{"ari": 0.70, "nmi": 0.95},
+	}
+	rep := CompareRecords(base, cand, Options{})
+	// ARI dropped beyond threshold -> regression; NMI rose -> improvement;
+	// the key present on only one side is skipped.
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "quality/ari" {
+		t.Errorf("regressions = %+v", rep.Regressions)
+	}
+	if len(rep.Improvements) != 1 || rep.Improvements[0].Metric != "quality/nmi" {
+		t.Errorf("improvements = %+v", rep.Improvements)
+	}
+	if rep.Compared != 1 {
+		t.Errorf("compared = %d", rep.Compared)
+	}
+}
+
+func TestCompareRecordsIdentical(t *testing.T) {
+	rec := Record{
+		Experiment:   "run",
+		PhaseSeconds: map[string]float64{"iterate": 1.5},
+		Counters:     obs.Snapshot{DistanceEvals: 1000, PointsScanned: 500},
+		Quality:      map[string]float64{"ari": 0.9},
+	}
+	rep := CompareRecords(rec, rec, Options{})
+	if rep.HasRegressions() || len(rep.Improvements) != 0 {
+		t.Errorf("identical records produced deltas: %+v", rep)
+	}
+}

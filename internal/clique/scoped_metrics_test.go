@@ -1,0 +1,75 @@
+package clique
+
+// Metamorphic contract for scoped registries on the CLIQUE side:
+// recording into a scoped child of a shared registry must leave the
+// lattice search untouched — cluster structure, unit counts and work
+// counters are identical to an uninstrumented run for any worker
+// count, and the run's metrics fold into the parent under the scope
+// labels without leaking them into the child's own snapshot.
+
+import (
+	"reflect"
+	"testing"
+
+	"proclus/internal/obs/metrics"
+)
+
+func TestScopedRegistryResultInvariance(t *testing.T) {
+	ds := threeDimClusterData(15)
+	parent := metrics.NewRegistry()
+	variants := []struct {
+		name string
+		reg  func() *metrics.Registry
+	}{
+		{"nil", func() *metrics.Registry { return nil }},
+		{"fresh", metrics.NewRegistry},
+		{"scoped", func() *metrics.Registry {
+			return parent.Scope(metrics.L("job", "c1"))
+		}},
+	}
+	var prev *Result
+	prevName := ""
+	for _, workers := range []int{1, 4} {
+		for _, v := range variants {
+			res, err := Run(ds, Config{Xi: 10, Tau: 0.04, Workers: workers, Metrics: v.reg()})
+			if err != nil {
+				t.Fatalf("%s/workers=%d: %v", v.name, workers, err)
+			}
+			if prev != nil {
+				if !reflect.DeepEqual(res.Clusters, prev.Clusters) ||
+					!reflect.DeepEqual(res.DenseBySubspaceDim, prev.DenseBySubspaceDim) ||
+					res.Stats.Counters != prev.Stats.Counters {
+					t.Fatalf("result differs between %s and %s (workers=%d)", prevName, v.name, workers)
+				}
+			}
+			prev, prevName = res, v.name
+		}
+	}
+}
+
+func TestScopedRegistryFoldsSearchMetrics(t *testing.T) {
+	ds := threeDimClusterData(15)
+	parent := metrics.NewRegistry()
+	child := parent.Scope(metrics.L("job", "beta"))
+	if _, err := Run(ds, Config{Xi: 10, Tau: 0.04, Metrics: child}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range child.Snapshot() {
+		for _, l := range e.Labels {
+			if l.Key == "job" {
+				t.Fatalf("scope label leaked into the child snapshot: %+v", e)
+			}
+		}
+	}
+	folded := false
+	for _, e := range parent.Snapshot() {
+		for _, l := range e.Labels {
+			if l.Key == "job" && l.Value == "beta" {
+				folded = true
+			}
+		}
+	}
+	if !folded {
+		t.Fatal("parent snapshot carries no job-scoped series from the search")
+	}
+}

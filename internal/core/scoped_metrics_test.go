@@ -1,0 +1,81 @@
+package core
+
+// Metamorphic contract for scoped registries: attaching a scoped child
+// of a shared registry (the clustering-as-a-service shape — one parent
+// per process, one scope per job) must not perturb the run in any way.
+// Assignments, medoids, dimension sets, counters and the objective
+// trace are bit-identical whether the run records into nil, a fresh
+// registry, a scoped child, or a nested scope — for any worker count.
+
+import (
+	"reflect"
+	"testing"
+
+	"proclus/internal/obs/metrics"
+)
+
+func TestScopedRegistryResultInvariance(t *testing.T) {
+	ds := wellSeparated(t, 100)
+	parent := metrics.NewRegistry()
+	variants := []struct {
+		name string
+		reg  func() *metrics.Registry
+	}{
+		{"nil", func() *metrics.Registry { return nil }},
+		{"fresh", metrics.NewRegistry},
+		{"scoped", func() *metrics.Registry {
+			return parent.Scope(metrics.L("job", "a"))
+		}},
+		{"nested-scope", func() *metrics.Registry {
+			return parent.Scope(metrics.L("tenant", "t1")).Scope(metrics.L("job", "b"))
+		}},
+	}
+	var prev *comparableResult
+	prevName := ""
+	for _, workers := range []int{1, 4} {
+		for _, v := range variants {
+			res, err := Run(ds, Config{K: 2, L: 2, Seed: 3, Workers: workers, Metrics: v.reg()})
+			if err != nil {
+				t.Fatalf("%s/workers=%d: %v", v.name, workers, err)
+			}
+			got := stripTimings(res)
+			name := v.name
+			if prev != nil && !reflect.DeepEqual(got, *prev) {
+				t.Fatalf("result differs between %s and %s (workers=%d)", prevName, name, workers)
+			}
+			prev, prevName = &got, name
+		}
+	}
+}
+
+// TestScopedRegistryFoldsRunMetrics pins the fold direction: a run
+// recording into a scoped child surfaces in the parent's snapshot with
+// the scope labels attached, while the child's own snapshot — the one
+// embedded in the run's report — carries none of them, staying
+// interchangeable with a fresh registry's.
+func TestScopedRegistryFoldsRunMetrics(t *testing.T) {
+	ds := wellSeparated(t, 60)
+	parent := metrics.NewRegistry()
+	child := parent.Scope(metrics.L("job", "alpha"))
+	if _, err := Run(ds, Config{K: 2, L: 2, Seed: 3, Metrics: child}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range child.Snapshot() {
+		for _, l := range e.Labels {
+			if l.Key == "job" {
+				t.Fatalf("scope label leaked into the child snapshot: %+v", e)
+			}
+		}
+	}
+	folded := false
+	for _, e := range parent.Snapshot() {
+		for _, l := range e.Labels {
+			if l.Key == "job" && l.Value == "alpha" {
+				folded = true
+			}
+		}
+	}
+	if !folded {
+		t.Fatal("parent snapshot carries no job-scoped series from the run")
+	}
+}

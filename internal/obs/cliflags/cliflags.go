@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"proclus/internal/obs"
+	"proclus/internal/obs/archive"
 	"proclus/internal/obs/metrics"
 	"proclus/internal/obs/series"
 	"proclus/internal/obs/serve"
@@ -60,6 +61,13 @@ type Flags struct {
 	// StallCancel is -stall-cancel: on the first stall, cancel the run's
 	// context (obtained via Session.Context) instead of only reporting.
 	StallCancel bool
+	// Archive is the -archive directory: an append-only run store that
+	// accumulates completed runs' manifests, reports and telemetry for
+	// cross-run analysis (runlens diff/trend, serve's /runs).
+	Archive string
+	// ArchiveKeep is -archive-keep: retain only the newest N archive
+	// entries, garbage-collecting older ones. Zero keeps everything.
+	ArchiveKeep int
 	// CPUProfile and MemProfile are the -cpuprofile/-memprofile paths.
 	CPUProfile string
 	MemProfile string
@@ -102,6 +110,8 @@ func Register(fs *flag.FlagSet, opts ...Option) *Flags {
 	fs.IntVar(&f.StallIters, "stall-iters", 0, "emit a stall event when a restart's objective fails to improve for this many consecutive iterations (0 disables)")
 	fs.DurationVar(&f.StallDeadline, "stall-deadline", 0, "emit a stall event when no progress event arrives for this long (0 disables)")
 	fs.BoolVar(&f.StallCancel, "stall-cancel", false, "cancel the run on the first stall instead of only reporting it")
+	fs.StringVar(&f.Archive, "archive", "", "append this run's report and telemetry to the run archive at this directory (inspect with runlens ls/diff/trend)")
+	fs.IntVar(&f.ArchiveKeep, "archive-keep", 0, "retain only the newest N archive entries, deleting older ones after each save (0 keeps everything)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path on exit")
 	return f
@@ -129,6 +139,10 @@ type Session struct {
 	// Addr is the monitoring server's bound address, for tests and logs
 	// (empty without -metrics-addr).
 	Addr string
+	// Archive is the run store -archive opened, nil without the flag.
+	// Completed runs land in it via ArchiveRun; proclus-bench appends
+	// telemetry captures with its SaveBench.
+	Archive *archive.Store
 
 	seriesPath string
 	errw       io.Writer
@@ -150,6 +164,13 @@ func (f *Flags) Start(errw io.Writer) (*Session, error) {
 	}
 	if f.Series != "" || f.MetricsAddr != "" {
 		s.Series = series.NewStore(0)
+	}
+	if f.Archive != "" {
+		st, err := archive.Open(f.Archive, archive.Options{Retain: f.ArchiveKeep})
+		if err != nil {
+			return fail(err)
+		}
+		s.Archive = st
 	}
 
 	stopProfiles, err := obs.StartProfiles(f.CPUProfile, f.MemProfile)
@@ -200,6 +221,7 @@ func (f *Flags) Start(errw io.Writer) (*Session, error) {
 			Registry: s.Metrics,
 			Live:     live,
 			Series:   s.Series,
+			Archive:  s.Archive,
 		})
 		if err != nil {
 			return fail(err)
@@ -244,6 +266,27 @@ func (s *Session) cancelInFlight() {
 	if cancel != nil {
 		cancel()
 	}
+}
+
+// ArchiveRun appends one completed run's report to the session's
+// archive, stamping the recording git revision and any quality indices
+// the CLI computed against ground-truth labels. Without -archive it is
+// a no-op returning an empty ID, so CLIs call it unconditionally.
+func (s *Session) ArchiveRun(rep *obs.RunReport, quality map[string]float64) (string, error) {
+	if s == nil || s.Archive == nil || rep == nil {
+		return "", nil
+	}
+	run := archive.FromReport(rep)
+	run.GitRev = archive.GitRev()
+	run.Quality = quality
+	id, err := s.Archive.SaveRun(run)
+	if err != nil {
+		return "", fmt.Errorf("archiving run: %w", err)
+	}
+	if s.errw != nil {
+		fmt.Fprintf(s.errw, "archived run %s in %s\n", id, s.Archive.Dir())
+	}
+	return id, nil
 }
 
 // Observe forwards an event to the session's observer. Safe with no

@@ -234,3 +234,42 @@ func TestSessionWatchdogObserveOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSessionArchive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runs")
+	f := parse(t, []string{"-archive", dir, "-archive-keep", "2"})
+	sess, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Archive == nil {
+		t.Fatal("-archive did not open a store")
+	}
+	rep := &obs.RunReport{Algorithm: "proclus", Seed: 7, Objective: 1.5,
+		Phases: []obs.PhaseReport{{Name: "iterate", Seconds: 0.1}}}
+	id, err := sess.ArchiveRun(rep, map[string]float64{"ari": 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("ArchiveRun returned an empty ID with an archive attached")
+	}
+	rec, err := sess.Archive.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Manifest.Seed != 7 || rec.Manifest.Quality["ari"] != 0.8 ||
+		rec.Manifest.PhaseSeconds["iterate"] != 0.1 {
+		t.Errorf("archived manifest = %+v", rec.Manifest)
+	}
+	// Without -archive the helper is a silent no-op.
+	plain, err := parse(t, nil).Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if id, err := plain.ArchiveRun(rep, nil); id != "" || err != nil {
+		t.Errorf("ArchiveRun without -archive = (%q, %v), want no-op", id, err)
+	}
+}

@@ -40,6 +40,14 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+
+	// parent and scope are set on registries created by Scope: the child
+	// records into its own isolated namespace, and the parent's Snapshot
+	// and WritePrometheus fold the child's series back in with the scope
+	// labels appended. children holds the live scopes in creation order.
+	parent   *Registry
+	scope    []Label
+	children []*Registry
 }
 
 type entry struct {
@@ -138,20 +146,100 @@ func (r *Registry) Rate(name, help string, labels ...Label) *Rate {
 	return r.lookup(name, help, KindRate, labels).rate
 }
 
-// sortedEntries returns the registry's entries ordered by name then
-// labels, the canonical order of snapshots and rendering.
-func (r *Registry) sortedEntries() []*entry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	es := make([]*entry, 0, len(r.entries))
-	for _, e := range r.entries {
-		es = append(es, e)
+// Scope returns a child registry recording into its own isolated
+// namespace. Code holding the child sees only its own series (its
+// Snapshot and exposition carry no scope labels, so a scoped run's
+// telemetry record is byte-identical to one recorded into a fresh
+// registry), while the parent's Snapshot and WritePrometheus fold every
+// child's series in with the scope labels appended — the per-job
+// isolation a multi-tenant service needs. Scopes nest: a grandchild's
+// series surface on the root with both scopes' labels. Scope labels
+// should not reuse a label key the instrumented code itself sets. Nil
+// receivers return nil, preserving the nil no-op chain.
+func (r *Registry) Scope(labels ...Label) *Registry {
+	if r == nil {
+		return nil
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].name != es[j].name {
-			return es[i].name < es[j].name
+	scope := append([]Label(nil), labels...)
+	sort.Slice(scope, func(i, j int) bool { return scope[i].Key < scope[j].Key })
+	child := &Registry{entries: map[string]*entry{}, parent: r, scope: scope}
+	r.mu.Lock()
+	r.children = append(r.children, child)
+	r.mu.Unlock()
+	return child
+}
+
+// Detach removes the registry from its parent, so a finished job's
+// series stop contributing to the parent's snapshots and exposition.
+// The child itself stays usable (and re-readable) after detaching.
+// No-op on nil registries and on registries not created by Scope.
+func (r *Registry) Detach() {
+	if r == nil || r.parent == nil {
+		return
+	}
+	p := r.parent
+	p.mu.Lock()
+	for i, c := range p.children {
+		if c == r {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
 		}
-		return seriesKey(es[i].name, es[i].labels) < seriesKey(es[j].name, es[j].labels)
+	}
+	p.mu.Unlock()
+}
+
+// flatEntry is one series located in the scope tree: the entry plus its
+// effective labels (own labels merged with every scope on the path).
+type flatEntry struct {
+	e      *entry
+	labels []Label
+}
+
+// mergeLabels concatenates and key-sorts two label sets.
+func mergeLabels(a, b []Label) []Label {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Label, 0, len(a)+len(b))
+	out = append(append(out, a...), b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// flatten appends the registry's own entries and, recursively, every
+// child's, each under the accumulated scope labels.
+func (r *Registry) flatten(scope []Label, out *[]flatEntry) {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	children := append([]*Registry(nil), r.children...)
+	r.mu.Unlock()
+	for _, e := range entries {
+		*out = append(*out, flatEntry{e: e, labels: mergeLabels(e.labels, scope)})
+	}
+	for _, c := range children {
+		c.flatten(mergeLabels(scope, c.scope), out)
+	}
+}
+
+// sortedEntries returns the registry's entries — its own plus every
+// scoped child's under the scope labels — ordered by name then labels,
+// the canonical order of snapshots and rendering.
+func (r *Registry) sortedEntries() []flatEntry {
+	var es []flatEntry
+	r.flatten(nil, &es)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].e.name != es[j].e.name {
+			return es[i].e.name < es[j].e.name
+		}
+		return seriesKey(es[i].e.name, es[i].labels) < seriesKey(es[j].e.name, es[j].labels)
 	})
 	return es
 }
@@ -192,8 +280,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	es := r.sortedEntries()
 	out := make(Snapshot, 0, len(es))
-	for _, e := range es {
-		m := MetricSnapshot{Name: e.name, Kind: e.kind, Help: e.help, Labels: e.labels}
+	for _, fe := range es {
+		e := fe.e
+		m := MetricSnapshot{Name: e.name, Kind: e.kind, Help: e.help, Labels: fe.labels}
 		switch e.kind {
 		case KindHistogram:
 			h := e.hist.Snapshot()
@@ -250,7 +339,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	lastName := ""
-	for _, e := range r.sortedEntries() {
+	for _, fe := range r.sortedEntries() {
+		e := fe.e
 		if e.name != lastName {
 			if e.help != "" {
 				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
@@ -269,11 +359,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var err error
 		switch e.kind {
 		case KindHistogram:
-			err = writePromHistogram(w, e)
+			err = writePromHistogram(w, e, fe.labels)
 		case KindGauge, KindCounter:
-			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(e.labels), promFloat(e.gauge.Value()))
+			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(fe.labels), promFloat(e.gauge.Value()))
 		case KindRate:
-			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(e.labels), promFloat(e.rate.Snapshot().PerSecond))
+			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, promLabels(fe.labels), promFloat(e.rate.Snapshot().PerSecond))
 		}
 		if err != nil {
 			return err
@@ -282,7 +372,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writePromHistogram(w io.Writer, e *entry) error {
+func writePromHistogram(w io.Writer, e *entry, labels []Label) error {
 	s := e.hist.Snapshot()
 	cum := int64(0)
 	sawInf := false
@@ -292,22 +382,22 @@ func writePromHistogram(w io.Writer, e *entry) error {
 			sawInf = true
 		}
 		_, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			e.name, promLabels(e.labels, L("le", promFloat(b.LE))), cum)
+			e.name, promLabels(labels, L("le", promFloat(b.LE))), cum)
 		if err != nil {
 			return err
 		}
 	}
 	if !sawInf {
 		_, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			e.name, promLabels(e.labels, L("le", "+Inf")), s.Count)
+			e.name, promLabels(labels, L("le", "+Inf")), s.Count)
 		if err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, promLabels(e.labels), promFloat(s.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, promLabels(labels), promFloat(s.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels), s.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(labels), s.Count)
 	return err
 }
 

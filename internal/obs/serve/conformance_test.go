@@ -171,6 +171,15 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	store.Series("proclus_iter_best", "best objective").Append(1, 99)
 	store.Series("proclus_empty", "never appended") // must not surface
 
+	// Scoped child registries must fold into the same exposition with
+	// their scope labels attached, sharing TYPE headers with the parent's
+	// families rather than re-declaring them.
+	for _, job := range []string{"job-a", "job-b"} {
+		child := reg.Scope(metrics.L("job", job))
+		child.Counter("proclus_distance_evals_total", "distance evaluations").Add(5)
+		child.Histogram("proclus_phase_seconds", "phase wall time", metrics.L("phase", "iterate")).Observe(0.25)
+	}
+
 	s := startTestServer(t, Options{Registry: reg, Series: store, Live: NewLive()})
 	code, body := get(t, "http://"+s.Addr()+"/metrics")
 	if code != http.StatusOK {
@@ -184,6 +193,9 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		`proclus_iter_objective{restart="1"} 95`,
 		`proclus_iter_objective{restart="2"} 95`,
 		"# TYPE proclus_iter_best gauge",
+		`proclus_distance_evals_total{job="job-a"} 5`,
+		`proclus_distance_evals_total{job="job-b"} 5`,
+		`proclus_phase_seconds_count{job="job-a",phase="iterate"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
@@ -191,6 +203,9 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	}
 	if strings.Contains(body, "proclus_empty") {
 		t.Error("/metrics exposes a series that was never appended to")
+	}
+	if got := strings.Count(body, "# TYPE proclus_distance_evals_total"); got != 1 {
+		t.Errorf("TYPE for proclus_distance_evals_total declared %d times, want 1", got)
 	}
 }
 

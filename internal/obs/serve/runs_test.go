@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"proclus/internal/obs"
+	"proclus/internal/obs/archive"
+	"proclus/internal/obs/obstest"
+)
+
+func testArchive(t *testing.T) (*archive.Store, []string) {
+	t.Helper()
+	st, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for n := 1; n <= 2; n++ {
+		rep := &obs.RunReport{
+			Algorithm: "proclus",
+			Dataset:   obs.DatasetInfo{Points: 50, Dims: 4},
+			Seed:      uint64(n),
+			Config:    map[string]int{"k": 3},
+			Phases:    []obs.PhaseReport{{Name: "iterate", Seconds: 0.2}},
+			Objective: float64(n),
+		}
+		rep.Counters.DistanceEvals = int64(100 * n)
+		run := archive.FromReport(rep)
+		run.CreatedAt = time.Date(2026, 8, 8, 12, 0, n, 0, time.UTC)
+		id, err := st.SaveRun(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return st, ids
+}
+
+func TestRunsEndpoints(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	st, ids := testArchive(t)
+	s := startTestServer(t, Options{Archive: st})
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs status %d", code)
+	}
+	var listing RunsListing
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("/runs is not valid JSON: %v\n%s", err, body)
+	}
+	if len(listing.Runs) != 2 || len(listing.Problems) != 0 {
+		t.Fatalf("/runs listing = %+v", listing)
+	}
+	// Deterministic order: (creation time, run ID).
+	for i, m := range listing.Runs {
+		if m.RunID != ids[i] {
+			t.Errorf("listing[%d] = %s, want %s", i, m.RunID, ids[i])
+		}
+	}
+
+	code, body = get(t, base+"/runs/"+ids[0])
+	if code != http.StatusOK {
+		t.Fatalf("/runs/<id> status %d", code)
+	}
+	var rec archive.Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("/runs/<id> is not valid JSON: %v\n%s", err, body)
+	}
+	if rec.Manifest.RunID != ids[0] || rec.Report == nil || rec.Report.Dataset.Points != 50 {
+		t.Errorf("/runs/<id> record = %+v", rec)
+	}
+
+	if code, _ = get(t, base+"/runs/no-such-run"); code != http.StatusNotFound {
+		t.Errorf("unknown run ID status %d, want 404", code)
+	}
+	if code, _ = get(t, base+"/runs/"); code != http.StatusNotFound {
+		t.Errorf("empty run ID status %d, want 404", code)
+	}
+}
+
+func TestRunsEndpointCorruptionTolerant(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	st, ids := testArchive(t)
+	// Damage one manifest: the listing must keep serving, reporting the
+	// bad entry instead of failing the handler.
+	if err := os.WriteFile(filepath.Join(st.Dir(), ids[1], "manifest.json"),
+		[]byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := startTestServer(t, Options{Archive: st})
+	code, body := get(t, "http://"+s.Addr()+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs status %d with corrupt entry", code)
+	}
+	var listing RunsListing
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Runs) != 1 || len(listing.Problems) != 1 ||
+		listing.Problems[0].RunID != ids[1] {
+		t.Errorf("corrupt-entry listing = %+v", listing)
+	}
+}
+
+func TestRunsEndpointsWithoutArchive(t *testing.T) {
+	obstest.VerifyNoLeaks(t)
+	s := startTestServer(t, Options{})
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/runs"); code != http.StatusNotFound {
+		t.Errorf("/runs without archive status %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/runs/some-id"); code != http.StatusNotFound {
+		t.Errorf("/runs/<id> without archive status %d, want 404", code)
+	}
+}

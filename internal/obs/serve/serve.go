@@ -15,10 +15,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"proclus/internal/obs"
+	"proclus/internal/obs/archive"
 	"proclus/internal/obs/metrics"
 	"proclus/internal/obs/series"
 )
@@ -40,6 +42,11 @@ type Options struct {
 	// snapshot in the report, so a dashboard can poll the live iteration
 	// trajectory mid-run.
 	Series *series.Store
+	// Archive, when non-nil, enables the run-archive endpoints: /runs
+	// lists the archived manifests (sorted by creation time then run ID,
+	// with unreadable entries reported alongside), and /runs/<id> serves
+	// one entry's manifest plus report.
+	Archive *archive.Store
 }
 
 // Server is a running monitoring endpoint.
@@ -65,6 +72,8 @@ func Start(opts Options) (*Server, error) {
 		fmt.Fprint(w, "proclus monitoring endpoint\n\n"+
 			"/metrics      Prometheus text format\n"+
 			"/run          JSON snapshot of the in-flight run\n"+
+			"/runs         archived run listing (with -archive)\n"+
+			"/runs/<id>    one archived run: manifest + report\n"+
 			"/debug/vars   expvar\n"+
 			"/debug/pprof  profiling\n")
 	})
@@ -86,6 +95,12 @@ func Start(opts Options) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+		handleRunsList(w, opts.Archive)
+	})
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+		handleRunsGet(w, opts.Archive, strings.TrimPrefix(r.URL.Path, "/runs/"))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -114,6 +129,55 @@ func (s *Server) Close() error {
 	err := s.srv.Close()
 	<-s.done
 	return err
+}
+
+// RunsListing is the JSON document /runs serves: the archived
+// manifests in deterministic (creation time, run ID) order, plus any
+// entries that could not be read.
+type RunsListing struct {
+	Runs     []archive.Manifest `json:"runs"`
+	Problems []archive.Problem  `json:"problems,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func handleRunsList(w http.ResponseWriter, st *archive.Store) {
+	if st == nil {
+		http.Error(w, "no run archive attached (start with -archive)", http.StatusNotFound)
+		return
+	}
+	runs, problems, err := st.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if runs == nil {
+		runs = []archive.Manifest{}
+	}
+	writeJSON(w, http.StatusOK, RunsListing{Runs: runs, Problems: problems})
+}
+
+func handleRunsGet(w http.ResponseWriter, st *archive.Store, id string) {
+	if st == nil {
+		http.Error(w, "no run archive attached (start with -archive)", http.StatusNotFound)
+		return
+	}
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "want /runs/<run-id>", http.StatusNotFound)
+		return
+	}
+	rec, err := st.Load(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // Live is an obs.Observer that folds the event stream into an

@@ -33,6 +33,7 @@ import (
 	"proclus/internal/eval"
 	"proclus/internal/medoid"
 	"proclus/internal/obs"
+	"proclus/internal/obs/archive"
 	"proclus/internal/obs/metrics"
 	"proclus/internal/obs/series"
 	"proclus/internal/orclus"
@@ -128,6 +129,12 @@ func NewChromeTracer(w io.Writer) *ChromeTracer { return obs.NewChromeTracer(w) 
 // Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
+// MetricsLabel is one name=value dimension on a metric or series.
+// Build one with SeriesLabel; pass them to MetricsRegistry.Scope to
+// carve an isolated, labeled child registry out of a shared parent
+// (one parent per process, one scope per run or tenant).
+type MetricsLabel = metrics.Label
+
 // SeriesStore records convergence time series — per-iteration objective
 // trajectories and per-block latencies — when attached via
 // Config.Series (or CliqueConfig.Series). Nil disables recording;
@@ -212,6 +219,41 @@ func NewWatchdog(opts WatchdogOptions) *Watchdog { return obs.NewWatchdog(opts) 
 func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	return obs.StartProfiles(cpuPath, memPath)
 }
+
+// RunArchive is the append-only on-disk run store: each saved run (or
+// benchmark capture) becomes a directory holding a manifest plus the
+// run's report, metrics and series snapshots. Loading is
+// corruption-tolerant and retention by count garbage-collects the
+// oldest entries. Inspect an archive with `runlens ls/diff/trend`.
+type RunArchive = archive.Store
+
+// RunArchiveOptions configures OpenRunArchive (retention by count).
+type RunArchiveOptions = archive.Options
+
+// ArchiveManifest is the always-present summary of one archived entry:
+// provenance (run ID, git revision, seed, config echo), deterministic
+// work counters, per-phase seconds and quality indices.
+type ArchiveManifest = archive.Manifest
+
+// ArchiveRecord is one loaded archive entry: its manifest plus
+// whichever sibling artifacts (report, metrics, series, bench capture)
+// were recorded and still parse.
+type ArchiveRecord = archive.Record
+
+// ArchivedRun bundles one completed run's artifacts for
+// RunArchive.SaveRun; build one from a report with ArchiveFromReport.
+type ArchivedRun = archive.Run
+
+// OpenRunArchive opens (creating if needed) the run archive rooted at
+// dir.
+func OpenRunArchive(dir string, opts RunArchiveOptions) (*RunArchive, error) {
+	return archive.Open(dir, opts)
+}
+
+// ArchiveFromReport builds an ArchivedRun from a finished run report:
+// algorithm, seed, config echo, phases, counters, metrics and series
+// all come from the report itself.
+func ArchiveFromReport(rep *RunReport) ArchivedRun { return archive.FromReport(rep) }
 
 // InitMethod selects the candidate-medoid initialization strategy.
 type InitMethod = core.InitMethod

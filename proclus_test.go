@@ -292,3 +292,73 @@ func TestPublicAPISketch(t *testing.T) {
 		t.Fatal("RunStream accepted a sketch configuration")
 	}
 }
+
+// TestPublicAPIRunArchive exercises the archive facade the way a
+// downstream service would: run twice into scoped children of one
+// shared registry, archive both reports, and read them back.
+func TestPublicAPIRunArchive(t *testing.T) {
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 2000, Dims: 10, K: 3, FixedDims: 3, MinSizeFraction: 0.15, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := proclus.OpenRunArchive(filepath.Join(t.TempDir(), "runs"), proclus.RunArchiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := proclus.NewMetricsRegistry()
+	var firstCounters proclus.CounterSnapshot
+	for i, job := range []string{"job-a", "job-b"} {
+		res, err := proclus.Run(ds, proclus.Config{
+			K: 3, L: 3, Seed: 7,
+			Metrics: parent.Scope(proclus.SeriesLabel("job", job)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstCounters = res.Stats.Counters
+		} else if res.Stats.Counters != firstCounters {
+			t.Fatal("identical-seed runs in different scopes diverged")
+		}
+		run := proclus.ArchiveFromReport(res.Report())
+		if _, err := store.SaveRun(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manifests, problems, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems loading a freshly written archive: %v", problems)
+	}
+	if len(manifests) != 2 {
+		t.Fatalf("archived runs: %d, want 2", len(manifests))
+	}
+	for _, m := range manifests {
+		if m.Algorithm != "proclus" || m.Seed != 7 {
+			t.Fatalf("manifest round-trip: %+v", m)
+		}
+		rec, err := store.Load(m.RunID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Report == nil || rec.Report.Counters != firstCounters {
+			t.Fatal("archived report lost the run's counters")
+		}
+	}
+	// The shared parent saw both jobs, labeled.
+	jobs := map[string]bool{}
+	for _, e := range parent.Snapshot() {
+		for _, l := range e.Labels {
+			if l.Key == "job" {
+				jobs[l.Value] = true
+			}
+		}
+	}
+	if !jobs["job-a"] || !jobs["job-b"] {
+		t.Fatalf("parent registry missing scoped jobs: %v", jobs)
+	}
+}
