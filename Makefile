@@ -47,11 +47,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short coverage-guided fuzz runs over the binary reader and the block
-# scanner. The checked-in corpus under internal/dataset/testdata/fuzz
-# replays on every plain `go test`; this target additionally mutates
-# for FUZZTIME per target to catch fresh parser regressions. Each
-# -fuzz invocation must name exactly one target, hence three runs.
+# Short coverage-guided fuzz runs over the binary reader, the block
+# scanner, the sketch projection, and the early-abandoning distance
+# kernel. The checked-in corpora under */testdata/fuzz replay on every
+# plain `go test`; this target additionally mutates for FUZZTIME per
+# target to catch fresh regressions. Each -fuzz invocation must name
+# exactly one target, hence one run per target.
 FUZZTIME ?= 5s
 
 fuzz-smoke:
@@ -59,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run xxx -fuzz '^FuzzBlockScanner$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run xxx -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME) ./internal/sketch/
+	$(GO) test -run xxx -fuzz '^FuzzSegmentalBounded$$' -fuzztime $(FUZZTIME) ./internal/dist/
 
 # quality-gate runs the sketch tier's accuracy suite: the exact engine
 # and the Approx engine are scored with ARI/NMI against the §4

@@ -42,7 +42,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		timeThreshold = fs.Float64("time-threshold", 0.5,
 			"relative slowdown beyond which a time metric is a regression (0.5 = 1.5x)")
-		workThreshold = fs.Float64("work-threshold", 0.1,
+		workThreshold = fs.Float64("work-threshold", 0.01,
 			"relative tolerance for the deterministic work counters")
 		minSeconds = fs.Float64("min-seconds", 0.01,
 			"ignore time metrics where both sides measure below this floor")

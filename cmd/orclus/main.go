@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		k         = fs.Int("k", 5, "number of clusters")
 		l         = fs.Int("l", 0, "subspace dimensionality per cluster; required")
 		seed      = fs.Uint64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "goroutine budget for the assignment passes (0 = GOMAXPROCS); results are identical for any value")
 	)
 	// The ORCLUS baseline runs uninstrumented internally, so the live
 	// monitoring server is not offered; the CLI emits run-level events
@@ -67,7 +68,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	sess.Observe(obs.Event{
 		Type: obs.EvRunStart, Algorithm: "orclus", Points: ds.Len(), Dims: ds.Dims(),
 	})
-	cfg := orclus.Config{K: *k, L: *l, Seed: *seed}
+	cfg := orclus.Config{K: *k, L: *l, Seed: *seed, Workers: *workers}
 	start := time.Now()
 	res, err := orclus.Run(ds, cfg)
 	if err != nil {

@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		blockPts   = fs.Int("block-points", 0, "points per streamed block (0 = default); only with -stream")
 		sketchDims = fs.Int("sketch-dims", 0, "enable the random-projection sketch tier at this sketch dimensionality on the accuracy tables (0 = off; the wide experiment always sketches)")
 		sketchMode = fs.String("sketch-mode", "prune", "sketch tier mode: prune (bit-identical output) or approx")
+		kernel     = fs.String("kernel", "pruned", "exact distance-kernel tier: pruned (early abandonment + packed medoid rows, bit-identical output) or naive (full evaluation)")
 	)
 	// -report here keeps its historical timing-array semantics, so the
 	// shared flag set skips its own -report.
@@ -66,6 +67,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 	mode, err := core.ParseSketchMode(*sketchMode)
+	if err != nil {
+		return err
+	}
+	kernelMode, err := core.ParseKernelMode(*kernel)
 	if err != nil {
 		return err
 	}
@@ -122,6 +127,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		N: caseN, Seed: *seed, Workers: *workers, Observer: sess.Observer,
 		Stream: *stream, BlockPoints: *blockPts,
 		SketchDims: *sketchDims, SketchMode: mode,
+		Kernel: kernelMode,
 	}
 
 	runners := []runner{
@@ -217,7 +223,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		{"wide", func(reg *metrics.Registry) (*experiments.Report, csvWriter, error) {
 			p := experiments.WideParams{
 				N: figN, SketchDims: *sketchDims, Seed: *seed, Workers: *workers,
-				Metrics: reg, Observer: sess.Observer,
+				Metrics: reg, Observer: sess.Observer, Kernel: kernelMode,
 			}
 			d, r, err := experiments.Wide(p)
 			return r, d, err

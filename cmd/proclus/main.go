@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		blockPts  = fs.Int("block-points", 0, "points per streamed block (0 = default); only with -stream")
 		skDims    = fs.Int("sketch-dims", 0, "enable the random-projection sketch tier at this sketch dimensionality (0 = off); must stay below the data dimensionality")
 		skMode    = fs.String("sketch-mode", "prune", "sketch tier mode: prune (bit-identical output, fewer exact distance evaluations) or approx (bounded-error, larger speedup)")
+		kernel    = fs.String("kernel", "pruned", "exact distance-kernel tier: pruned (early abandonment + packed medoid rows, bit-identical output) or naive (full evaluation)")
 	)
 	obsFlags := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +74,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return fmt.Errorf("one of -l or -sweepl is required")
 	}
 	sketchMode, err := core.ParseSketchMode(*skMode)
+	if err != nil {
+		return err
+	}
+	kernelMode, err := core.ParseKernelMode(*kernel)
 	if err != nil {
 		return err
 	}
@@ -101,6 +106,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		return core.Config{
 			K: *k, L: *l, Seed: *seed, Workers: *workers,
 			Sketch:   core.SketchConfig{Dims: *skDims, Mode: sketchMode},
+			Kernel:   kernelMode,
 			Observer: sess.Observer, Metrics: sess.Metrics, Series: sess.Series,
 		}
 	}

@@ -144,7 +144,11 @@ type Options struct {
 	// incremental-evaluation engine made the counter pipeline
 	// worker-count exact end to end, then 0.02 until the sketch tier
 	// put the pruned distance-evaluation count under baseline guard —
-	// a 2% drift there would silently erase most of the pruning win.)
+	// a 2% drift there would silently erase most of the pruning win.
+	// The kernel counters — coords_visited above all — sit under the
+	// same 1% gate: the early-abandonment win is measured in
+	// coordinates, and a quiet upward drift there is a real
+	// regression even when distance_evals holds steady.)
 	WorkThreshold float64
 	// MinSeconds is the noise floor for time metrics: when both sides
 	// measure below it, the pair is skipped (a 3 ms phase doubling to
@@ -303,6 +307,12 @@ func compareRecord(rep *Report, base, cand Record, opts Options) {
 	classify("runs", "work", float64(base.Runs), float64(cand.Runs), opts.WorkThreshold)
 	classify("counters/distance_evals", "work",
 		float64(base.Counters.DistanceEvals), float64(cand.Counters.DistanceEvals), opts.WorkThreshold)
+	classify("counters/distance_evals_full", "work",
+		float64(base.Counters.DistanceEvalsFull), float64(cand.Counters.DistanceEvalsFull), opts.WorkThreshold)
+	classify("counters/distance_evals_abandoned", "work",
+		float64(base.Counters.DistanceEvalsAbandoned), float64(cand.Counters.DistanceEvalsAbandoned), opts.WorkThreshold)
+	classify("counters/coords_visited", "work",
+		float64(base.Counters.CoordsVisited), float64(cand.Counters.CoordsVisited), opts.WorkThreshold)
 	classify("counters/points_scanned", "work",
 		float64(base.Counters.PointsScanned), float64(cand.Counters.PointsScanned), opts.WorkThreshold)
 	classify("counters/dense_unit_probes", "work",

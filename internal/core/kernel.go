@@ -1,0 +1,181 @@
+package core
+
+// The pruned distance-kernel tier (Config.Kernel, default KernelPruned)
+// of the full-data passes. Three mechanisms compose, all bit-identical
+// to the naive kernels:
+//
+//  1. Early abandonment — the dist.*Bounded kernels stop accumulating
+//     a candidate's distance once the partial sum proves it exceeds
+//     the comparison cutoff (the running best in assignment scans, the
+//     running minimum in δ computations, the threshold in locality and
+//     outlier tests). The abandonment confirm runs on the normalized
+//     value, so "abandoned" strictly implies "would have lost", even
+//     at exact ties (see internal/dist/bounded.go for the monotonicity
+//     argument).
+//  2. Packed medoid rows — packedRows gathers each medoid's
+//     coordinates over its dimension set into one contiguous scratch
+//     row per pass, turning the inner loop's medoid[dims[j]] double
+//     indirection into a sequential packed[j] read. Packing changes
+//     values not at all (same floats, same order) and allocates only
+//     until the scratch reaches the K·L dimension budget.
+//  3. Best-first medoid ordering — assignChunkPruned probes the
+//     previous iteration's winning medoid first to establish a tight
+//     cutoff, then the rest in ascending index, replacing the best on
+//     the lexicographic (distance, index) order. The winner equals the
+//     naive ascending scan's: a non-abandoned scan picks the
+//     lexicographically smallest (dᵢ, i) regardless of visit order,
+//     and an abandoned candidate had dᵢ strictly above a cutoff that
+//     never goes below the final winning distance.
+//
+// Work accounting: every site that starts bounded evaluations tallies
+// full completions, abandonments and coordinates visited per worker
+// chunk (kernelTally), keeping DistanceEvals equal to
+// DistanceEvalsFull + DistanceEvalsAbandoned and equal to the naive
+// tier's count for the same configuration. Abandonment decisions are
+// pure functions of coordinate values and thresholds that are
+// themselves worker-invariant, so all three counters are bit-stable
+// across Workers and block sizes.
+
+import (
+	"math"
+
+	"proclus/internal/dist"
+	"proclus/internal/greedy"
+	"proclus/internal/obs"
+)
+
+// prunedKernel reports whether the run uses the early-abandoning
+// kernel tier (the default).
+func (r *runner) prunedKernel() bool { return r.cfg.Kernel != KernelNaive }
+
+// greedyBounded builds the full-dimensional bounded distance the
+// farthest-first traversal folds with, over the points selected by at.
+// The naive tier routes through the same entry point but forces the
+// cutoff to +Inf, restoring full evaluation (and the full coordinate
+// product in the accounting) without a second greedy code path.
+func (r *runner) greedyBounded(at func(i int) []float64) greedy.BoundedDistanceTo {
+	if r.prunedKernel() {
+		return func(i, j int, cutoff float64) (float64, int, bool) {
+			return dist.SegmentalAllBounded(at(i), at(j), cutoff)
+		}
+	}
+	return func(i, j int, cutoff float64) (float64, int, bool) {
+		return dist.SegmentalAllBounded(at(i), at(j), math.Inf(1))
+	}
+}
+
+// kernelTally accumulates one worker chunk's bounded-kernel work so
+// the hot loops pay one batch of atomic adds per chunk.
+type kernelTally struct {
+	full      int64 // evaluations run to completion
+	abandoned int64 // evaluations cut short by the cutoff
+	coords    int64 // coordinates actually visited
+}
+
+// credit adds the tally to the run counters, preserving the
+// DistanceEvals = full + abandoned invariant.
+func (t *kernelTally) credit(c *obs.Counters) {
+	if t.full+t.abandoned == 0 {
+		return
+	}
+	c.DistanceEvals.Add(t.full + t.abandoned)
+	c.DistanceEvalsFull.Add(t.full)
+	c.DistanceEvalsAbandoned.Add(t.abandoned)
+	c.CoordsVisited.Add(t.coords)
+}
+
+// packedRows is the packed-medoid scratch of one pass: row i holds
+// medoid i's coordinates gathered over its dimension set. The backing
+// buffer is reused across packs, so steady-state repacking (the
+// incremental engine re-packs every iteration as dimension sets move)
+// allocates nothing once the buffer reaches the K·L dimension budget.
+type packedRows struct {
+	buf  []float64
+	rows [][]float64
+}
+
+func newPackedRows(k int) *packedRows {
+	return &packedRows{rows: make([][]float64, k)}
+}
+
+// pack gathers src[i]'s coordinates over dims[i] into row i for every
+// medoid.
+func (pk *packedRows) pack(src [][]float64, dims [][]int) {
+	total := 0
+	for _, d := range dims {
+		total += len(d)
+	}
+	if cap(pk.buf) < total {
+		pk.buf = make([]float64, total)
+	}
+	buf := pk.buf[:total]
+	off := 0
+	for i, d := range dims {
+		pk.rows[i] = dist.PackDims(src[i], d, buf[off:off+len(d)])
+		off += len(d)
+	}
+}
+
+// dimsTotal is the summed dimension-set size Σᵢ |dims[i]| — the
+// coordinate cost of one full k-way evaluation, used by the naive
+// kernel's CoordsVisited accounting.
+func dimsTotal(dims [][]int) int64 {
+	var t int64
+	for _, d := range dims {
+		t += int64(len(d))
+	}
+	return t
+}
+
+// assignChunkPruned is the pruned tier's share of the assignment pass
+// for points [lo, hi): packed rows, early abandonment against the
+// running best, and best-first ordering seeded from the point's
+// previous assignment (assign[p]; fresh zeroed buffers seed medoid 0).
+// The written winner — and therefore every downstream decision — is
+// bit-identical to assignChunk's for the same inputs.
+func (r *runner) assignChunkPruned(pk *packedRows, dims [][]int, assign []int, lo, hi int) {
+	manhattan := r.cfg.AssignMetric == MetricManhattan
+	k := len(pk.rows)
+	var t kernelTally
+	for p := lo; p < hi; p++ {
+		pt := r.ds.Point(p)
+		seed := assign[p]
+		if uint(seed) >= uint(k) {
+			seed = 0
+		}
+		bestIdx := seed
+		var bestDist float64
+		var v int
+		if manhattan {
+			bestDist, v, _ = dist.ManhattanPackedBounded(pt, pk.rows[seed], dims[seed], math.Inf(1))
+		} else {
+			bestDist, v, _ = dist.SegmentalPackedBounded(pt, pk.rows[seed], dims[seed], math.Inf(1))
+		}
+		t.full++
+		t.coords += int64(v)
+		for i := 0; i < k; i++ {
+			if i == seed {
+				continue
+			}
+			var d float64
+			var ab bool
+			if manhattan {
+				d, v, ab = dist.ManhattanPackedBounded(pt, pk.rows[i], dims[i], bestDist)
+			} else {
+				d, v, ab = dist.SegmentalPackedBounded(pt, pk.rows[i], dims[i], bestDist)
+			}
+			t.coords += int64(v)
+			if ab {
+				t.abandoned++
+				continue
+			}
+			t.full++
+			if d < bestDist || (d == bestDist && i < bestIdx) {
+				bestIdx, bestDist = i, d
+			}
+		}
+		assign[p] = bestIdx
+	}
+	t.credit(&r.counters)
+	r.counters.PointsScanned.Add(int64(hi - lo))
+}

@@ -17,6 +17,14 @@ const (
 	MetricAssignRate     = "proclus_assign_points_per_second"
 	MetricDistanceEvals  = "proclus_distance_evals_total"
 	MetricPointsScanned  = "proclus_points_scanned_total"
+	// The kernel series split proclus_distance_evals_total by how each
+	// evaluation ended — run to completion versus cut short by the early
+	// abandonment cutoff — and count the coordinates the exact kernels
+	// actually read (the pruned tier's work measure; the naive tier
+	// reports the full evals × |dims| product).
+	MetricDistanceEvalsFull      = "proclus_distance_evals_full_total"
+	MetricDistanceEvalsAbandoned = "proclus_distance_evals_abandoned_total"
+	MetricCoordsVisited          = "proclus_coords_visited_total"
 	// The cache series quantify the incremental engine's savings:
 	// hits are distance evaluations avoided relative to naive
 	// evaluation, recomputes are cache-column refills actually
@@ -54,6 +62,9 @@ type runnerMetrics struct {
 	objectiveDelta      *metrics.Histogram
 	assignRate          *metrics.Rate
 	distanceEvals       *metrics.Gauge
+	distanceEvalsFull   *metrics.Gauge
+	distanceEvalsAband  *metrics.Gauge
+	coordsVisited       *metrics.Gauge
 	pointsScanned       *metrics.Gauge
 	distCacheHits       *metrics.Gauge
 	distCacheRecomputes *metrics.Gauge
@@ -104,6 +115,12 @@ func newRunnerMetrics(reg *metrics.Registry) *runnerMetrics {
 		"assignment-pass throughput in points per second")
 	m.distanceEvals = reg.Counter(MetricDistanceEvals,
 		"point-to-point distance evaluations")
+	m.distanceEvalsFull = reg.Counter(MetricDistanceEvalsFull,
+		"distance evaluations run to completion")
+	m.distanceEvalsAband = reg.Counter(MetricDistanceEvalsAbandoned,
+		"distance evaluations cut short by the early-abandonment cutoff")
+	m.coordsVisited = reg.Counter(MetricCoordsVisited,
+		"coordinates read by exact distance kernels")
 	m.pointsScanned = reg.Counter(MetricPointsScanned,
 		"data-point visits by full-dataset passes")
 	m.distCacheHits = reg.Counter(MetricDistCacheHits,
@@ -205,20 +222,32 @@ func (m *runnerMetrics) fold(c *obs.Counters) {
 	cur := c.Snapshot()
 	m.foldMu.Lock()
 	d := obs.Snapshot{
-		DistanceEvals:       cur.DistanceEvals - m.folded.DistanceEvals,
-		PointsScanned:       cur.PointsScanned - m.folded.PointsScanned,
-		DistCacheHits:       cur.DistCacheHits - m.folded.DistCacheHits,
-		DistCacheRecomputes: cur.DistCacheRecomputes - m.folded.DistCacheRecomputes,
-		StreamBlocks:        cur.StreamBlocks - m.folded.StreamBlocks,
-		StreamBytes:         cur.StreamBytes - m.folded.StreamBytes,
-		SketchEvals:         cur.SketchEvals - m.folded.SketchEvals,
-		SketchPruneHits:     cur.SketchPruneHits - m.folded.SketchPruneHits,
-		SketchPruneMisses:   cur.SketchPruneMisses - m.folded.SketchPruneMisses,
+		DistanceEvals:          cur.DistanceEvals - m.folded.DistanceEvals,
+		DistanceEvalsFull:      cur.DistanceEvalsFull - m.folded.DistanceEvalsFull,
+		DistanceEvalsAbandoned: cur.DistanceEvalsAbandoned - m.folded.DistanceEvalsAbandoned,
+		CoordsVisited:          cur.CoordsVisited - m.folded.CoordsVisited,
+		PointsScanned:          cur.PointsScanned - m.folded.PointsScanned,
+		DistCacheHits:          cur.DistCacheHits - m.folded.DistCacheHits,
+		DistCacheRecomputes:    cur.DistCacheRecomputes - m.folded.DistCacheRecomputes,
+		StreamBlocks:           cur.StreamBlocks - m.folded.StreamBlocks,
+		StreamBytes:            cur.StreamBytes - m.folded.StreamBytes,
+		SketchEvals:            cur.SketchEvals - m.folded.SketchEvals,
+		SketchPruneHits:        cur.SketchPruneHits - m.folded.SketchPruneHits,
+		SketchPruneMisses:      cur.SketchPruneMisses - m.folded.SketchPruneMisses,
 	}
 	m.folded = cur
 	m.foldMu.Unlock()
 	if d.DistanceEvals != 0 {
 		m.distanceEvals.Add(float64(d.DistanceEvals))
+	}
+	if d.DistanceEvalsFull != 0 {
+		m.distanceEvalsFull.Add(float64(d.DistanceEvalsFull))
+	}
+	if d.DistanceEvalsAbandoned != 0 {
+		m.distanceEvalsAband.Add(float64(d.DistanceEvalsAbandoned))
+	}
+	if d.CoordsVisited != 0 {
+		m.coordsVisited.Add(float64(d.CoordsVisited))
 	}
 	if d.PointsScanned != 0 {
 		m.pointsScanned.Add(float64(d.PointsScanned))

@@ -280,15 +280,16 @@ func (r *runner) initialize() ([]int, error) {
 		medoidCount = len(s)
 	}
 	// The traversal batches its own evaluation accounting per chunk, so
-	// the distance closures stay free of per-call atomics.
-	exact := func(i, j int) float64 {
-		return dist.SegmentalAll(r.ds.Point(s[i]), r.ds.Point(s[j]))
-	}
+	// the distance closures stay free of per-call atomics. The bounded
+	// closure abandons folds against the running minima; under
+	// KernelNaive it ignores the traversal's cutoff, which restores the
+	// full-evaluation behaviour while keeping the coordinate accounting.
+	bounded := r.greedyBounded(func(i int) []float64 { return r.ds.Point(s[i]) })
 	var picks []int
 	switch {
 	case r.sk == nil:
-		picks, err = greedy.FarthestFirstCounted(r.rng, len(s), medoidCount, r.innerWorkers,
-			exact, &r.counters.DistanceEvals)
+		picks, err = greedy.FarthestFirstBounded(r.rng, len(s), medoidCount, r.innerWorkers,
+			bounded, nil, &r.counters)
 	case r.sk.approx:
 		// Approx mode: the sketch distance stands in for the exact metric
 		// outright, so every traversal evaluation is a sketch evaluation.
@@ -296,10 +297,10 @@ func (r *runner) initialize() ([]int, error) {
 			func(i, j int) float64 { return r.sk.distance(s[i], s[j]) }, &r.counters.SketchEvals)
 	default:
 		// Prune mode: the sketch lower bound filters the distance folds,
-		// and survivors are re-checked exactly — the picks stay
-		// bit-identical to the unsketched traversal.
-		picks, err = greedy.FarthestFirstPruned(r.rng, len(s), medoidCount, r.innerWorkers,
-			exact, func(i, j int) float64 { return r.sk.lowerBound(s[i], s[j]) }, &r.counters)
+		// and survivors are re-checked with the bounded kernel — the
+		// picks stay bit-identical to the unsketched traversal.
+		picks, err = greedy.FarthestFirstBounded(r.rng, len(s), medoidCount, r.innerWorkers,
+			bounded, func(i, j int) float64 { return r.sk.lowerBound(s[i], s[j]) }, &r.counters)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("proclus: greedy medoid selection: %w", err)
@@ -435,29 +436,49 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 	// well as the scan; prune mode keeps the radii exact — the filter
 	// below only works against exact thresholds.
 	approx := r.sk != nil && r.sk.approx
+	pruned := r.prunedKernel()
+	fullDims := int64(r.ds.Dims())
 	parallel.For(k, r.innerWorkers, func(lo, hi int) {
+		var t kernelTally
 		for i := lo; i < hi; i++ {
 			delta[i] = math.Inf(1)
 			for j := range medoids {
 				if i == j {
 					continue
 				}
-				var d float64
 				if approx {
-					d = r.sk.distance(medoids[i], medoids[j])
-				} else {
-					d = dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]))
+					if d := r.sk.distance(medoids[i], medoids[j]); d < delta[i] {
+						delta[i] = d
+					}
+					continue
 				}
-				if d < delta[i] {
-					delta[i] = d
+				// Running-minimum fold with early abandonment: an
+				// abandoned candidate proved itself above the current
+				// minimum, so the resulting δ_i is the exact naive one.
+				if pruned {
+					d, v, ab := dist.SegmentalAllBounded(r.ds.Point(medoids[i]), r.ds.Point(medoids[j]), delta[i])
+					t.coords += int64(v)
+					if ab {
+						t.abandoned++
+						continue
+					}
+					t.full++
+					if d < delta[i] {
+						delta[i] = d
+					}
+				} else {
+					t.full++
+					t.coords += fullDims
+					if d := dist.SegmentalAll(r.ds.Point(medoids[i]), r.ds.Point(medoids[j])); d < delta[i] {
+						delta[i] = d
+					}
 				}
 			}
 		}
+		t.credit(&r.counters)
 	})
 	if approx {
 		r.counters.SketchEvals.Add(int64(k) * int64(k-1))
-	} else {
-		r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
 	}
 	// Sharded scan: each worker fills per-chunk lists, concatenated in
 	// chunk order afterwards so the result is identical to a serial
@@ -480,17 +501,35 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 		lists := make([][]int, k)
 		switch {
 		case r.sk == nil:
+			// One batched tally per chunk keeps the counters off the inner
+			// loop; the totals are exact and independent of Workers. A
+			// bounded evaluation abandoned against δ_i proved the strict <
+			// test below false, so the lists match the naive scan's.
+			var t kernelTally
 			for p := lo; p < hi; p++ {
 				pt := r.ds.Point(p)
 				for i := range medoidPoints {
-					if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
-						lists[i] = append(lists[i], p)
+					if pruned {
+						d, v, ab := dist.SegmentalAllBounded(pt, medoidPoints[i], delta[i])
+						t.coords += int64(v)
+						if ab {
+							t.abandoned++
+							continue
+						}
+						t.full++
+						if d < delta[i] {
+							lists[i] = append(lists[i], p)
+						}
+					} else {
+						t.full++
+						t.coords += fullDims
+						if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
+							lists[i] = append(lists[i], p)
+						}
 					}
 				}
 			}
-			// One batched add per chunk keeps the counters off the inner
-			// loop; the totals are exact and independent of Workers.
-			r.counters.DistanceEvals.Add(int64(hi-lo) * int64(k))
+			t.credit(&r.counters)
 		case approx:
 			for p := lo; p < hi; p++ {
 				for i, m := range medoids {
@@ -509,6 +548,7 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 			// only, never on chunking, so the batched totals are
 			// worker-count invariant.
 			var hits, misses int64
+			var t kernelTally
 			for p := lo; p < hi; p++ {
 				pt := r.ds.Point(p)
 				for i, m := range medoids {
@@ -517,15 +557,30 @@ func (r *runner) computeLocalities(medoids []int) [][]int {
 						continue
 					}
 					misses++
-					if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
-						lists[i] = append(lists[i], p)
+					if pruned {
+						d, v, ab := dist.SegmentalAllBounded(pt, medoidPoints[i], delta[i])
+						t.coords += int64(v)
+						if ab {
+							t.abandoned++
+							continue
+						}
+						t.full++
+						if d < delta[i] {
+							lists[i] = append(lists[i], p)
+						}
+					} else {
+						t.full++
+						t.coords += fullDims
+						if dist.SegmentalAll(pt, medoidPoints[i]) < delta[i] {
+							lists[i] = append(lists[i], p)
+						}
 					}
 				}
 			}
 			r.counters.SketchEvals.Add(int64(hi-lo) * int64(k))
 			r.counters.SketchPruneHits.Add(hits)
 			r.counters.SketchPruneMisses.Add(misses)
-			r.counters.DistanceEvals.Add(misses)
+			t.credit(&r.counters)
 		}
 		r.counters.PointsScanned.Add(int64(hi - lo))
 		mu.Lock()
@@ -566,9 +621,17 @@ func (r *runner) assignPointsInto(medoidPoints [][]float64, dims [][]int,
 	metric func(pt, medoid []float64, dims []int) float64, assign, sizes []int) {
 	n := r.ds.Len()
 	passStart := time.Now()
-	parallel.For(n, r.innerWorkers, func(lo, hi int) {
-		r.assignChunk(medoidPoints, dims, metric, assign, lo, hi)
-	})
+	if r.prunedKernel() {
+		pk := newPackedRows(len(medoidPoints))
+		pk.pack(medoidPoints, dims)
+		parallel.For(n, r.innerWorkers, func(lo, hi int) {
+			r.assignChunkPruned(pk, dims, assign, lo, hi)
+		})
+	} else {
+		parallel.For(n, r.innerWorkers, func(lo, hi int) {
+			r.assignChunk(medoidPoints, dims, metric, assign, lo, hi)
+		})
+	}
 	// One Rate observation per pass (two clock reads), far below the
 	// assignment path's ~2% overhead budget.
 	r.metrics.observeAssign(int64(n), time.Since(passStart).Seconds())
@@ -592,7 +655,10 @@ func (r *runner) assignChunk(medoidPoints [][]float64, dims [][]int,
 		}
 		assign[p] = bestIdx
 	}
-	r.counters.DistanceEvals.Add(int64(hi-lo) * int64(len(medoidPoints)))
+	evals := int64(hi-lo) * int64(len(medoidPoints))
+	r.counters.DistanceEvals.Add(evals)
+	r.counters.DistanceEvalsFull.Add(evals)
+	r.counters.CoordsVisited.Add(int64(hi-lo) * dimsTotal(dims))
 	r.counters.PointsScanned.Add(int64(hi - lo))
 }
 
@@ -629,14 +695,22 @@ func (r *runner) evaluateClusters(assign []int, sizes []int, dims [][]int) float
 	for i := range centroids {
 		centroids[i] = make([]float64, d)
 	}
-	return r.evaluateClustersInto(assign, sizes, dims, centroids, make([]float64, k))
+	var pk *packedRows
+	if r.prunedKernel() {
+		pk = newPackedRows(k)
+	}
+	return r.evaluateClustersInto(assign, sizes, dims, centroids, make([]float64, k), pk)
 }
 
 // evaluateClustersInto is evaluateClusters accumulating into
 // caller-owned buffers (k centroid rows of ds.Dims() each, k deviation
-// slots), which the incremental engine reuses across iterations.
+// slots), which the incremental engine reuses across iterations. A
+// non-nil pk (the pruned tier) gathers each centroid's coordinates over
+// its dimension set into packed rows before the deviation pass — the
+// same floats in the same order, so the objective is bit-identical,
+// but the inner loop reads sequentially instead of double-indirecting.
 func (r *runner) evaluateClustersInto(assign []int, sizes []int, dims [][]int,
-	centroids [][]float64, devs []float64) float64 {
+	centroids [][]float64, devs []float64, pk *packedRows) float64 {
 	// This pass stays serial: floating-point accumulation order must not
 	// depend on the worker count, or the hill climb's accept/reject
 	// decisions (and hence the whole result) could differ between runs
@@ -671,15 +745,30 @@ func (r *runner) evaluateClustersInto(assign []int, sizes []int, dims [][]int,
 	for i := range devs {
 		devs[i] = 0
 	}
-	for p := 0; p < n; p++ {
-		pt := r.ds.Point(p)
-		i := assign[p]
-		c := centroids[i]
-		var s float64
-		for _, j := range dims[i] {
-			s += math.Abs(pt[j] - c[j])
+	if pk != nil {
+		pk.pack(centroids, dims)
+		for p := 0; p < n; p++ {
+			pt := r.ds.Point(p)
+			i := assign[p]
+			row := pk.rows[i]
+			di := dims[i]
+			var s float64
+			for j, jj := range di {
+				s += math.Abs(pt[jj] - row[j])
+			}
+			devs[i] += s / float64(len(di))
 		}
-		devs[i] += s / float64(len(dims[i]))
+	} else {
+		for p := 0; p < n; p++ {
+			pt := r.ds.Point(p)
+			i := assign[p]
+			c := centroids[i]
+			var s float64
+			for _, j := range dims[i] {
+				s += math.Abs(pt[j] - c[j])
+			}
+			devs[i] += s / float64(len(dims[i]))
+		}
 	}
 	var total float64
 	for i := range devs {
@@ -757,32 +846,82 @@ func (r *runner) refine(best *trialState) *Result {
 	// Sphere of influence: Δ_i = min over other medoids of the segmental
 	// distance w.r.t. D_i. A point is an outlier iff it exceeds Δ_i for
 	// every medoid i.
+	pruned := r.prunedKernel()
 	delta := make([]float64, k)
-	for i := range best.medoids {
-		delta[i] = math.Inf(1)
-		for j := range best.medoids {
-			if i == j {
-				continue
-			}
-			d := dist.Segmental(r.ds.Point(best.medoids[i]), r.ds.Point(best.medoids[j]), dims[i])
-			if d < delta[i] {
-				delta[i] = d
+	{
+		var t kernelTally
+		for i := range best.medoids {
+			pi := r.ds.Point(best.medoids[i])
+			delta[i] = math.Inf(1)
+			for j := range best.medoids {
+				if i == j {
+					continue
+				}
+				pj := r.ds.Point(best.medoids[j])
+				if pruned {
+					// The running minimum is the cutoff: an abandoned
+					// candidate proved it cannot lower Δ_i.
+					d, v, ab := dist.SegmentalBounded(pi, pj, dims[i], delta[i])
+					t.coords += int64(v)
+					if ab {
+						t.abandoned++
+						continue
+					}
+					t.full++
+					if d < delta[i] {
+						delta[i] = d
+					}
+				} else {
+					t.full++
+					t.coords += int64(len(dims[i]))
+					if d := dist.Segmental(pi, pj, dims[i]); d < delta[i] {
+						delta[i] = d
+					}
+				}
 			}
 		}
+		t.credit(&r.counters)
 	}
-	r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
+	medoidPoints := make([][]float64, k)
+	for i, m := range best.medoids {
+		medoidPoints[i] = r.ds.Point(m)
+	}
+	var pk *packedRows
+	if pruned {
+		pk = newPackedRows(k)
+		pk.pack(medoidPoints, dims)
+	}
 	parallel.For(r.ds.Len(), r.innerWorkers, func(lo, hi int) {
 		// The early break makes the per-point distance count
 		// data-dependent, so accumulate locally and add once per chunk.
 		// Each point's count is chunking-independent, so the total still
 		// matches a serial scan exactly.
-		var evals int64
+		var t kernelTally
 		for p := lo; p < hi; p++ {
 			pt := r.ds.Point(p)
 			outlier := true
-			for i, m := range best.medoids {
-				evals++
-				if dist.Segmental(pt, r.ds.Point(m), dims[i]) <= delta[i] {
+			for i := range medoidPoints {
+				if pruned {
+					// Abandonment proves d > Δ_i — the "outside the
+					// sphere" outcome — so the probe sequence and the
+					// break point match the naive scan; a completed
+					// evaluation still tests its exact value.
+					d, v, ab := dist.SegmentalPackedBounded(pt, pk.rows[i], dims[i], delta[i])
+					t.coords += int64(v)
+					if ab {
+						t.abandoned++
+						continue
+					}
+					t.full++
+					if d <= delta[i] {
+						outlier = false
+						break
+					}
+					continue
+				}
+				t.full++
+				t.coords += int64(len(dims[i]))
+				if dist.Segmental(pt, medoidPoints[i], dims[i]) <= delta[i] {
 					outlier = false
 					break
 				}
@@ -791,7 +930,7 @@ func (r *runner) refine(best *trialState) *Result {
 				assign[p] = OutlierID
 			}
 		}
-		r.counters.DistanceEvals.Add(evals)
+		t.credit(&r.counters)
 		r.counters.PointsScanned.Add(int64(hi - lo))
 	})
 

@@ -246,9 +246,9 @@ func (s *streamRunner) initialize() ([]int, error) {
 		}
 		return cands, nil
 	}
-	picks, err := greedy.FarthestFirstCounted(r.rng, m, medoidCount, r.innerWorkers, func(i, j int) float64 {
-		return dist.SegmentalAll(sampleDS.Point(i), sampleDS.Point(j))
-	}, &r.counters.DistanceEvals)
+	bounded := r.greedyBounded(func(i int) []float64 { return sampleDS.Point(i) })
+	picks, err := greedy.FarthestFirstBounded(r.rng, m, medoidCount, r.innerWorkers,
+		bounded, nil, &r.counters)
 	if err != nil {
 		return nil, fmt.Errorf("proclus: greedy medoid selection: %w", err)
 	}
@@ -289,24 +289,41 @@ func (s *streamRunner) refine(best *trialState) (*Result, error) {
 	}
 	metric := r.pointMetric()
 
+	pruned := r.prunedKernel()
+
 	// Sphere of influence Δ_i over the medoids' own dimension sets,
 	// computed from the resident sample coordinates.
 	var delta []float64
 	if !r.cfg.SkipRefinement {
 		delta = make([]float64, k)
+		var t kernelTally
 		for i := range medoidPoints {
 			delta[i] = math.Inf(1)
 			for j := range medoidPoints {
 				if i == j {
 					continue
 				}
-				d := dist.Segmental(medoidPoints[i], medoidPoints[j], dims[i])
-				if d < delta[i] {
-					delta[i] = d
+				if pruned {
+					d, v, ab := dist.SegmentalBounded(medoidPoints[i], medoidPoints[j], dims[i], delta[i])
+					t.coords += int64(v)
+					if ab {
+						t.abandoned++
+						continue
+					}
+					t.full++
+					if d < delta[i] {
+						delta[i] = d
+					}
+				} else {
+					t.full++
+					t.coords += int64(len(dims[i]))
+					if d := dist.Segmental(medoidPoints[i], medoidPoints[j], dims[i]); d < delta[i] {
+						delta[i] = d
+					}
 				}
 			}
 		}
-		r.counters.DistanceEvals.Add(int64(k) * int64(k-1))
+		t.credit(&r.counters)
 	}
 
 	n, d := s.src.Len(), s.src.Dims()
@@ -317,6 +334,18 @@ func (s *streamRunner) refine(best *trialState) (*Result, error) {
 	}
 	sizes := make([]int, k)
 
+	// The pruned tier packs the medoid rows once for the whole pass; the
+	// per-point decisions below depend on coordinate values only, never
+	// on block or chunk boundaries, so assignments stay block-size and
+	// worker-count invariant.
+	var pk *packedRows
+	if pruned {
+		pk = newPackedRows(k)
+		pk.pack(medoidPoints, dims)
+	}
+	manhattan := r.cfg.AssignMetric == MetricManhattan
+	fullCoords := dimsTotal(dims)
+
 	// Pass A: per-point nearest medoid and outlier flag (parallel within
 	// the block), then centroid accumulation (serial, in point order).
 	err := s.pass("assign", func(b *dataset.Block) error {
@@ -325,34 +354,92 @@ func (s *streamRunner) refine(best *trialState) (*Result, error) {
 			// The outlier test's early break makes the distance count
 			// data-dependent; accumulate locally and add once per chunk, as
 			// in the in-memory refinement pass.
-			var evals int64
+			var t kernelTally
 			for i := lo; i < hi; i++ {
 				pt := b.Point(i)
-				bestIdx, bestDist := 0, math.Inf(1)
-				for c := range medoidPoints {
-					dd := metric(pt, medoidPoints[c], dims[c])
-					if dd < bestDist {
-						bestIdx, bestDist = c, dd
+				var a int
+				if pruned {
+					// Streamed points have no previous assignment to seed
+					// from, so the best-first probe starts at medoid 0 —
+					// the naive scan's own order — and the lexicographic
+					// (distance, index) update keeps the winner identical.
+					bestIdx := 0
+					var bestDist float64
+					var v int
+					if manhattan {
+						bestDist, v, _ = dist.ManhattanPackedBounded(pt, pk.rows[0], dims[0], math.Inf(1))
+					} else {
+						bestDist, v, _ = dist.SegmentalPackedBounded(pt, pk.rows[0], dims[0], math.Inf(1))
 					}
-				}
-				evals += int64(k)
-				a := bestIdx
-				if delta != nil {
-					outlier := true
-					for c := range medoidPoints {
-						evals++
-						if dist.Segmental(pt, medoidPoints[c], dims[c]) <= delta[c] {
-							outlier = false
-							break
+					t.full++
+					t.coords += int64(v)
+					for c := 1; c < k; c++ {
+						var dd float64
+						var ab bool
+						if manhattan {
+							dd, v, ab = dist.ManhattanPackedBounded(pt, pk.rows[c], dims[c], bestDist)
+						} else {
+							dd, v, ab = dist.SegmentalPackedBounded(pt, pk.rows[c], dims[c], bestDist)
+						}
+						t.coords += int64(v)
+						if ab {
+							t.abandoned++
+							continue
+						}
+						t.full++
+						if dd < bestDist || (dd == bestDist && c < bestIdx) {
+							bestIdx, bestDist = c, dd
 						}
 					}
-					if outlier {
-						a = OutlierID
+					a = bestIdx
+					if delta != nil {
+						outlier := true
+						for c := range medoidPoints {
+							dd, v, ab := dist.SegmentalPackedBounded(pt, pk.rows[c], dims[c], delta[c])
+							t.coords += int64(v)
+							if ab {
+								t.abandoned++
+								continue
+							}
+							t.full++
+							if dd <= delta[c] {
+								outlier = false
+								break
+							}
+						}
+						if outlier {
+							a = OutlierID
+						}
+					}
+				} else {
+					bestIdx, bestDist := 0, math.Inf(1)
+					for c := range medoidPoints {
+						dd := metric(pt, medoidPoints[c], dims[c])
+						if dd < bestDist {
+							bestIdx, bestDist = c, dd
+						}
+					}
+					t.full += int64(k)
+					t.coords += fullCoords
+					a = bestIdx
+					if delta != nil {
+						outlier := true
+						for c := range medoidPoints {
+							t.full++
+							t.coords += int64(len(dims[c]))
+							if dist.Segmental(pt, medoidPoints[c], dims[c]) <= delta[c] {
+								outlier = false
+								break
+							}
+						}
+						if outlier {
+							a = OutlierID
+						}
 					}
 				}
 				assign[b.Index(i)] = a
 			}
-			r.counters.DistanceEvals.Add(evals)
+			t.credit(&r.counters)
 			r.counters.PointsScanned.Add(int64(hi - lo))
 		})
 		for i := 0; i < bn; i++ {

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSegmentalBounded differentially fuzzes the early-abandoning
+// kernels against the naive ones. From an arbitrary byte string it
+// decodes a point, a small set of medoid rows, a dimension subset and
+// a cutoff, then checks the exactness contract (unabandoned values are
+// bit-identical to Segmental; abandoned ones strictly prove the full
+// distance exceeds the cutoff), the packed/unpacked agreement, and —
+// the property the assignment pass lives on — that a best-first
+// bounded scan from an arbitrary seed medoid picks the same winner as
+// the naive ascending argmin, with the same winning distance bits.
+func FuzzSegmentalBounded(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0x21, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("\x07\x42segmental-bounded-differential-seed-corpus-entry"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		d := 1 + int(data[0]%8) // dimensionality 1..8
+		k := 1 + int(data[1]%4) // medoid count 1..4
+		seed := int(data[1] >> 4 % 4)
+		if seed >= k {
+			seed %= k
+		}
+		// Decode the point, the medoids and the cutoff from the tail,
+		// cycling over it; map non-finite floats into a small range so
+		// the inputs satisfy the same finiteness the dataset layer
+		// validates.
+		rest := data[2:]
+		at := 0
+		next := func() float64 {
+			var bits uint64
+			for b := 0; b < 8; b++ {
+				if len(rest) > 0 {
+					bits = bits<<8 | uint64(rest[at%len(rest)])
+					at++
+				}
+			}
+			v := math.Float64frombits(bits)
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				v = float64(int64(bits%200001)-100000) / 100
+			}
+			return v
+		}
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = next()
+		}
+		medoids := make([][]float64, k)
+		for m := range medoids {
+			medoids[m] = make([]float64, d)
+			for j := range medoids[m] {
+				medoids[m][j] = next()
+			}
+		}
+		var dims []int
+		mask := data[2%len(data)]
+		for j := 0; j < d; j++ {
+			if mask>>(j%8)&1 == 1 {
+				dims = append(dims, j)
+			}
+		}
+		if len(dims) == 0 {
+			dims = []int{int(mask) % d}
+		}
+		w := float64(len(dims))
+		cutoffs := []float64{next(), Segmental(x, medoids[0], dims)}
+
+		packed := make([]float64, len(dims))
+		for m := 0; m < k; m++ {
+			full := Segmental(x, medoids[m], dims)
+			PackDims(medoids[m], dims, packed)
+			for _, c := range cutoffs {
+				v, seen, ab := SegmentalBounded(x, medoids[m], dims, c)
+				pv, pseen, pab := SegmentalPackedBounded(x, packed, dims, c)
+				if v != pv || seen != pseen || ab != pab {
+					t.Fatalf("packed (%v,%d,%v) != unpacked (%v,%d,%v)", pv, pseen, pab, v, seen, ab)
+				}
+				if ab {
+					if !(full > c) || !(v > c) || v > full || seen < 1 || seen > len(dims) {
+						t.Fatalf("bad abandonment: full=%v value=%v visited=%d cutoff=%v", full, v, seen, c)
+					}
+				} else if v != full || seen != len(dims) {
+					t.Fatalf("unabandoned (%v,%d) != naive (%v,%d)", v, seen, full, len(dims))
+				}
+				sv, sseen, sab := ManhattanPackedBounded(x, packed, dims, c)
+				sfull := Segmental(x, medoids[m], dims) * w
+				if sab {
+					if !(sfull > c) || !(sv > c) {
+						t.Fatalf("bad scaled abandonment: full=%v value=%v cutoff=%v", sfull, sv, c)
+					}
+				} else if sv != sfull || sseen != len(dims) {
+					t.Fatalf("scaled unabandoned (%v,%d) != naive (%v,%d)", sv, sseen, sfull, len(dims))
+				}
+				av, aseen, aab := SegmentalAllBounded(x, medoids[m], c)
+				afull := SegmentalAll(x, medoids[m])
+				if aab {
+					if !(afull > c) || !(av > c) || av > afull {
+						t.Fatalf("bad all-dims abandonment: full=%v value=%v cutoff=%v", afull, av, c)
+					}
+				} else if av != afull || aseen != d {
+					t.Fatalf("all-dims unabandoned (%v,%d) != naive (%v,%d)", av, aseen, afull, d)
+				}
+			}
+		}
+
+		// Naive ascending argmin with strict < (lowest index wins ties).
+		naiveBest, naiveDist := 0, Segmental(x, medoids[0], dims)
+		for m := 1; m < k; m++ {
+			if dm := Segmental(x, medoids[m], dims); dm < naiveDist {
+				naiveBest, naiveDist = m, dm
+			}
+		}
+		// Best-first bounded scan: full-evaluate the seed to establish
+		// the cutoff, then the rest ascending with (distance, index)
+		// lexicographic replacement — the core assignment kernel.
+		bestIdx := seed
+		bestDist, _, _ := SegmentalBounded(x, medoids[seed], dims, math.Inf(1))
+		for m := 0; m < k; m++ {
+			if m == seed {
+				continue
+			}
+			dm, _, ab := SegmentalBounded(x, medoids[m], dims, bestDist)
+			if ab {
+				continue
+			}
+			if dm < bestDist || (dm == bestDist && m < bestIdx) {
+				bestIdx, bestDist = m, dm
+			}
+		}
+		if bestIdx != naiveBest || bestDist != naiveDist {
+			t.Fatalf("winner diverged: bounded (%d,%v) vs naive (%d,%v), seed %d, k %d", bestIdx, bestDist, naiveBest, naiveDist, seed, k)
+		}
+	})
+}

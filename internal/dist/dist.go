@@ -69,21 +69,33 @@ func Lp(p float64, x, y []float64) float64 {
 	return math.Pow(s, 1/p)
 }
 
-// lpInt is the integer-exponent Lp kernel: |x−y|^p by repeated
-// multiplication (p is small in practice — the paper's norms are p ≤ 3
-// — so the O(p) multiply chain beats math.Pow's exp/log round trip).
-// Only the final 1/p root needs math.Pow.
+// lpInt is the integer-exponent Lp kernel: |x−y|^p by binary
+// exponentiation (square-and-multiply), so the per-coordinate cost is
+// O(log p) multiplies instead of the previous O(p) chain while still
+// avoiding math.Pow's exp/log round trip. Only the final 1/p root
+// needs math.Pow.
 func lpInt(ip int, p float64, x, y []float64) float64 {
 	var s float64
 	for i := range x {
-		d := math.Abs(x[i] - y[i])
-		pw := d
-		for e := 1; e < ip; e++ {
-			pw *= d
-		}
-		s += pw
+		s += powInt(math.Abs(x[i]-y[i]), ip)
 	}
 	return math.Pow(s, 1/p)
+}
+
+// powInt raises d ≥ 0 to the integer power e ≥ 1 by square-and-multiply.
+// For e ≤ 3 the multiplication trees coincide with the old multiply
+// chain (d, d·d, d·(d·d) up to commutativity), so those results are
+// bit-identical to before; larger exponents may differ from the chain
+// by an ulp, as any reassociation does.
+func powInt(d float64, e int) float64 {
+	r := 1.0
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			r *= d
+		}
+		d *= d
+	}
+	return r
 }
 
 // Chebyshev returns the L∞ distance (maximum coordinate difference)

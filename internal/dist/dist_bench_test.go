@@ -76,7 +76,8 @@ func BenchmarkLp(b *testing.B) {
 	}{
 		{"P1", 1},     // Manhattan dispatch
 		{"P2", 2},     // SquaredEuclidean dispatch
-		{"P3", 3},     // integer multiply chain
+		{"P3", 3},     // integer square-and-multiply
+		{"P5", 5},     // higher exponent: 3 multiplies, not 4
 		{"P2.5", 2.5}, // fractional math.Pow path
 	} {
 		b.Run(bc.name, func(b *testing.B) {
@@ -85,4 +86,34 @@ func BenchmarkLp(b *testing.B) {
 			}
 		})
 	}
+}
+
+// The bounded kernels pay a compare per coordinate when the cutoff
+// never bites (worst case) and win by skipping coordinates when it
+// does; both regimes are pinned here against the unbounded Segmental.
+func BenchmarkSegmentalBounded7of20(b *testing.B) {
+	x, y := benchPair(b)
+	dims := []int{1, 3, 5, 7, 11, 13, 17}
+	full := Segmental(x, y, dims)
+	packed := PackDims(y, dims, make([]float64, len(dims)))
+	b.Run("NoAbandon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink, _, _ = SegmentalBounded(x, y, dims, full)
+		}
+	})
+	b.Run("Abandon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink, _, _ = SegmentalBounded(x, y, dims, full/4)
+		}
+	})
+	b.Run("PackedNoAbandon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink, _, _ = SegmentalPackedBounded(x, packed, dims, full)
+		}
+	})
+	b.Run("PackedAbandon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink, _, _ = SegmentalPackedBounded(x, packed, dims, full/4)
+		}
+	})
 }

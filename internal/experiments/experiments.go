@@ -113,6 +113,11 @@ type CaseParams struct {
 	// Stream — core.RunStream rejects sketched configurations.
 	SketchDims int
 	SketchMode core.SketchMode
+	// Kernel selects the exact distance-kernel tier
+	// (core.Config.Kernel): the early-abandoning pruned kernels (the
+	// zero value) or the naive full-evaluation ones. Results are
+	// bit-identical either way; only the work counters differ.
+	Kernel core.KernelMode
 	// Metrics, when non-nil, is a shared registry every clustering run of
 	// the experiment records into (core.Config.Metrics); it accumulates
 	// phase-latency histograms and counter series across the experiment.

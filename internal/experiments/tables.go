@@ -44,6 +44,7 @@ func runCase(ds *dataset.Dataset, l int, p CaseParams) (*core.Result, error) {
 		K: caseK, L: l, Seed: p.Seed + 1, Workers: p.Workers,
 		Metrics: p.Metrics, Observer: p.Observer,
 		Sketch: core.SketchConfig{Dims: p.SketchDims, Mode: p.SketchMode},
+		Kernel: p.Kernel,
 	}
 	if p.Stream {
 		return streamProclus(ds, cfg, p.BlockPoints)

@@ -30,6 +30,9 @@ type WideParams struct {
 	Metrics *metrics.Registry
 	// Observer, when non-nil, receives every run's structured events.
 	Observer obs.Observer
+	// Kernel selects the exact distance-kernel tier for every run of the
+	// experiment (core.Config.Kernel).
+	Kernel core.KernelMode
 }
 
 func (p WideParams) withDefaults() WideParams {
@@ -113,6 +116,7 @@ func Wide(p WideParams) (*WideData, *Report, error) {
 		return core.Config{
 			K: wideK, L: signal / 2, Seed: p.Seed + 1, Workers: p.Workers,
 			Metrics: p.Metrics, Observer: p.Observer, Sketch: sk,
+			Kernel: p.Kernel,
 		}
 	}
 

@@ -32,6 +32,13 @@ type Config struct {
 	Distance dist.Func
 	// Seed drives all randomness.
 	Seed uint64
+
+	// boundedAssign records that Distance defaulted to the segmental
+	// metric, whose bounded kernel lets assignAll abandon candidates
+	// early. Function values cannot be compared, so the default is
+	// flagged where it is installed; a caller-supplied dist.Func —
+	// even dist.SegmentalAll itself — takes the generic path.
+	boundedAssign bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -43,6 +50,7 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Distance == nil {
 		cfg.Distance = dist.SegmentalAll
+		cfg.boundedAssign = true
 	}
 	return cfg
 }
@@ -92,7 +100,13 @@ func localSearch(ds *dataset.Dataset, cfg Config, rng *randx.Rand) (*Result, err
 	if err != nil {
 		return nil, fmt.Errorf("medoid: initial medoids: %w", err)
 	}
-	assign, cost := assignAll(ds, cfg.Distance, medoids)
+	assignFn := func(medoids []int) ([]int, float64) {
+		if cfg.boundedAssign {
+			return assignAllBounded(ds, medoids)
+		}
+		return assignAll(ds, cfg.Distance, medoids)
+	}
+	assign, cost := assignFn(medoids)
 	inSet := make(map[int]bool, cfg.K)
 	for _, m := range medoids {
 		inSet[m] = true
@@ -109,7 +123,7 @@ func localSearch(ds *dataset.Dataset, cfg Config, rng *randx.Rand) (*Result, err
 		}
 		old := medoids[pos]
 		medoids[pos] = cand
-		newAssign, newCost := assignAll(ds, cfg.Distance, medoids)
+		newAssign, newCost := assignFn(medoids)
 		if newCost < cost {
 			delete(inSet, old)
 			inSet[cand] = true
@@ -137,6 +151,38 @@ func assignAll(ds *dataset.Dataset, d dist.Func, medoids []int) ([]int, float64)
 		bestIdx, bestDist := 0, math.Inf(1)
 		for i := range medoidPts {
 			if dd := d(pt, medoidPts[i]); dd < bestDist {
+				bestIdx, bestDist = i, dd
+			}
+		}
+		assign[p] = bestIdx
+		cost += bestDist
+	})
+	return assign, cost
+}
+
+// assignAllBounded is assignAll over the default segmental metric, with
+// each candidate evaluation bounded by the running best: an abandoned
+// candidate proved itself strictly above the current minimum, so the
+// winner — and its fully-evaluated distance, and hence the cost bits —
+// are identical to the generic scan's. The first candidate runs with
+// cutoff +Inf, exactly like the generic scan's comparison against the
+// initial infinity.
+func assignAllBounded(ds *dataset.Dataset, medoids []int) ([]int, float64) {
+	assign := make([]int, ds.Len())
+	var cost float64
+	medoidPts := make([][]float64, len(medoids))
+	for i, m := range medoids {
+		medoidPts[i] = ds.Point(m)
+	}
+	ds.Each(func(p int, pt []float64) {
+		bestIdx := 0
+		bestDist, _, _ := dist.SegmentalAllBounded(pt, medoidPts[0], math.Inf(1))
+		for i := 1; i < len(medoidPts); i++ {
+			dd, _, ab := dist.SegmentalAllBounded(pt, medoidPts[i], bestDist)
+			if ab {
+				continue
+			}
+			if dd < bestDist {
 				bestIdx, bestDist = i, dd
 			}
 		}

@@ -123,6 +123,40 @@ func TestCustomDistance(t *testing.T) {
 	}
 }
 
+// TestBoundedMatchesGeneric pins the early-abandoning default path
+// against the generic scan forced by supplying dist.SegmentalAll
+// explicitly (function values cannot be compared, so an explicit
+// SegmentalAll takes the generic path): every descent decision hangs
+// on assignAll's costs, so equal Results here mean the bounded scan is
+// bit-identical end to end.
+func TestBoundedMatchesGeneric(t *testing.T) {
+	ds := threeBlobs(t)
+	for _, seed := range []uint64{1, 5, 12} {
+		bounded, err := Run(ds, Config{K: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		generic, err := Run(ds, Config{K: 3, Seed: seed, Distance: dist.SegmentalAll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bounded.Cost != generic.Cost {
+			t.Fatalf("seed %d: bounded cost %v != generic %v", seed, bounded.Cost, generic.Cost)
+		}
+		for i := range bounded.Medoids {
+			if bounded.Medoids[i] != generic.Medoids[i] {
+				t.Fatalf("seed %d: medoid %d: %d vs %d", seed, i, bounded.Medoids[i], generic.Medoids[i])
+			}
+		}
+		for p := range bounded.Assignments {
+			if bounded.Assignments[p] != generic.Assignments[p] {
+				t.Fatalf("seed %d: point %d assigned %d vs %d", seed, p,
+					bounded.Assignments[p], generic.Assignments[p])
+			}
+		}
+	}
+}
+
 func TestKEqualsN(t *testing.T) {
 	ds, _ := dataset.FromRows([][]float64{{0, 0}, {5, 5}, {9, 9}}, nil)
 	res, err := Run(ds, Config{K: 3, Seed: 1})

@@ -10,8 +10,23 @@ import "sync/atomic"
 //
 // Counters must not be copied after first use.
 type Counters struct {
-	// DistanceEvals counts point-to-point distance evaluations.
+	// DistanceEvals counts point-to-point distance evaluations started,
+	// whether or not the early-abandoning kernels ran them to
+	// completion; it always equals DistanceEvalsFull +
+	// DistanceEvalsAbandoned wherever the split is credited, so totals
+	// stay comparable across kernel tiers.
 	DistanceEvals atomic.Int64
+	// DistanceEvalsFull counts evaluations that visited every
+	// coordinate of their dimension set.
+	DistanceEvalsFull atomic.Int64
+	// DistanceEvalsAbandoned counts evaluations the bounded kernels cut
+	// short once the partial sum proved the candidate could not win.
+	DistanceEvalsAbandoned atomic.Int64
+	// CoordsVisited counts the coordinates the exact distance kernels
+	// actually touched. Without abandonment it equals the full
+	// Σ evals × |dims| product; the gap between the two is the pruned
+	// kernel tier's win.
+	CoordsVisited atomic.Int64
 	// PointsScanned counts data-point visits by full-dataset passes
 	// (assignment and outlier passes in PROCLUS, histogram and counting
 	// passes in CLIQUE).
@@ -54,25 +69,34 @@ func (c *Counters) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		DistanceEvals:       c.DistanceEvals.Load(),
-		PointsScanned:       c.PointsScanned.Load(),
-		DenseUnitProbes:     c.DenseUnitProbes.Load(),
-		DistCacheHits:       c.DistCacheHits.Load(),
-		DistCacheRecomputes: c.DistCacheRecomputes.Load(),
-		StreamBlocks:        c.StreamBlocks.Load(),
-		StreamBytes:         c.StreamBytes.Load(),
-		SketchEvals:         c.SketchEvals.Load(),
-		SketchPruneHits:     c.SketchPruneHits.Load(),
-		SketchPruneMisses:   c.SketchPruneMisses.Load(),
+		DistanceEvals:          c.DistanceEvals.Load(),
+		DistanceEvalsFull:      c.DistanceEvalsFull.Load(),
+		DistanceEvalsAbandoned: c.DistanceEvalsAbandoned.Load(),
+		CoordsVisited:          c.CoordsVisited.Load(),
+		PointsScanned:          c.PointsScanned.Load(),
+		DenseUnitProbes:        c.DenseUnitProbes.Load(),
+		DistCacheHits:          c.DistCacheHits.Load(),
+		DistCacheRecomputes:    c.DistCacheRecomputes.Load(),
+		StreamBlocks:           c.StreamBlocks.Load(),
+		StreamBytes:            c.StreamBytes.Load(),
+		SketchEvals:            c.SketchEvals.Load(),
+		SketchPruneHits:        c.SketchPruneHits.Load(),
+		SketchPruneMisses:      c.SketchPruneMisses.Load(),
 	}
 }
 
 // Snapshot is the immutable, JSON-ready copy of Counters embedded in
 // Stats records and run reports.
 type Snapshot struct {
-	DistanceEvals   int64 `json:"distance_evals"`
-	PointsScanned   int64 `json:"points_scanned"`
-	DenseUnitProbes int64 `json:"dense_unit_probes"`
+	DistanceEvals int64 `json:"distance_evals"`
+	// The kernel-tier split and coordinate-visit counters stay zero for
+	// algorithms that never route through the bounded kernels (CLIQUE);
+	// omitempty keeps their reports byte-stable.
+	DistanceEvalsFull      int64 `json:"distance_evals_full,omitempty"`
+	DistanceEvalsAbandoned int64 `json:"distance_evals_abandoned,omitempty"`
+	CoordsVisited          int64 `json:"coords_visited,omitempty"`
+	PointsScanned          int64 `json:"points_scanned"`
+	DenseUnitProbes        int64 `json:"dense_unit_probes"`
 	// DistCacheHits and DistCacheRecomputes stay zero under naive
 	// evaluation; omitempty keeps pre-cache reports byte-stable.
 	DistCacheHits       int64 `json:"distcache_hits,omitempty"`
@@ -92,6 +116,9 @@ type Snapshot struct {
 // total (e.g. across an experiment's repeats).
 func (s *Snapshot) Merge(o Snapshot) {
 	s.DistanceEvals += o.DistanceEvals
+	s.DistanceEvalsFull += o.DistanceEvalsFull
+	s.DistanceEvalsAbandoned += o.DistanceEvalsAbandoned
+	s.CoordsVisited += o.CoordsVisited
 	s.PointsScanned += o.PointsScanned
 	s.DenseUnitProbes += o.DenseUnitProbes
 	s.DistCacheHits += o.DistCacheHits

@@ -23,6 +23,7 @@ import (
 
 	"proclus/internal/dataset"
 	"proclus/internal/linalg"
+	"proclus/internal/parallel"
 	"proclus/internal/randx"
 	"proclus/internal/sample"
 )
@@ -46,6 +47,12 @@ type Config struct {
 	// centroid, and a point is an outlier iff it exceeds Δ_i for every
 	// cluster i.
 	HandleOutliers bool
+	// Workers bounds the goroutines the assignment passes may use;
+	// values below 1 select GOMAXPROCS. Results are identical for any
+	// value: each point's nearest seed is a pure function of the point,
+	// and the member lists are rebuilt serially in ascending point
+	// order afterwards.
+	Workers int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -149,7 +156,7 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 
 	for {
-		assign(ds, clusters)
+		assign(ds, clusters, cfg.Workers)
 		recenter(ds, clusters)
 		lcNew := math.Max(float64(cfg.L), lc*beta)
 		recomputeBases(ds, clusters, int(math.Round(lcNew)))
@@ -162,10 +169,10 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		lc = lcNew
 	}
 	// Final polish: one more assignment against the final bases.
-	assign(ds, clusters)
+	assign(ds, clusters, cfg.Workers)
 	recenter(ds, clusters)
 	recomputeBases(ds, clusters, cfg.L)
-	assign(ds, clusters)
+	assign(ds, clusters, cfg.Workers)
 	if cfg.HandleOutliers {
 		stripOutliers(ds, clusters)
 	}
@@ -198,21 +205,32 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 }
 
 // assign places every point with the seed of smallest projected
-// distance, rebuilding each cluster's member list.
-func assign(ds *dataset.Dataset, clusters []*state) {
+// distance, rebuilding each cluster's member list. The per-point
+// winners compute in parallel — each is a pure function of the point,
+// with the strict < keeping ties on the lowest cluster index — and the
+// member lists are then rebuilt serially in ascending point order, so
+// the lists are identical to a serial scan's for every worker count.
+func assign(ds *dataset.Dataset, clusters []*state, workers int) {
 	for _, c := range clusters {
 		c.members = c.members[:0]
 	}
-	ds.Each(func(p int, pt []float64) {
-		best, bestDist := 0, math.Inf(1)
-		for i, c := range clusters {
-			dd := linalg.ProjectedDistance(pt, c.seed, c.basis)
-			if dd < bestDist {
-				best, bestDist = i, dd
+	best := make([]int, ds.Len())
+	parallel.For(ds.Len(), workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			pt := ds.Point(p)
+			bi, bd := 0, math.Inf(1)
+			for i, c := range clusters {
+				dd := linalg.ProjectedDistance(pt, c.seed, c.basis)
+				if dd < bd {
+					bi, bd = i, dd
+				}
 			}
+			best[p] = bi
 		}
-		clusters[best].members = append(clusters[best].members, p)
 	})
+	for p, b := range best {
+		clusters[b].members = append(clusters[b].members, p)
+	}
 }
 
 // recenter moves every non-empty cluster's seed to its centroid.

@@ -169,6 +169,46 @@ func TestDeterministic(t *testing.T) {
 	}
 }
 
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	// The assignment pass fans out over parallel.For, but each point's
+	// nearest seed is a pure function of the point and the member lists
+	// are rebuilt serially afterwards, so the Result must be identical
+	// for any goroutine budget.
+	ds, _ := orientedData(t, 19)
+	base, err := Run(ds, Config{K: 3, L: 2, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 7} {
+		res, err := Run(ds, Config{K: 3, L: 2, Seed: 7, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalEnergy != base.TotalEnergy {
+			t.Fatalf("workers=%d: energy %v != serial %v", w, res.TotalEnergy, base.TotalEnergy)
+		}
+		for i := range base.Assignments {
+			if res.Assignments[i] != base.Assignments[i] {
+				t.Fatalf("workers=%d: assignment %d differs", w, i)
+			}
+		}
+		if len(res.Clusters) != len(base.Clusters) {
+			t.Fatalf("workers=%d: %d clusters != %d", w, len(res.Clusters), len(base.Clusters))
+		}
+		for ci := range base.Clusters {
+			bm, rm := base.Clusters[ci].Members, res.Clusters[ci].Members
+			if len(bm) != len(rm) {
+				t.Fatalf("workers=%d: cluster %d size %d != %d", w, ci, len(rm), len(bm))
+			}
+			for j := range bm {
+				if bm[j] != rm[j] {
+					t.Fatalf("workers=%d: cluster %d member %d differs", w, ci, j)
+				}
+			}
+		}
+	}
+}
+
 func TestAxisParallelStillWorks(t *testing.T) {
 	// ORCLUS generalizes PROCLUS: on axis-parallel projected clusters it
 	// should also separate well.

@@ -308,6 +308,22 @@ const (
 // ("prune" or "approx"; empty = prune).
 func ParseSketchMode(name string) (SketchMode, error) { return core.ParseSketchMode(name) }
 
+// KernelMode selects the exact-distance kernel tier via Config.Kernel.
+type KernelMode = core.KernelMode
+
+// Kernel tiers: the early-abandoning kernels (packed medoid rows,
+// coordinate-level pruning, best-first medoid ordering; default), or
+// the naive full-evaluation loops (escape hatch and equivalence
+// baseline). Both produce bit-identical Results.
+const (
+	KernelPruned = core.KernelPruned
+	KernelNaive  = core.KernelNaive
+)
+
+// ParseKernelMode resolves a kernel tier from its conventional name
+// ("pruned" or "naive"; empty = pruned).
+func ParseKernelMode(name string) (KernelMode, error) { return core.ParseKernelMode(name) }
+
 // Run executes PROCLUS on ds.
 func Run(ds *Dataset, cfg Config) (*Result, error) { return core.Run(ds, cfg) }
 
