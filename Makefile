@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden quality-gate staticcheck archive-smoke
+.PHONY: check ci build vet test test-race cover bench bench-smoke bench-allocs bench-obs bench-record bench-baseline bench-check fuzz-smoke lens-golden quality-gate staticcheck archive-smoke scenario-gate
 
-check: vet build test-race fuzz-smoke lens-golden quality-gate
+check: vet build test-race fuzz-smoke lens-golden quality-gate scenario-gate
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, vet, build,
 # race-enabled tests, coverage, the benchmark smoke run, the telemetry
 # diff against the committed baseline, the sketch quality gate, the
-# runlens golden diff, and the run-archive smoke.
-ci: fmt-check vet staticcheck build test-race cover bench-smoke bench-check quality-gate lens-golden archive-smoke
+# scenario robustness gate, the runlens golden diff, and the
+# run-archive smoke.
+ci: fmt-check vet staticcheck build test-race cover bench-smoke bench-check quality-gate scenario-gate lens-golden archive-smoke
 
 .PHONY: fmt-check
 fmt-check:
@@ -61,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzBlockScanner$$' -fuzztime $(FUZZTIME) ./internal/dataset/
 	$(GO) test -run xxx -fuzz '^FuzzApply$$' -fuzztime $(FUZZTIME) ./internal/sketch/
 	$(GO) test -run xxx -fuzz '^FuzzSegmentalBounded$$' -fuzztime $(FUZZTIME) ./internal/dist/
+	$(GO) test -run xxx -fuzz '^FuzzNewConfusion$$' -fuzztime $(FUZZTIME) ./internal/eval/
 
 # quality-gate runs the sketch tier's accuracy suite: the exact engine
 # and the Approx engine are scored with ARI/NMI against the §4
@@ -69,6 +71,17 @@ fuzz-smoke:
 # change degraded clustering quality, not just performance.
 quality-gate:
 	$(GO) test -count=1 -run '^TestSketchQualityGate$$' -v ./internal/core/
+
+# scenario-gate runs the robustness workload suite: every
+# scenario×algorithm cell (heavy noise, oriented clusters, imbalanced
+# sizes, near-duplicate pairs, high-dimensional sparse relevance) is
+# rerun through the algorithm registry and held to its committed
+# quality floors and counter pins (internal/scenarios/golden/*.json),
+# and the perturbation test proves a degraded golden fails. Regenerate
+# deliberately with
+# `go test ./internal/scenarios -run '^TestScenarioGate$$' -update`.
+scenario-gate:
+	$(GO) test -count=1 -run '^TestScenarioGate' -v ./internal/scenarios/
 
 # One iteration per benchmark: proves the benchmarks still compile and
 # run without spending minutes on stable timings (the CI smoke job).

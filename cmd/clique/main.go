@@ -26,6 +26,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
 	"proclus/internal/obs/cliflags"
+	"proclus/internal/registry"
 )
 
 func main() {
@@ -70,9 +71,14 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = err
 		}
 	}()
-	cfg := clique.Config{
-		Xi: *xi, Tau: *tau, MaxDims: *maxDims, FixedDims: *fixedDims,
-		ReportMaximal: *maximal, ReportHighest: *highest, MDLPruning: *mdl,
+	// The run routes through the algorithm registry, which forwards to
+	// clique.Run/RunStream field for field — bit-identical to a direct
+	// call (pinned by the registry's metamorphic suite).
+	cfg := registry.Config{
+		Clique: registry.CliqueParams{
+			Xi: *xi, Tau: *tau, MaxDims: *maxDims, FixedDims: *fixedDims,
+			ReportMaximal: *maximal, ReportHighest: *highest, MDLPruning: *mdl,
+		},
 		Workers: *workers, Observer: sess.Observer, Metrics: sess.Metrics,
 		Series: sess.Series,
 	}
@@ -99,10 +105,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		n, d, labeled = src.Len(), src.Dims(), src.Labeled()
 		mode = fmt.Sprintf(" (streamed, %d-point blocks)", src.BlockPoints())
 		start := time.Now()
-		res, err = clique.RunStream(ctx, src, cfg)
+		m, err := registry.Fit(ctx, "clique", registry.Source{Stream: src}, cfg)
 		if err != nil {
 			return err
 		}
+		res = m.Unwrap().(*clique.Result)
 		elapsed = time.Since(start)
 	} else {
 		var err error
@@ -112,10 +119,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		n, d, labeled = ds.Len(), ds.Dims(), ds.Labeled()
 		start := time.Now()
-		res, err = clique.Run(ds, cfg)
+		m, err := registry.Fit(ctx, "clique", registry.Source{Dataset: ds}, cfg)
 		if err != nil {
 			return err
 		}
+		res = m.Unwrap().(*clique.Result)
 		elapsed = time.Since(start)
 	}
 

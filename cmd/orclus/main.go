@@ -1,15 +1,22 @@
 // Command orclus runs generalized (arbitrarily oriented) projected
 // clustering — the future-work extension of the PROCLUS paper,
 // implemented after the authors' ORCLUS follow-up — on a dataset file.
+// The run is routed through the algorithm registry, so the supported
+// flag surface is exactly ORCLUS's registered capabilities: telemetry
+// knobs the algorithm cannot honor (-series, the stall watchdog) are
+// rejected up front instead of silently doing nothing.
 //
 // Usage:
 //
 //	orclus -in data.bin -k 3 -l 2
 //	orclus -in data.csv -labels -k 5 -l 3
+//	orclus -in data.bin -k 3 -l 2 -outliers -alpha 0.7
 //	orclus -in data.bin -k 3 -l 2 -report run.json -trace trace.jsonl
+//	orclus -in data.bin -k 3 -l 2 -archive runs/   # append to the run archive
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,9 +25,9 @@ import (
 
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
-	"proclus/internal/obs"
 	"proclus/internal/obs/cliflags"
 	"proclus/internal/orclus"
+	"proclus/internal/registry"
 )
 
 func main() {
@@ -40,10 +47,13 @@ func run(args []string, out io.Writer) (retErr error) {
 		l         = fs.Int("l", 0, "subspace dimensionality per cluster; required")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		workers   = fs.Int("workers", 0, "goroutine budget for the assignment passes (0 = GOMAXPROCS); results are identical for any value")
+		k0Factor  = fs.Int("k0factor", 0, "initial-seed multiplier k0 = k0factor·k (0 = default)")
+		alpha     = fs.Float64("alpha", 0, "cluster-count decay factor per merge round (0 = default)")
+		outliers  = fs.Bool("outliers", false, "discard points outside every cluster's sphere of influence")
 	)
 	// The ORCLUS baseline runs uninstrumented internally, so the live
-	// monitoring server is not offered; the CLI emits run-level events
-	// and a run-level report itself.
+	// monitoring server is not offered; run-level events come from the
+	// registry adapter.
 	obsFlags := cliflags.Register(fs, cliflags.WithoutServe())
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +61,15 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *in == "" || *l == 0 {
 		fs.Usage()
 		return fmt.Errorf("-in and -l are required")
+	}
+	// Shared flags the algorithm cannot honor fail loudly: ORCLUS emits
+	// no per-iteration progress events, so a series snapshot would be
+	// empty and the stall watchdog would never arm.
+	if obsFlags.Series != "" {
+		return fmt.Errorf("-series is unsupported: orclus records no convergence time series")
+	}
+	if obsFlags.StallIters > 0 || obsFlags.StallDeadline > 0 || obsFlags.StallCancel {
+		return fmt.Errorf("-stall-iters/-stall-deadline/-stall-cancel are unsupported: orclus emits no progress events for the watchdog to track")
 	}
 	sess, err := obsFlags.Start(os.Stderr)
 	if err != nil {
@@ -65,55 +84,50 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	sess.Observe(obs.Event{
-		Type: obs.EvRunStart, Algorithm: "orclus", Points: ds.Len(), Dims: ds.Dims(),
+	ctx, cancel := sess.Context(context.Background())
+	defer cancel()
+	m, err := registry.Fit(ctx, "orclus", registry.Source{Dataset: ds}, registry.Config{
+		K: *k, L: *l, Seed: *seed, Workers: *workers,
+		Orclus: registry.OrclusParams{
+			K0Factor: *k0Factor, Alpha: *alpha, HandleOutliers: *outliers,
+		},
+		Observer: sess.Observer,
 	})
-	cfg := orclus.Config{K: *k, L: *l, Seed: *seed, Workers: *workers}
-	start := time.Now()
-	res, err := orclus.Run(ds, cfg)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	sess.Observe(obs.Event{
-		Type: obs.EvRunEnd, Algorithm: "orclus",
-		Objective: res.TotalEnergy, Seconds: elapsed.Seconds(),
-	})
+	res := m.Unwrap().(*orclus.Result)
 
 	fmt.Fprintf(out, "ORCLUS: %d points × %d dims, k=%d l=%d — %s\n",
-		ds.Len(), ds.Dims(), *k, *l, elapsed.Round(time.Millisecond))
+		ds.Len(), ds.Dims(), *k, *l, res.Stats.TotalDuration.Round(time.Millisecond))
 	fmt.Fprintf(out, "weighted projected energy: %.4f\n\n", res.TotalEnergy)
 	for i, cl := range res.Clusters {
 		fmt.Fprintf(out, "cluster %d: %6d points, energy %.3f\n", i+1, len(cl.Members), cl.Energy)
 	}
+	if res.NumOutliers() > 0 {
+		fmt.Fprintf(out, "outliers: %d\n", res.NumOutliers())
+	}
+	var quality map[string]float64
 	if ds.Labeled() {
+		quality = map[string]float64{}
 		if ari, err := eval.AdjustedRandIndex(ds.Labels(), res.Assignments); err == nil {
 			fmt.Fprintf(out, "\nARI vs ground truth: %.3f", ari)
+			quality["ari"] = ari
 		}
 		if nmi, err := eval.NormalizedMutualInfo(ds.Labels(), res.Assignments); err == nil {
 			fmt.Fprintf(out, "   NMI: %.3f", nmi)
+			quality["nmi"] = nmi
 		}
 		fmt.Fprintln(out)
 	}
+	rep := m.Report()
+	rep.Dataset.Source = *in
+	rep.Dataset.Labeled = ds.Labeled()
 	if obsFlags.Report != "" {
-		rep := obs.RunReport{
-			Algorithm: "orclus",
-			Dataset: obs.DatasetInfo{
-				Points: ds.Len(), Dims: ds.Dims(), Labeled: ds.Labeled(), Source: *in,
-			},
-			Seed:         *seed,
-			Config:       cfg,
-			Objective:    res.TotalEnergy,
-			TotalSeconds: elapsed.Seconds(),
-		}
-		for i, cl := range res.Clusters {
-			rep.Clusters = append(rep.Clusters, obs.ClusterReport{
-				ID: i, Size: len(cl.Members), Medoid: -1,
-			})
-		}
 		if err := rep.WriteFile(obsFlags.Report); err != nil {
 			return err
 		}
 	}
-	return nil
+	_, err = sess.ArchiveRun(rep, quality)
+	return err
 }

@@ -53,6 +53,50 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunRejectsUnsupportedTelemetry pins the loud-failure contract:
+// shared cliflags the algorithm cannot honor error out instead of
+// silently producing empty artifacts.
+func TestRunRejectsUnsupportedTelemetry(t *testing.T) {
+	path := writeOrientedData(t)
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-in", path, "-k", "2", "-l", "2", "-series", filepath.Join(dir, "s.json")},
+		{"-in", path, "-k", "2", "-l", "2", "-stall-iters", "5"},
+		{"-in", path, "-k", "2", "-l", "2", "-stall-deadline", "1s"},
+		{"-in", path, "-k", "2", "-l", "2", "-stall-cancel"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if err == nil {
+			t.Errorf("%v accepted", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unsupported") {
+			t.Errorf("%v: error %q does not say unsupported", args, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s.json")); !os.IsNotExist(err) {
+		t.Error("rejected -series still wrote a snapshot")
+	}
+}
+
+func TestRunArchives(t *testing.T) {
+	path := writeOrientedData(t)
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-k", "2", "-l", "2", "-archive", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("-archive left the archive directory empty")
+	}
+}
+
 func TestRunReportAndTrace(t *testing.T) {
 	path := writeOrientedData(t)
 	dir := t.TempDir()

@@ -32,6 +32,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
 	"proclus/internal/obs/cliflags"
+	"proclus/internal/registry"
 )
 
 func main() {
@@ -102,6 +103,10 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = err
 		}
 	}()
+	// Sweeps rerun many configs through core.SweepL/SweepK and stay on
+	// the direct entry points; single runs route through the algorithm
+	// registry (bit-identical to the direct call — the registry's
+	// metamorphic suite pins this).
 	cfgFor := func() core.Config {
 		return core.Config{
 			K: *k, L: *l, Seed: *seed, Workers: *workers,
@@ -110,12 +115,18 @@ func run(args []string, out io.Writer) (retErr error) {
 			Observer: sess.Observer, Metrics: sess.Metrics, Series: sess.Series,
 		}
 	}
+	rcfg := registry.Config{
+		K: *k, L: *l, Seed: *seed, Workers: *workers,
+		Sketch:   core.SketchConfig{Dims: *skDims, Mode: sketchMode},
+		Kernel:   kernelMode,
+		Observer: sess.Observer, Metrics: sess.Metrics, Series: sess.Series,
+	}
 	// The run context flows through the session so the stall watchdog
 	// (-stall-cancel) can abort a wedged run.
 	ctx, cancel := sess.Context(context.Background())
 	defer cancel()
 	if *stream {
-		return runStreamed(ctx, out, sess, *in, *blockPts, cfgFor(), obsFlags.Report, *assignOut)
+		return runStreamed(ctx, out, sess, *in, *blockPts, rcfg, obsFlags.Report, *assignOut)
 	}
 	ds, err := dataset.LoadFile(*in, *hasLabels)
 	if err != nil {
@@ -145,10 +156,11 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	start := time.Now()
-	res, err := core.RunContext(ctx, ds, cfg)
+	m, err := registry.Fit(ctx, "proclus", registry.Source{Dataset: ds}, rcfg)
 	if err != nil {
 		return err
 	}
+	res := m.Unwrap().(*core.Result)
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(out, "PROCLUS: %d points × %d dims, k=%d l=%d — %s (%d trials)\n",
@@ -190,22 +202,24 @@ func run(args []string, out io.Writer) (retErr error) {
 	return finishRun(sess, obsFlags.Report, res, *in, ds.Labeled(), quality)
 }
 
-// runStreamed clusters a binary dataset file out of core via
-// core.RunStream: the hill climb works on the resident medoid sample
-// and every full-data stage streams the file in blocks, so resident
-// memory stays O(sample + block) however large the file is. Labeled
-// inputs still get the confusion matrix and external indices — the
-// label column is scanned separately without loading the points.
-func runStreamed(ctx context.Context, out io.Writer, sess *cliflags.Session, in string, blockPoints int, cfg core.Config, reportPath, assignOut string) error {
+// runStreamed clusters a binary dataset file out of core via the
+// registry's streamed path (core.RunStream underneath): the hill climb
+// works on the resident medoid sample and every full-data stage streams
+// the file in blocks, so resident memory stays O(sample + block)
+// however large the file is. Labeled inputs still get the confusion
+// matrix and external indices — the label column is scanned separately
+// without loading the points.
+func runStreamed(ctx context.Context, out io.Writer, sess *cliflags.Session, in string, blockPoints int, cfg registry.Config, reportPath, assignOut string) error {
 	src, err := dataset.OpenFileSource(in, blockPoints)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	res, err := core.RunStream(ctx, src, cfg)
+	m, err := registry.Fit(ctx, "proclus", registry.Source{Stream: src}, cfg)
 	if err != nil {
 		return err
 	}
+	res := m.Unwrap().(*core.Result)
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(out, "PROCLUS (streamed, %d-point blocks): %d points × %d dims, k=%d l=%d — %s (%d trials)\n",

@@ -173,6 +173,12 @@ type Result struct {
 	// Xi records the grid resolution the run used, so membership can be
 	// recomputed later against the same grid.
 	Xi int
+	// GridMin and GridMax record the per-dimension bounds the run's grid
+	// was built from, so individual points can be located in the same
+	// grid later (see NewPointAssigner) without the original dataset —
+	// the only way to assign points after a streamed run, where no
+	// dataset is ever resident.
+	GridMin, GridMax []float64
 	// Config echoes the effective configuration (defaults applied) in
 	// the JSON-safe form embedded in run reports.
 	Config ConfigReport
@@ -283,11 +289,14 @@ type searcher struct {
 	ctx context.Context
 	src PointSource
 	// n and d cache the source's shape.
-	n, d     int
-	cfg      Config
-	grid     *grid
-	minCount int
-	stats    Stats
+	n, d int
+	cfg  Config
+	grid *grid
+	// boundsMin and boundsMax keep the raw bounds the grid was built
+	// from, echoed into the Result for later point assignment.
+	boundsMin, boundsMax []float64
+	minCount             int
+	stats                Stats
 	// stream marks an out-of-core run: block-delivery counters are
 	// credited and the resident-peak gauge recorded. In-memory runs keep
 	// their counters, reports and goldens byte-identical to the
@@ -414,6 +423,7 @@ func (s *searcher) computeGrid() error {
 		return err
 	}
 	s.grid = newGridBounds(min, max, s.cfg.Xi)
+	s.boundsMin, s.boundsMax = min, max
 	return nil
 }
 
@@ -430,7 +440,8 @@ func (s *searcher) run() (*Result, error) {
 	s.emit(obs.Event{Type: obs.EvRunStart, Points: s.n, Dims: s.d})
 	s.metrics.observeRunStart(s.n, s.d)
 
-	res := &Result{DenseBySubspaceDim: []int{0}, Xi: s.cfg.Xi}
+	res := &Result{DenseBySubspaceDim: []int{0}, Xi: s.cfg.Xi,
+		GridMin: s.boundsMin, GridMax: s.boundsMax}
 	s.emit(obs.Event{Type: obs.EvPhaseStart, Phase: "histogram"})
 	start := time.Now()
 	cur, err := s.denseOneDim()
@@ -939,24 +950,30 @@ func PartitionView(ds *dataset.Dataset, res *Result) []int {
 	for i := range assign {
 		assign[i] = -1
 	}
-	better := func(a, b int) bool { // is cluster a preferable to b?
-		ca, cb := res.Clusters[a], res.Clusters[b]
-		if len(ca.Dims) != len(cb.Dims) {
-			return len(ca.Dims) > len(cb.Dims)
-		}
-		if ca.Size != cb.Size {
-			return ca.Size > cb.Size
-		}
-		return a < b
-	}
 	for ci, m := range members {
 		for _, p := range m {
-			if assign[p] == -1 || better(ci, assign[p]) {
+			if assign[p] == -1 || res.prefer(ci, assign[p]) {
 				assign[p] = ci
 			}
 		}
 	}
 	return assign
+}
+
+// prefer reports whether cluster a wins over cluster b when a point is
+// covered by both: higher subspace dimensionality first, then the
+// cluster holding more points, then the lower cluster index. This is
+// the partition-view tie-break, shared with PointAssigner so the two
+// agree point for point.
+func (res *Result) prefer(a, b int) bool {
+	ca, cb := res.Clusters[a], res.Clusters[b]
+	if len(ca.Dims) != len(cb.Dims) {
+		return len(ca.Dims) > len(cb.Dims)
+	}
+	if ca.Size != cb.Size {
+		return ca.Size > cb.Size
+	}
+	return a < b
 }
 
 // isMaximal reports whether dims (a dense subspace) has no dense

@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"proclus/internal/randx"
+)
+
+// Degenerate partitions: both indices must stay defined (or fail
+// loudly) on the boundary shapes real runs can produce — everything in
+// one cluster, everything an outlier, every point its own cluster.
+
+func TestIndicesDegeneratePartitions(t *testing.T) {
+	n8 := make([]int, 8) // all zeros: one cluster
+	singletons := make([]int, 8)
+	outliers := make([]int, 8)
+	for i := range singletons {
+		singletons[i] = i
+		outliers[i] = -1
+	}
+
+	t.Run("both-trivial", func(t *testing.T) {
+		ari, err := AdjustedRandIndex(n8, n8)
+		if err != nil || ari != 1 {
+			t.Errorf("ARI(one cluster, one cluster) = %v, %v; want 1", ari, err)
+		}
+		nmi, err := NormalizedMutualInfo(n8, n8)
+		if err != nil || nmi != 1 {
+			t.Errorf("NMI(one cluster, one cluster) = %v, %v; want 1", nmi, err)
+		}
+	})
+	t.Run("trivial-vs-singletons", func(t *testing.T) {
+		ari, err := AdjustedRandIndex(n8, singletons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari > 0.5 {
+			t.Errorf("ARI(one cluster, singletons) = %v, want low", ari)
+		}
+		nmi, err := NormalizedMutualInfo(n8, singletons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One side has zero entropy; arithmetic normalization gives 0.
+		if nmi != 0 {
+			t.Errorf("NMI(one cluster, singletons) = %v, want 0", nmi)
+		}
+	})
+	t.Run("all-outliers", func(t *testing.T) {
+		// Negative values collapse into one extra group on each side, so
+		// all-outliers vs all-outliers is again identical trivial
+		// partitions.
+		ari, err := AdjustedRandIndex(outliers, outliers)
+		if err != nil || ari != 1 {
+			t.Errorf("ARI(all outliers, all outliers) = %v, %v; want 1", ari, err)
+		}
+	})
+	t.Run("too-small", func(t *testing.T) {
+		if _, err := AdjustedRandIndex([]int{0}, []int{0}); err == nil {
+			t.Error("ARI of a single point accepted")
+		}
+		if _, err := NormalizedMutualInfo(nil, nil); err == nil {
+			t.Error("NMI of an empty partition accepted")
+		}
+	})
+	t.Run("length-mismatch", func(t *testing.T) {
+		if _, err := AdjustedRandIndex([]int{0, 1}, []int{0}); err == nil {
+			t.Error("ARI with mismatched lengths accepted")
+		}
+		if _, err := NormalizedMutualInfo([]int{0, 1}, []int{0}); err == nil {
+			t.Error("NMI with mismatched lengths accepted")
+		}
+	})
+}
+
+// TestARIProperties checks the defining properties on seeded random
+// partitions: symmetry in its two arguments, identity on equal
+// partitions, invariance under label renaming, and the ≤ 1 bound.
+func TestARIProperties(t *testing.T) {
+	r := randx.New(17)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + int(r.Uint64()%60)
+		ka := 1 + int(r.Uint64()%6)
+		kb := 1 + int(r.Uint64()%6)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = int(r.Uint64()%uint64(ka+1)) - 1 // -1 = outlier
+			b[i] = int(r.Uint64()%uint64(kb+1)) - 1
+		}
+		ab, err := AdjustedRandIndex(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := AdjustedRandIndex(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Fatalf("trial %d: ARI asymmetric: %v vs %v", trial, ab, ba)
+		}
+		if ab > 1+1e-12 {
+			t.Fatalf("trial %d: ARI %v above 1", trial, ab)
+		}
+		self, err := AdjustedRandIndex(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(self-1) > 1e-12 {
+			t.Fatalf("trial %d: ARI(a, a) = %v, want 1", trial, self)
+		}
+		// Renaming clusters must not change the score: reverse the ids.
+		renamed := make([]int, n)
+		for i, x := range b {
+			if x < 0 {
+				renamed[i] = x
+			} else {
+				renamed[i] = kb - 1 - x
+			}
+		}
+		ren, err := AdjustedRandIndex(a, renamed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ab-ren) > 1e-12 {
+			t.Fatalf("trial %d: ARI changed under relabeling: %v vs %v", trial, ab, ren)
+		}
+
+		nmi, err := NormalizedMutualInfo(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nmi < 0 || nmi > 1+1e-12 {
+			t.Fatalf("trial %d: NMI %v outside [0, 1]", trial, nmi)
+		}
+	}
+}
+
+// FuzzNewConfusion decodes arbitrary bytes into a (labels,
+// assignments, numOutput, numInput) quadruple and checks the matrix
+// invariants: construction never panics, every point lands in exactly
+// one cell, totals are consistent, and purity stays in [0, 1].
+func FuzzNewConfusion(f *testing.F) {
+	f.Add([]byte{3, 4, 0, 1, 2, 255, 0, 1}, uint8(3), uint8(4))
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{1, 1, 1, 1}, uint8(1), uint8(1))
+	f.Add([]byte{0, 9, 250, 3}, uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, numOutput, numInput uint8) {
+		n := len(data) / 4
+		labels := make([]int, n)
+		assignments := make([]int, n)
+		for i := 0; i < n; i++ {
+			// Signed 16-bit values: negatives exercise the outlier
+			// row/column, large values the out-of-range clamping.
+			labels[i] = int(int16(binary.LittleEndian.Uint16(data[4*i:])))
+			assignments[i] = int(int16(binary.LittleEndian.Uint16(data[4*i+2:])))
+		}
+		cm, err := NewConfusion(labels, assignments, int(numOutput), int(numInput))
+		if err != nil {
+			t.Fatalf("equal-length inputs rejected: %v", err)
+		}
+		total := 0
+		for i := 0; i <= cm.NumOutput(); i++ {
+			rt := cm.RowTotal(i)
+			if rt < 0 {
+				t.Fatalf("negative row total %d", rt)
+			}
+			total += rt
+		}
+		if total != n {
+			t.Fatalf("row totals sum to %d for %d points", total, n)
+		}
+		total = 0
+		for j := 0; j <= cm.NumInput(); j++ {
+			total += cm.ColTotal(j)
+		}
+		if total != n {
+			t.Fatalf("column totals sum to %d for %d points", total, n)
+		}
+		if p := cm.Purity(); p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("purity %v outside [0, 1]", p)
+		}
+		for i, m := range cm.Match() {
+			if m < -1 || m >= cm.NumInput() {
+				t.Fatalf("match[%d] = %d outside [-1, %d)", i, m, cm.NumInput())
+			}
+		}
+		if s := cm.String(); n > 0 && s == "" {
+			t.Fatal("non-empty matrix rendered empty")
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"proclus/internal/dataset"
 	"proclus/internal/dist"
+	"proclus/internal/obs"
 	"proclus/internal/randx"
 	"proclus/internal/sample"
 )
@@ -63,6 +64,18 @@ type Result struct {
 	Assignments []int
 	// Cost is the sum over points of the distance to their medoid.
 	Cost float64
+	// Stats carries the run's work counters, aggregated over every
+	// restart and swap trial (including trials that were rejected). The
+	// pass is serial, so the tallies are exact; under the default
+	// bounded segmental metric the full/abandoned split records the
+	// early-abandoning kernel's win, and a caller-supplied dist.Func
+	// counts whole-row evaluations (d coordinates each).
+	Stats Stats
+}
+
+// Stats records a run's measurable work.
+type Stats struct {
+	Counters obs.Snapshot
 }
 
 // Run clusters ds into cfg.K full-dimensional clusters.
@@ -78,9 +91,10 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("medoid: %d points cannot form %d clusters", ds.Len(), cfg.K)
 	}
 	rng := randx.New(cfg.Seed)
+	var counters obs.Counters
 	var best *Result
 	for restart := 0; restart < cfg.Restarts; restart++ {
-		res, err := localSearch(ds, cfg, rng)
+		res, err := localSearch(ds, cfg, rng, &counters)
 		if err != nil {
 			return nil, err
 		}
@@ -88,13 +102,14 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 			best = res
 		}
 	}
+	best.Stats = Stats{Counters: counters.Snapshot()}
 	return best, nil
 }
 
 // localSearch runs one CLARANS descent: start from random medoids and
 // follow improving random swaps until MaxNeighbors successive attempts
 // fail.
-func localSearch(ds *dataset.Dataset, cfg Config, rng *randx.Rand) (*Result, error) {
+func localSearch(ds *dataset.Dataset, cfg Config, rng *randx.Rand, counters *obs.Counters) (*Result, error) {
 	n := ds.Len()
 	medoids, err := sample.WithoutReplacement(rng, n, cfg.K)
 	if err != nil {
@@ -102,9 +117,9 @@ func localSearch(ds *dataset.Dataset, cfg Config, rng *randx.Rand) (*Result, err
 	}
 	assignFn := func(medoids []int) ([]int, float64) {
 		if cfg.boundedAssign {
-			return assignAllBounded(ds, medoids)
+			return assignAllBounded(ds, medoids, counters)
 		}
-		return assignAll(ds, cfg.Distance, medoids)
+		return assignAll(ds, cfg.Distance, medoids, counters)
 	}
 	assign, cost := assignFn(medoids)
 	inSet := make(map[int]bool, cfg.K)
@@ -140,7 +155,7 @@ func localSearch(ds *dataset.Dataset, cfg Config, rng *randx.Rand) (*Result, err
 // assignAll assigns every point to its nearest medoid and returns the
 // assignment and total cost. Ties break toward the lower medoid
 // position for determinism.
-func assignAll(ds *dataset.Dataset, d dist.Func, medoids []int) ([]int, float64) {
+func assignAll(ds *dataset.Dataset, d dist.Func, medoids []int, counters *obs.Counters) ([]int, float64) {
 	assign := make([]int, ds.Len())
 	var cost float64
 	medoidPts := make([][]float64, len(medoids))
@@ -157,6 +172,13 @@ func assignAll(ds *dataset.Dataset, d dist.Func, medoids []int) ([]int, float64)
 		assign[p] = bestIdx
 		cost += bestDist
 	})
+	// A generic dist.Func always walks every coordinate: n·k full
+	// evaluations of d coordinates each, batched in one add per pass.
+	n, k, dims := int64(ds.Len()), int64(len(medoids)), int64(ds.Dims())
+	counters.PointsScanned.Add(n)
+	counters.DistanceEvals.Add(n * k)
+	counters.DistanceEvalsFull.Add(n * k)
+	counters.CoordsVisited.Add(n * k * dims)
 	return assign, cost
 }
 
@@ -167,21 +189,27 @@ func assignAll(ds *dataset.Dataset, d dist.Func, medoids []int) ([]int, float64)
 // are identical to the generic scan's. The first candidate runs with
 // cutoff +Inf, exactly like the generic scan's comparison against the
 // initial infinity.
-func assignAllBounded(ds *dataset.Dataset, medoids []int) ([]int, float64) {
+func assignAllBounded(ds *dataset.Dataset, medoids []int, counters *obs.Counters) ([]int, float64) {
 	assign := make([]int, ds.Len())
 	var cost float64
+	var full, abandoned, coords int64
 	medoidPts := make([][]float64, len(medoids))
 	for i, m := range medoids {
 		medoidPts[i] = ds.Point(m)
 	}
 	ds.Each(func(p int, pt []float64) {
 		bestIdx := 0
-		bestDist, _, _ := dist.SegmentalAllBounded(pt, medoidPts[0], math.Inf(1))
+		bestDist, visited, _ := dist.SegmentalAllBounded(pt, medoidPts[0], math.Inf(1))
+		full++
+		coords += int64(visited)
 		for i := 1; i < len(medoidPts); i++ {
-			dd, _, ab := dist.SegmentalAllBounded(pt, medoidPts[i], bestDist)
+			dd, visited, ab := dist.SegmentalAllBounded(pt, medoidPts[i], bestDist)
+			coords += int64(visited)
 			if ab {
+				abandoned++
 				continue
 			}
+			full++
 			if dd < bestDist {
 				bestIdx, bestDist = i, dd
 			}
@@ -189,5 +217,13 @@ func assignAllBounded(ds *dataset.Dataset, medoids []int) ([]int, float64) {
 		assign[p] = bestIdx
 		cost += bestDist
 	})
+	// The pass is serial, so the data-dependent full/abandoned split and
+	// the coordinates the bounded kernel actually touched tally exactly;
+	// one batched add per pass keeps the hot loop clean.
+	counters.PointsScanned.Add(int64(ds.Len()))
+	counters.DistanceEvals.Add(full + abandoned)
+	counters.DistanceEvalsFull.Add(full)
+	counters.DistanceEvalsAbandoned.Add(abandoned)
+	counters.CoordsVisited.Add(coords)
 	return assign, cost
 }

@@ -157,6 +157,48 @@ func TestBoundedMatchesGeneric(t *testing.T) {
 	}
 }
 
+func TestCountersBoundedAndGeneric(t *testing.T) {
+	ds := threeBlobs(t)
+	bounded, err := Run(ds, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bounded.Stats.Counters
+	if c.DistanceEvals == 0 || c.PointsScanned == 0 || c.CoordsVisited == 0 {
+		t.Fatalf("bounded counters not threaded: %+v", c)
+	}
+	if c.DistanceEvalsFull+c.DistanceEvalsAbandoned != c.DistanceEvals {
+		t.Fatalf("eval split %d + %d != %d",
+			c.DistanceEvalsFull, c.DistanceEvalsAbandoned, c.DistanceEvals)
+	}
+	if c.DistanceEvalsAbandoned == 0 {
+		t.Fatal("bounded scan on separated blobs abandoned nothing")
+	}
+	if c.CoordsVisited >= c.DistanceEvals*int64(ds.Dims()) {
+		t.Fatalf("coords_visited %d shows no abandoning win over %d evals × %d dims",
+			c.CoordsVisited, c.DistanceEvals, ds.Dims())
+	}
+
+	generic, err := Run(ds, Config{K: 3, Seed: 5, Distance: dist.SegmentalAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := generic.Stats.Counters
+	if g.DistanceEvalsFull != g.DistanceEvals || g.DistanceEvalsAbandoned != 0 {
+		t.Fatalf("generic scan cannot abandon: %+v", g)
+	}
+	if g.CoordsVisited != g.DistanceEvals*int64(ds.Dims()) {
+		t.Fatalf("generic coords_visited %d != %d evals × %d dims",
+			g.CoordsVisited, g.DistanceEvals, ds.Dims())
+	}
+	// Both paths make identical descent decisions, so they attempt the
+	// same evaluations.
+	if c.DistanceEvals != g.DistanceEvals || c.PointsScanned != g.PointsScanned {
+		t.Fatalf("bounded attempted %d evals / %d points, generic %d / %d",
+			c.DistanceEvals, c.PointsScanned, g.DistanceEvals, g.PointsScanned)
+	}
+}
+
 func TestKEqualsN(t *testing.T) {
 	ds, _ := dataset.FromRows([][]float64{{0, 0}, {5, 5}, {9, 9}}, nil)
 	res, err := Run(ds, Config{K: 3, Seed: 1})

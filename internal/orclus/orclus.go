@@ -20,9 +20,11 @@ package orclus
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"proclus/internal/dataset"
 	"proclus/internal/linalg"
+	"proclus/internal/obs"
 	"proclus/internal/parallel"
 	"proclus/internal/randx"
 	"proclus/internal/sample"
@@ -108,6 +110,30 @@ type Result struct {
 	// TotalEnergy is the size-weighted mean of the cluster energies,
 	// the objective ORCLUS minimizes.
 	TotalEnergy float64
+	// Seed is the effective random seed the run used.
+	Seed uint64
+	// Config echoes the effective configuration, defaults applied.
+	Config ConfigReport
+	// Stats carries the run's work counters and dataset shape.
+	Stats Stats
+}
+
+// Stats records an ORCLUS run's measurable work, mirroring the core
+// package's Stats so registry-level goldens can pin ORCLUS work the
+// same way they pin PROCLUS work.
+type Stats struct {
+	// Counters snapshots the full-dataset passes' work: every projected
+	// distance in the assignment and outlier passes is a
+	// distance_evals_full evaluation (the ORCLUS loop has no
+	// early-abandoning tier, so distance_evals_abandoned stays zero),
+	// and coords_visited counts the |basis|·d coordinates each
+	// evaluation touched. Totals are identical for every worker count.
+	Counters obs.Snapshot
+	// DatasetPoints and DatasetDims record the input shape.
+	DatasetPoints int
+	DatasetDims   int
+	// TotalDuration is the wall time of the whole run.
+	TotalDuration time.Duration
 }
 
 // state is one working cluster during the agglomerative loop.
@@ -126,6 +152,8 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.validate(ds); err != nil {
 		return nil, err
 	}
+	runStart := time.Now()
+	var counters obs.Counters
 	r := randx.New(cfg.Seed)
 	d := ds.Dims()
 
@@ -156,7 +184,7 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 
 	for {
-		assign(ds, clusters, cfg.Workers)
+		assign(ds, clusters, cfg.Workers, &counters)
 		recenter(ds, clusters)
 		lcNew := math.Max(float64(cfg.L), lc*beta)
 		recomputeBases(ds, clusters, int(math.Round(lcNew)))
@@ -169,12 +197,12 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		lc = lcNew
 	}
 	// Final polish: one more assignment against the final bases.
-	assign(ds, clusters, cfg.Workers)
+	assign(ds, clusters, cfg.Workers, &counters)
 	recenter(ds, clusters)
 	recomputeBases(ds, clusters, cfg.L)
-	assign(ds, clusters, cfg.Workers)
+	assign(ds, clusters, cfg.Workers, &counters)
 	if cfg.HandleOutliers {
-		stripOutliers(ds, clusters)
+		stripOutliers(ds, clusters, &counters)
 	}
 
 	res := &Result{Assignments: make([]int, ds.Len())}
@@ -201,6 +229,14 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if total > 0 {
 		res.TotalEnergy = weighted / float64(total)
 	}
+	res.Seed = cfg.Seed
+	res.Config = cfg.reportConfig()
+	res.Stats = Stats{
+		Counters:      counters.Snapshot(),
+		DatasetPoints: ds.Len(),
+		DatasetDims:   d,
+		TotalDuration: time.Since(runStart),
+	}
 	return res, nil
 }
 
@@ -210,9 +246,21 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 // with the strict < keeping ties on the lowest cluster index — and the
 // member lists are then rebuilt serially in ascending point order, so
 // the lists are identical to a serial scan's for every worker count.
-func assign(ds *dataset.Dataset, clusters []*state, workers int) {
+//
+// Counter updates are batched per worker chunk (one atomic add per
+// chunk, core's standard), and the per-point work is chunk-shape
+// independent — every point scans every cluster — so the totals are
+// identical for every worker count.
+func assign(ds *dataset.Dataset, clusters []*state, workers int, counters *obs.Counters) {
 	for _, c := range clusters {
 		c.members = c.members[:0]
+	}
+	// One point's candidate scan costs len(clusters) projected-distance
+	// evaluations, each touching |basis|·d coordinates.
+	d := ds.Dims()
+	var scanCoords int64
+	for _, c := range clusters {
+		scanCoords += int64(len(c.basis)) * int64(d)
 	}
 	best := make([]int, ds.Len())
 	parallel.For(ds.Len(), workers, func(lo, hi int) {
@@ -227,6 +275,11 @@ func assign(ds *dataset.Dataset, clusters []*state, workers int) {
 			}
 			best[p] = bi
 		}
+		n := int64(hi - lo)
+		counters.PointsScanned.Add(n)
+		counters.DistanceEvals.Add(n * int64(len(clusters)))
+		counters.DistanceEvalsFull.Add(n * int64(len(clusters)))
+		counters.CoordsVisited.Add(n * scanCoords)
 	})
 	for p, b := range best {
 		clusters[b].members = append(clusters[b].members, p)
@@ -321,8 +374,13 @@ func merge(ds *dataset.Dataset, clusters []*state, kNew, lc int) []*state {
 // spheres of influence: Δ_i is the smallest projected distance (in
 // cluster i's basis) from cluster i's centroid to another centroid, and
 // a point survives only if some cluster holds it within Δ_i.
-func stripOutliers(ds *dataset.Dataset, clusters []*state) {
+func stripOutliers(ds *dataset.Dataset, clusters []*state, counters *obs.Counters) {
 	k := len(clusters)
+	d := ds.Dims()
+	// The pass is serial, so evaluations are tallied exactly — including
+	// the data-dependent early break in the sphere scan — and added in
+	// one batch at the end.
+	var evals, coords, scanned int64
 	centroids := make([][]float64, k)
 	for i, c := range clusters {
 		if len(c.members) > 0 {
@@ -339,6 +397,8 @@ func stripOutliers(ds *dataset.Dataset, clusters []*state) {
 				continue
 			}
 			d := linalg.ProjectedDistance(centroids[j], centroids[i], clusters[i].basis)
+			evals++
+			coords += int64(len(clusters[i].basis)) * int64(ds.Dims())
 			if d < delta[i] {
 				delta[i] = d
 			}
@@ -348,8 +408,11 @@ func stripOutliers(ds *dataset.Dataset, clusters []*state) {
 		kept := c.members[:0]
 		for _, p := range c.members {
 			pt := ds.Point(p)
+			scanned++
 			inside := false
 			for i := range clusters {
+				evals++
+				coords += int64(len(clusters[i].basis)) * int64(d)
 				if linalg.ProjectedDistance(pt, centroids[i], clusters[i].basis) <= delta[i] {
 					inside = true
 					break
@@ -361,6 +424,10 @@ func stripOutliers(ds *dataset.Dataset, clusters []*state) {
 		}
 		c.members = kept
 	}
+	counters.PointsScanned.Add(scanned)
+	counters.DistanceEvals.Add(evals)
+	counters.DistanceEvalsFull.Add(evals)
+	counters.CoordsVisited.Add(coords)
 }
 
 // unionEnergy returns the projected energy of the union of two clusters

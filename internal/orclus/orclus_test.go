@@ -7,6 +7,7 @@ import (
 	"proclus/internal/dataset"
 	"proclus/internal/eval"
 	"proclus/internal/linalg"
+	"proclus/internal/obs"
 	"proclus/internal/synth"
 )
 
@@ -251,7 +252,7 @@ func TestStripOutliersSphereOfInfluence(t *testing.T) {
 		{basis: basis, members: []int{0, 1, 2, 6}},
 		{basis: basis, members: []int{3, 4, 5, 7}},
 	}
-	stripOutliers(ds, clusters)
+	stripOutliers(ds, clusters, &obs.Counters{})
 	has := func(c *state, v int) bool {
 		for _, m := range c.members {
 			if m == v {

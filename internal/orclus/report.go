@@ -1,0 +1,72 @@
+package orclus
+
+import "proclus/internal/obs"
+
+// ConfigReport is the JSON-safe echo of the effective configuration
+// (defaults applied) embedded in run reports, mirroring core's
+// ConfigReport. Field order is marshal order and is pinned by goldens.
+type ConfigReport struct {
+	K              int     `json:"k"`
+	L              int     `json:"l"`
+	K0Factor       int     `json:"k0_factor"`
+	Alpha          float64 `json:"alpha"`
+	HandleOutliers bool    `json:"handle_outliers,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	Seed           uint64  `json:"seed"`
+}
+
+// reportConfig echoes cfg (already defaulted) as a ConfigReport.
+func (cfg Config) reportConfig() ConfigReport {
+	return ConfigReport{
+		K:              cfg.K,
+		L:              cfg.L,
+		K0Factor:       cfg.K0Factor,
+		Alpha:          cfg.Alpha,
+		HandleOutliers: cfg.HandleOutliers,
+		Workers:        cfg.Workers,
+		Seed:           cfg.Seed,
+	}
+}
+
+// NumOutliers counts the points assigned to no cluster. Non-zero only
+// when the run was configured with HandleOutliers.
+func (r *Result) NumOutliers() int {
+	n := 0
+	for _, a := range r.Assignments {
+		if a == OutlierID {
+			n++
+		}
+	}
+	return n
+}
+
+// Report converts the result into the shared machine-readable run
+// report. ORCLUS runs as a single agglomerative loop, so the phase
+// breakdown is one "cluster" phase covering the whole run; clusters
+// have no medoid notion (Medoid is -1) and no axis-parallel dimension
+// set (Dimensions stays nil — the oriented basis does not fit the
+// report's 0-based axis list).
+func (r *Result) Report() *obs.RunReport {
+	rep := &obs.RunReport{
+		Algorithm: "orclus",
+		Dataset: obs.DatasetInfo{
+			Points: r.Stats.DatasetPoints,
+			Dims:   r.Stats.DatasetDims,
+		},
+		Seed:   r.Seed,
+		Config: r.Config,
+		Phases: []obs.PhaseReport{
+			{Name: "cluster", Seconds: r.Stats.TotalDuration.Seconds()},
+		},
+		Counters:     r.Stats.Counters,
+		Objective:    r.TotalEnergy,
+		Outliers:     r.NumOutliers(),
+		TotalSeconds: r.Stats.TotalDuration.Seconds(),
+	}
+	for i, cl := range r.Clusters {
+		rep.Clusters = append(rep.Clusters, obs.ClusterReport{
+			ID: i, Size: len(cl.Members), Medoid: -1,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,186 @@
+package scenarios
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proclus/internal/dataset"
+	"proclus/internal/obs"
+	"proclus/internal/registry"
+	"proclus/internal/synth"
+)
+
+// probeScenario is a deliberately tiny scenario for exercising the
+// golden plumbing without the cost of the real table.
+func probeScenario() Scenario {
+	return Scenario{
+		Name:        "probe",
+		Description: "tiny plumbing probe",
+		Data: func() (*dataset.Dataset, error) {
+			ds, _, err := synth.Generate(synth.Config{
+				N: 200, Dims: 4, K: 2, FixedDims: 2,
+				OutlierFraction: -1, MinSizeFraction: 0.3, Seed: 1,
+			})
+			return ds, err
+		},
+		Cells: []Cell{
+			{Label: "kmedoids", Algo: "kmedoids", Cfg: registry.Config{K: 2, Seed: 5}},
+			{Label: "proclus", Algo: "proclus", Cfg: registry.Config{K: 2, L: 2, Seed: 5}},
+		},
+	}
+}
+
+// chtmp moves the test into a temp dir so the relative golden/ paths
+// of CompareScenario land somewhere disposable.
+func chtmp(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCompareScenarioEndToEnd(t *testing.T) {
+	sc := probeScenario()
+	chtmp(t)
+
+	// Without a committed golden the comparison must error, not pass.
+	if _, err := CompareScenario(sc); err == nil {
+		t.Fatal("missing golden accepted")
+	}
+
+	outcomes, err := runScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGolden(GoldenPath(sc.Name), NewGolden(sc, outcomes)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := CompareScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("fresh golden fails its own run: %v", bad)
+	}
+	if _, err := os.Stat(CurrentPath(sc.Name)); !os.IsNotExist(err) {
+		t.Error("clean comparison wrote a current dump")
+	}
+
+	// A raised floor trips the gate and dumps the measured outcomes.
+	g, err := LoadGolden(sc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cells[0].Floors["ari"] = 1.01
+	if err := WriteGolden(GoldenPath(sc.Name), g); err != nil {
+		t.Fatal(err)
+	}
+	bad, err = CompareScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Fatal("raised floor passed")
+	}
+	if _, err := os.Stat(CurrentPath(sc.Name)); err != nil {
+		t.Errorf("violation did not write %s: %v", CurrentPath(sc.Name), err)
+	}
+
+	// A golden cell absent from the table, and a table cell absent from
+	// the golden, are both structural violations.
+	g.Cells[0].Floors["ari"] = 0
+	g.Cells = append(g.Cells, GoldenCell{Label: "ghost", Algo: "kmedoids"})
+	if err := WriteGolden(GoldenPath(sc.Name), g); err != nil {
+		t.Fatal(err)
+	}
+	scWide := sc
+	scWide.Cells = append([]Cell{}, sc.Cells...)
+	scWide.Cells = append(scWide.Cells, Cell{
+		Label: "extra", Algo: "kmedoids", Cfg: registry.Config{K: 2, Seed: 6},
+	})
+	bad, err = CompareScenario(scWide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(bad, "\n")
+	if !strings.Contains(joined, "ghost") || !strings.Contains(joined, "extra") {
+		t.Errorf("structural mismatches not reported: %v", bad)
+	}
+}
+
+func TestCompareScenarioPropagatesRunErrors(t *testing.T) {
+	chtmp(t)
+	sc := probeScenario()
+	if err := os.MkdirAll("golden", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(GoldenPath(sc.Name), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A cell the registry rejects must surface, naming the cell.
+	scBad := sc
+	scBad.Cells = []Cell{{Label: "bad", Algo: "kmedoids",
+		Cfg: registry.Config{K: 2, Clique: registry.CliqueParams{Xi: 5}}}}
+	if _, err := CompareScenario(scBad); err == nil ||
+		!strings.Contains(err.Error(), "bad") {
+		t.Errorf("rejected cell error = %v, want it to name the cell", err)
+	}
+	// A failing dataset generator must surface, naming the scenario.
+	scNoData := sc
+	scNoData.Data = func() (*dataset.Dataset, error) {
+		return nil, os.ErrNotExist
+	}
+	if _, err := CompareScenario(scNoData); err == nil ||
+		!strings.Contains(err.Error(), sc.Name) {
+		t.Errorf("generator error = %v, want it to name the scenario", err)
+	}
+}
+
+func TestGoldenIOErrors(t *testing.T) {
+	chtmp(t)
+	if err := os.MkdirAll("golden", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(GoldenPath("broken"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGolden("broken"); err == nil {
+		t.Error("corrupt golden accepted")
+	}
+	// A plain file where the parent directory should be makes both the
+	// MkdirAll and the write fail.
+	if err := os.WriteFile("blocked", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteGolden(filepath.Join("blocked", "sub", "x.json"), &Golden{Scenario: "x"})
+	if err == nil {
+		t.Error("write under a plain file accepted")
+	}
+}
+
+func TestCompareCellAppearedCounter(t *testing.T) {
+	golden := GoldenCell{Label: "c", Counters: obs.Snapshot{}}
+	got := Outcome{Quality: map[string]float64{},
+		Counters: obs.Snapshot{DistanceEvals: 10}}
+	bad := CompareCell(golden, got)
+	if len(bad) != 1 || !strings.Contains(bad[0], "appeared") {
+		t.Errorf("zero→nonzero counter not flagged as appeared: %v", bad)
+	}
+	// Drift within tolerance passes.
+	golden.Counters = obs.Snapshot{DistanceEvals: 1000}
+	got.Counters = obs.Snapshot{DistanceEvals: 1040}
+	if bad := CompareCell(golden, got); len(bad) != 0 {
+		t.Errorf("4%% drift flagged: %v", bad)
+	}
+}

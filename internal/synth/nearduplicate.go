@@ -1,0 +1,192 @@
+package synth
+
+import (
+	"fmt"
+
+	"proclus/internal/dataset"
+	"proclus/internal/randx"
+)
+
+// NearDuplicateConfig describes a dataset of near-duplicate cluster
+// pairs: each pair shares one subspace and one scale profile, and the
+// twin's anchor sits only Separation standard deviations away from its
+// sibling along every cluster dimension. Distance-based algorithms must
+// resolve 2·Pairs clusters whose twins almost coincide — a robustness
+// probe the paper's generator cannot produce (its anchors are uniform,
+// so clusters are far apart with overwhelming probability).
+type NearDuplicateConfig struct {
+	// N is the total number of points, including outliers.
+	N int
+	// Dims is the dimensionality d of the space.
+	Dims int
+	// Pairs is the number of twin pairs; the dataset has 2·Pairs
+	// clusters, labeled so twins get distinct labels (2p, 2p+1).
+	Pairs int
+	// SubspaceDims is the number of dimensions each pair's subspace
+	// spans (both twins share it).
+	SubspaceDims int
+
+	// Separation is the anchor offset between twins, in multiples of
+	// the per-dimension standard deviation. Default 4: close enough
+	// that the clusters brush against each other, far enough that an
+	// exact method can still split them.
+	Separation float64
+
+	// OutlierFraction is the fraction of N generated as uniform noise.
+	// Negative means 0; the zero value is the paper's 5% default.
+	OutlierFraction float64
+
+	// Min and Max bound the uniform coordinate range. Default [0, 100].
+	Min, Max float64
+	// Spread is the base standard deviation on cluster dimensions
+	// (the paper's r); default 2.
+	Spread float64
+	// MaxScale bounds the per-(pair, dimension) scale factor drawn from
+	// [1, MaxScale]; default 2.
+	MaxScale float64
+
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (cfg *NearDuplicateConfig) withDefaults() NearDuplicateConfig {
+	c := *cfg
+	if c.Min == 0 && c.Max == 0 {
+		c.Min, c.Max = 0, 100
+	}
+	if c.OutlierFraction == 0 {
+		c.OutlierFraction = 0.05
+	}
+	if c.OutlierFraction < 0 {
+		c.OutlierFraction = 0
+	}
+	if c.Spread == 0 {
+		c.Spread = 2
+	}
+	if c.MaxScale == 0 {
+		c.MaxScale = 2
+	}
+	if c.Separation == 0 {
+		c.Separation = 4
+	}
+	return c
+}
+
+func (cfg *NearDuplicateConfig) validate() error {
+	switch {
+	case cfg.N <= 0:
+		return fmt.Errorf("synth: N = %d must be positive", cfg.N)
+	case cfg.Dims < 2:
+		return fmt.Errorf("synth: Dims = %d must be at least 2", cfg.Dims)
+	case cfg.Pairs <= 0:
+		return fmt.Errorf("synth: Pairs = %d must be positive", cfg.Pairs)
+	case cfg.SubspaceDims < 2 || cfg.SubspaceDims > cfg.Dims:
+		return fmt.Errorf("synth: SubspaceDims = %d outside [2, %d]", cfg.SubspaceDims, cfg.Dims)
+	case cfg.Max <= cfg.Min:
+		return fmt.Errorf("synth: empty coordinate range [%v, %v)", cfg.Min, cfg.Max)
+	case cfg.OutlierFraction >= 1:
+		return fmt.Errorf("synth: OutlierFraction %v leaves no cluster points", cfg.OutlierFraction)
+	case cfg.Separation < 0:
+		return fmt.Errorf("synth: Separation %v must be non-negative", cfg.Separation)
+	case cfg.MaxScale < 1:
+		return fmt.Errorf("synth: MaxScale %v must be at least 1", cfg.MaxScale)
+	case cfg.Spread <= 0:
+		return fmt.Errorf("synth: Spread %v must be positive", cfg.Spread)
+	}
+	return nil
+}
+
+// GenerateNearDuplicate produces a labeled dataset of near-duplicate
+// cluster pairs and its ground truth. Twins in pair p carry labels 2p
+// and 2p+1; outliers carry dataset.Outlier. Point order is shuffled.
+// The generator is fully deterministic given Seed.
+func GenerateNearDuplicate(cfg NearDuplicateConfig) (*dataset.Dataset, *GroundTruth, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, nil, err
+	}
+	r := randx.New(c.Seed)
+	k := 2 * c.Pairs
+
+	gt := &GroundTruth{
+		Anchors:    make([][]float64, k),
+		Dimensions: make([][]int, k),
+		Sizes:      make([]int, k),
+	}
+
+	// One anchor, subspace and scale profile per pair; the twin anchor
+	// is offset by ±Separation·stddev along each cluster dimension, the
+	// sign drawn per dimension so twins separate along a diagonal rather
+	// than a single axis.
+	scales := make([][]float64, k)
+	for p := 0; p < c.Pairs; p++ {
+		dims := pickRandomDims(r, c.Dims, c.SubspaceDims, nil)
+		base := make([]float64, c.Dims)
+		for j := range base {
+			base[j] = r.Uniform(c.Min, c.Max)
+		}
+		sc := make([]float64, c.SubspaceDims)
+		for j := range sc {
+			sc[j] = r.Uniform(1, c.MaxScale)
+		}
+		twin := append([]float64(nil), base...)
+		for j, dim := range dims {
+			off := c.Separation * sc[j] * c.Spread
+			if r.Uniform(0, 1) < 0.5 {
+				off = -off
+			}
+			twin[dim] += off
+		}
+		for t := 0; t < 2; t++ {
+			i := 2*p + t
+			gt.Dimensions[i] = append([]int(nil), dims...)
+			scales[i] = sc
+		}
+		gt.Anchors[2*p] = base
+		gt.Anchors[2*p+1] = twin
+	}
+
+	// Sizes: even split of the cluster points, remainder to the lowest
+	// indices, so neither twin dominates its sibling.
+	gt.Outliers = int(float64(c.N) * c.OutlierFraction)
+	clusterPoints := c.N - gt.Outliers
+	if clusterPoints < k {
+		return nil, nil, fmt.Errorf("synth: only %d cluster points for %d clusters", clusterPoints, k)
+	}
+	for i := range gt.Sizes {
+		gt.Sizes[i] = clusterPoints / k
+		if i < clusterPoints%k {
+			gt.Sizes[i]++
+		}
+	}
+
+	ds := dataset.NewWithCapacity(c.Dims, c.N)
+	p := make([]float64, c.Dims)
+	for i := 0; i < k; i++ {
+		isClusterDim := make([]bool, c.Dims)
+		stddev := make([]float64, c.Dims)
+		for j, dim := range gt.Dimensions[i] {
+			isClusterDim[dim] = true
+			stddev[dim] = scales[i][j] * c.Spread
+		}
+		for n := 0; n < gt.Sizes[i]; n++ {
+			for j := 0; j < c.Dims; j++ {
+				if isClusterDim[j] {
+					p[j] = r.Normal(gt.Anchors[i][j], stddev[j])
+				} else {
+					p[j] = r.Uniform(c.Min, c.Max)
+				}
+			}
+			ds.AppendLabeled(p, i)
+		}
+	}
+	for n := 0; n < gt.Outliers; n++ {
+		for j := 0; j < c.Dims; j++ {
+			p[j] = r.Uniform(c.Min, c.Max)
+		}
+		ds.AppendLabeled(p, dataset.Outlier)
+	}
+
+	shuffleDataset(r, ds)
+	return ds, gt, nil
+}

@@ -1,0 +1,118 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"proclus/internal/dataset"
+)
+
+func TestNearDuplicateShapeAndLabels(t *testing.T) {
+	cfg := NearDuplicateConfig{
+		N: 1000, Dims: 10, Pairs: 2, SubspaceDims: 4,
+		OutlierFraction: 0.1, Seed: 5,
+	}
+	ds, gt, err := GenerateNearDuplicate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1000 || ds.Dims() != 10 {
+		t.Fatalf("dataset shape %d×%d", ds.Len(), ds.Dims())
+	}
+	if len(gt.Anchors) != 4 || len(gt.Sizes) != 4 {
+		t.Fatalf("ground truth has %d clusters, want 4", len(gt.Anchors))
+	}
+	if gt.Outliers != 100 {
+		t.Fatalf("outliers = %d, want 100", gt.Outliers)
+	}
+	counts := map[int]int{}
+	for _, l := range ds.Labels() {
+		counts[l]++
+	}
+	for i, want := range gt.Sizes {
+		if counts[i] != want {
+			t.Errorf("cluster %d: %d labeled points, ground truth says %d", i, counts[i], want)
+		}
+	}
+	if counts[dataset.Outlier] != gt.Outliers {
+		t.Errorf("outlier labels %d != %d", counts[dataset.Outlier], gt.Outliers)
+	}
+	// Sizes are near-even by construction.
+	for i, s := range gt.Sizes {
+		if math.Abs(float64(s)-225) > 1 {
+			t.Errorf("cluster %d size %d not near-even", i, s)
+		}
+	}
+}
+
+func TestNearDuplicateTwinsShareSubspace(t *testing.T) {
+	_, gt, err := GenerateNearDuplicate(NearDuplicateConfig{
+		N: 600, Dims: 8, Pairs: 3, SubspaceDims: 3, Seed: 9, Separation: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		a, b := 2*p, 2*p+1
+		if len(gt.Dimensions[a]) != 3 {
+			t.Fatalf("pair %d: %d subspace dims", p, len(gt.Dimensions[a]))
+		}
+		for j := range gt.Dimensions[a] {
+			if gt.Dimensions[a][j] != gt.Dimensions[b][j] {
+				t.Fatalf("pair %d twins have different subspaces: %v vs %v",
+					p, gt.Dimensions[a], gt.Dimensions[b])
+			}
+		}
+		// Twin anchors differ on every cluster dimension and nowhere else.
+		for j := 0; j < 8; j++ {
+			diff := gt.Anchors[a][j] != gt.Anchors[b][j]
+			inSub := false
+			for _, dim := range gt.Dimensions[a] {
+				if dim == j {
+					inSub = true
+				}
+			}
+			if diff != inSub {
+				t.Errorf("pair %d dim %d: anchor differs=%v, in subspace=%v", p, j, diff, inSub)
+			}
+		}
+	}
+}
+
+func TestNearDuplicateDeterministic(t *testing.T) {
+	cfg := NearDuplicateConfig{N: 500, Dims: 6, Pairs: 2, SubspaceDims: 2, Seed: 77}
+	a, _, err := GenerateNearDuplicate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateNearDuplicate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		pa, pb := a.Point(i), b.Point(i)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("point %d dim %d differs between identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestNearDuplicateValidation(t *testing.T) {
+	bad := []NearDuplicateConfig{
+		{N: 0, Dims: 6, Pairs: 2, SubspaceDims: 2},
+		{N: 100, Dims: 1, Pairs: 2, SubspaceDims: 2},
+		{N: 100, Dims: 6, Pairs: 0, SubspaceDims: 2},
+		{N: 100, Dims: 6, Pairs: 2, SubspaceDims: 1},
+		{N: 100, Dims: 6, Pairs: 2, SubspaceDims: 7},
+		{N: 100, Dims: 6, Pairs: 2, SubspaceDims: 2, OutlierFraction: 1.5},
+		{N: 100, Dims: 6, Pairs: 2, SubspaceDims: 2, Separation: -1},
+		{N: 2, Dims: 6, Pairs: 2, SubspaceDims: 2, OutlierFraction: -1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := GenerateNearDuplicate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"proclus/internal/obs/metrics"
 	"proclus/internal/obs/series"
 	"proclus/internal/orclus"
+	"proclus/internal/registry"
 	"proclus/internal/synth"
 )
 
@@ -533,3 +534,50 @@ func ReadCSV(r io.Reader, hasLabels bool) (*Dataset, error) { return dataset.Rea
 func LoadFile(path string, hasLabels bool) (*Dataset, error) {
 	return dataset.LoadFile(path, hasLabels)
 }
+
+// Algorithm is one entry of the algorithm registry: a named clustering
+// algorithm with declared capabilities, fitted through the uniform
+// Fit entry point. PROCLUS, CLIQUE, ORCLUS and the full-dimensional
+// k-medoids baseline register themselves at init.
+type Algorithm = registry.Algorithm
+
+// Model is a fitted clustering returned by Fit: cluster count,
+// per-point assignments (when the fit holds them), nearest-medoid
+// assignment of new points where supported, and a uniform report.
+// Unwrap exposes the algorithm-specific result type.
+type Model = registry.Model
+
+// FitConfig is the shared configuration of the registry's Fit entry
+// point: the common knobs (K, L, Seed, Workers, Sketch, Kernel,
+// observability sinks) plus per-algorithm parameter blocks. Knobs an
+// algorithm does not support are rejected with an error naming it.
+type FitConfig = registry.Config
+
+// FitSource selects a fit's input: exactly one of an in-memory Dataset
+// or a streaming PointSource.
+type FitSource = registry.Source
+
+// AlgorithmCaps declares which shared knobs an algorithm accepts.
+type AlgorithmCaps = registry.Caps
+
+// CliqueParams, OrclusParams and MedoidParams are the per-algorithm
+// parameter blocks of FitConfig.
+type (
+	CliqueParams = registry.CliqueParams
+	OrclusParams = registry.OrclusParams
+	MedoidParams = registry.MedoidParams
+)
+
+// Fit runs the named registered algorithm ("proclus", "clique",
+// "orclus" or "kmedoids") on src. Results are bit-identical to calling
+// the algorithm's direct entry point with the same parameters.
+func Fit(ctx context.Context, name string, src FitSource, cfg FitConfig) (Model, error) {
+	return registry.Fit(ctx, name, src, cfg)
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func Algorithms() []string { return registry.Names() }
+
+// LookupAlgorithm resolves a registered algorithm by name; the error
+// for an unknown name lists what is available.
+func LookupAlgorithm(name string) (Algorithm, error) { return registry.Get(name) }

@@ -406,3 +406,59 @@ func TestPublicAPIRunArchive(t *testing.T) {
 		t.Fatalf("parent registry missing scoped jobs: %v", jobs)
 	}
 }
+
+// TestRegistryFacade exercises the registry re-exports: the algorithm
+// list, name lookup, capability rejection, and bit-identity between a
+// registry-routed fit and the direct entry point.
+func TestRegistryFacade(t *testing.T) {
+	names := proclus.Algorithms()
+	want := []string{"clique", "kmedoids", "orclus", "proclus"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Algorithms() = %v, want %v", names, want)
+	}
+	if _, err := proclus.LookupAlgorithm("dbscan"); err == nil ||
+		!strings.Contains(err.Error(), "proclus") {
+		t.Errorf("unknown-name error %v should list the registered names", err)
+	}
+	a, err := proclus.LookupAlgorithm("clique")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps := a.Caps(); caps.TakesK || !caps.Stream {
+		t.Errorf("clique caps = %+v, want no K, streaming", caps)
+	}
+
+	ds, _, err := proclus.Generate(proclus.GeneratorConfig{
+		N: 2000, Dims: 10, K: 3, FixedDims: 3, MinSizeFraction: 0.15, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := proclus.FitConfig{K: 3, L: 3, Seed: 4}
+	m, err := proclus.Fit(context.Background(), "proclus",
+		proclus.FitSource{Dataset: ds}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := proclus.Run(ds, proclus.Config{K: 3, L: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := m.Unwrap().(*proclus.Result)
+	if !reflect.DeepEqual(routed.Assignments, direct.Assignments) ||
+		routed.Objective != direct.Objective {
+		t.Error("registry-routed fit differs from the direct entry point")
+	}
+	if m.NumClusters() != len(direct.Clusters) {
+		t.Errorf("NumClusters %d, want %d", m.NumClusters(), len(direct.Clusters))
+	}
+
+	// A knob the algorithm does not take is rejected, naming it.
+	bad := cfg
+	bad.Medoid = proclus.MedoidParams{Restarts: 3}
+	if _, err := proclus.Fit(context.Background(), "proclus",
+		proclus.FitSource{Dataset: ds}, bad); err == nil ||
+		!strings.Contains(err.Error(), "proclus") {
+		t.Errorf("unsupported params error = %v, want it to name the algorithm", err)
+	}
+}
